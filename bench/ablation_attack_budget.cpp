@@ -1,0 +1,44 @@
+// Ablation (DESIGN.md S5.4) — attack iteration budgets: MR / crafting-time
+// trade-off curves for the iterative attacks (PGD, MIM, C&W). Shows where
+// the paper's SIV-B.2 budgets (40 / 10 / 200 iterations) sit on the curve.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace gea;
+  using namespace gea::attacks;
+  bench::banner("Ablation — attack iteration budgets (MR vs crafting time)",
+                "paper budgets: PGD 40, MIM 10, C&W 200 iterations");
+
+  auto& p = bench::paper_pipeline();
+  const auto test = p.scaled_data(p.split().test);
+
+  HarnessOptions hopts;
+  hopts.max_samples = 80;
+
+  util::AsciiTable t({"Attack", "Iterations", "MR (%)", "CT (ms)"});
+  auto run = [&](Attack& a, const std::string& iters) {
+    const auto row =
+        run_attack(a, p.classifier(), test.rows, test.labels, nullptr, hopts);
+    t.add_row({row.attack, iters, bench::pct(row.mr()),
+               util::AsciiTable::fmt(row.craft_ms_per_sample, 2)});
+  };
+
+  for (std::size_t iters : {5u, 10u, 40u, 100u}) {
+    Pgd a(PgdConfig{.epsilon = 0.3, .iterations = iters});
+    run(a, std::to_string(iters) + (iters == 40 ? " (paper)" : ""));
+  }
+  for (std::size_t iters : {2u, 5u, 10u, 30u}) {
+    Mim a(MimConfig{.epsilon = 0.3, .iterations = iters});
+    run(a, std::to_string(iters) + (iters == 10 ? " (paper)" : ""));
+  }
+  for (std::size_t iters : {25u, 50u, 200u}) {
+    CarliniWagnerL2 a(CwConfig{.learning_rate = 0.1, .iterations = iters,
+                               .search_steps = 2});
+    run(a, std::to_string(iters) + (iters == 200 ? " (paper)" : ""));
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}

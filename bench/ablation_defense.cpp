@@ -1,0 +1,189 @@
+// Extension (paper SVII) — defense evaluation: the paper closes by calling
+// for "more robust detection tools against adversarial learning". This
+// bench measures the canonical candidates against both attack families:
+//
+//   - plain CNN (the paper's detector)
+//   - PGD adversarial training (Madry-style)
+//   - GEA-augmented training (spliced samples labeled by source class)
+//   - feature squeezing (quantized inference)
+//
+// Measured story: defenses that preserve clean accuracy (squeezing,
+// GEA-augmented training) leave GEA at 100% — the splice pushes features
+// beyond anything the training distribution covers. PGD-adversarial
+// training is the interesting case: it blunts PGD (~99% -> ~30-40%) and,
+// trained hard enough, also zeroes the max-graft GEA — but only by turning
+// paranoid in the out-of-distribution region, at ~5 points of clean
+// (mostly benign-class) accuracy. Robustness is bought with exactly the
+// benign-error budget the paper's operating point cannot spare.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cfg/cfg.hpp"
+#include "dataset/split.hpp"
+#include "defense/adversarial_training.hpp"
+#include "defense/gea_augmentation.hpp"
+#include "defense/squeeze.hpp"
+#include "gea/selection.hpp"
+#include "ml/zoo.hpp"
+
+namespace {
+
+using namespace gea;
+
+struct Scenario {
+  std::string name;
+  double clean_acc = 0.0;
+  double pgd_mr = 0.0;
+  double deepfool_mr = 0.0;
+  double gea_mr = 0.0;
+};
+
+struct Testbed {
+  dataset::Corpus corpus;
+  dataset::Split split;
+  features::FeatureScaler scaler;
+  ml::LabeledData train_data;
+  ml::LabeledData test_data;
+};
+
+Testbed make_testbed() {
+  Testbed tb;
+  dataset::CorpusConfig ccfg;
+  ccfg.num_malicious = 700;
+  ccfg.num_benign = 150;
+  ccfg.seed = 2019;
+  tb.corpus = dataset::Corpus::generate(ccfg);
+  util::Rng srng(3);
+  tb.split = dataset::stratified_split(tb.corpus, 0.2, srng);
+  std::vector<features::FeatureVector> rows;
+  for (std::size_t i : tb.split.train) {
+    rows.push_back(tb.corpus.samples()[i].features);
+  }
+  tb.scaler.fit(rows);
+  auto scaled = [&](const std::vector<std::size_t>& idx) {
+    ml::LabeledData d;
+    for (std::size_t i : idx) {
+      const auto t = tb.scaler.transform(tb.corpus.samples()[i].features);
+      d.rows.emplace_back(t.begin(), t.end());
+      d.labels.push_back(tb.corpus.samples()[i].label);
+    }
+    return d;
+  };
+  tb.train_data = scaled(tb.split.train);
+  tb.test_data = scaled(tb.split.test);
+  return tb;
+}
+
+double measure_gea(const Testbed& tb, ml::DifferentiableClassifier& clf) {
+  const auto target_idx = aug::select_by_size(tb.corpus, dataset::kBenign,
+                                              aug::SizeRank::kMaximum);
+  const auto& target = tb.corpus.samples()[target_idx];
+  std::size_t attacked = 0, flipped = 0;
+  for (const auto& s : tb.corpus.samples()) {
+    if (s.label != dataset::kMalicious || attacked >= 150) continue;
+    const auto scaled = tb.scaler.transform(s.features);
+    if (clf.predict({scaled.begin(), scaled.end()}) != dataset::kMalicious) {
+      continue;
+    }
+    const auto merged = aug::embed_program(s.program, target.program);
+    const auto fv = features::extract_features(
+        cfg::extract_cfg(merged, {.main_only = true}).graph);
+    const auto mscaled = tb.scaler.transform(fv);
+    ++attacked;
+    if (clf.predict({mscaled.begin(), mscaled.end()}) != dataset::kMalicious) {
+      ++flipped;
+    }
+  }
+  return attacked == 0 ? 0.0
+                       : static_cast<double>(flipped) /
+                             static_cast<double>(attacked);
+}
+
+Scenario evaluate_scenario(const Testbed& tb, const std::string& name,
+                           ml::Model& model, bool squeezed) {
+  Scenario s;
+  s.name = name;
+  s.clean_acc = ml::evaluate(model, tb.test_data).accuracy();
+  ml::ModelClassifier base(model, features::kNumFeatures, 2);
+  defense::SqueezedClassifier sq(base, 8);
+  ml::DifferentiableClassifier& clf =
+      squeezed ? static_cast<ml::DifferentiableClassifier&>(sq) : base;
+
+  attacks::HarnessOptions hopts;
+  hopts.max_samples = 80;
+  {
+    attacks::Pgd pgd;
+    s.pgd_mr = attacks::run_attack(pgd, clf, tb.test_data.rows,
+                                   tb.test_data.labels, nullptr, hopts).mr();
+  }
+  {
+    attacks::DeepFool df;
+    s.deepfool_mr = attacks::run_attack(df, clf, tb.test_data.rows,
+                                        tb.test_data.labels, nullptr, hopts).mr();
+  }
+  s.gea_mr = measure_gea(tb, clf);
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gea;
+  bench::banner("Extension — defenses vs both attack families",
+                "paper SVII: 'the need for more robust IoT malware detection "
+                "tools against adversarial learning'");
+
+  const auto tb = make_testbed();
+  std::vector<Scenario> scenarios;
+
+  ml::TrainConfig base_cfg;
+  base_cfg.epochs = 55;
+  base_cfg.early_stop_loss = 0.02;
+
+  {  // plain
+    util::Rng drng(1);
+    ml::Model m = ml::make_paper_cnn(features::kNumFeatures, 2, drng);
+    util::Rng wrng(2);
+    m.init(wrng);
+    ml::train(m, tb.train_data, base_cfg);
+    scenarios.push_back(evaluate_scenario(tb, "plain CNN (paper)", m, false));
+    scenarios.push_back(
+        evaluate_scenario(tb, "plain + feature squeezing", m, true));
+  }
+  {  // adversarial training
+    util::Rng drng(3);
+    ml::Model m = ml::make_paper_cnn(features::kNumFeatures, 2, drng);
+    util::Rng wrng(4);
+    m.init(wrng);
+    defense::AdvTrainConfig acfg;
+    acfg.base = base_cfg;
+    acfg.base.epochs = 30;
+    acfg.adversarial_fraction = 0.5;
+    defense::adversarial_train(m, tb.train_data, acfg);
+    scenarios.push_back(
+        evaluate_scenario(tb, "PGD-adversarial training", m, false));
+  }
+  {  // GEA-augmented training
+    util::Rng drng(5);
+    ml::Model m = ml::make_paper_cnn(features::kNumFeatures, 2, drng);
+    util::Rng wrng(6);
+    m.init(wrng);
+    defense::GeaAugmentConfig gcfg;
+    gcfg.num_augmented = 400;
+    util::Rng arng(7);
+    const auto augmented =
+        defense::augment_with_gea(tb.corpus, tb.split.train, tb.scaler, gcfg, arng);
+    ml::train(m, augmented, base_cfg);
+    scenarios.push_back(
+        evaluate_scenario(tb, "GEA-augmented training", m, false));
+  }
+
+  util::AsciiTable t({"Defense", "Clean acc (%)", "PGD MR (%)",
+                      "DeepFool MR (%)", "GEA MR (%)"});
+  for (const auto& s : scenarios) {
+    t.add_row({s.name, bench::pct(s.clean_acc), bench::pct(s.pgd_mr),
+               bench::pct(s.deepfool_mr), bench::pct(s.gea_mr)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}

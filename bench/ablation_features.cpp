@@ -1,0 +1,134 @@
+// Ablation (DESIGN.md S5 / paper SII-B) — extended feature set: train the
+// same CNN on the 23 Table II features vs a 41-feature vector that adds
+// eigenvector centrality, PageRank, clustering coefficients, diameter and
+// component counts. Does the richer view improve accuracy, and does it
+// resist the feature-space attacks or GEA any better?
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "cfg/cfg.hpp"
+#include "dataset/split.hpp"
+#include "features/extended.hpp"
+#include "gea/selection.hpp"
+#include "ml/zoo.hpp"
+
+namespace {
+
+using namespace gea;
+
+struct FeatureSetRun {
+  std::string name;
+  double test_accuracy = 0.0;
+  double pgd_mr = 0.0;
+  double jsma_mr = 0.0;
+  double gea_mr = 0.0;
+};
+
+FeatureSetRun run_feature_set(const dataset::Corpus& corpus,
+                              const dataset::Split& split, bool extended) {
+  FeatureSetRun out;
+  out.name = extended ? "extended (41)" : "Table II (23)";
+  const std::size_t dim =
+      extended ? features::kNumExtendedFeatures : features::kNumFeatures;
+
+  auto featurize = [&](const graph::DiGraph& g) {
+    if (extended) return features::extract_extended_features(g);
+    const auto fv = features::extract_features(g);
+    return std::vector<double>(fv.begin(), fv.end());
+  };
+
+  // Feature matrix + scaler fit on the training split.
+  std::vector<std::vector<double>> raw(corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    raw[i] = featurize(corpus.samples()[i].cfg.graph);
+  }
+  features::DynScaler scaler;
+  {
+    std::vector<std::vector<double>> train_rows;
+    for (std::size_t i : split.train) train_rows.push_back(raw[i]);
+    scaler.fit(train_rows);
+  }
+  auto make_data = [&](const std::vector<std::size_t>& idx) {
+    ml::LabeledData d;
+    for (std::size_t i : idx) {
+      d.rows.push_back(scaler.transform(raw[i]));
+      d.labels.push_back(corpus.samples()[i].label);
+    }
+    return d;
+  };
+  const auto train_data = make_data(split.train);
+  const auto test_data = make_data(split.test);
+
+  util::Rng drng(17);
+  ml::Model model = ml::make_paper_cnn(dim, 2, drng);
+  util::Rng wrng(18);
+  model.init(wrng);
+  ml::TrainConfig tcfg;
+  tcfg.epochs = 55;
+  tcfg.early_stop_loss = 0.02;
+  ml::train(model, train_data, tcfg);
+  out.test_accuracy = ml::evaluate(model, test_data).accuracy();
+
+  ml::ModelClassifier clf(model, dim, 2);
+  attacks::HarnessOptions hopts;
+  hopts.max_samples = 100;
+  {
+    attacks::Pgd pgd;
+    out.pgd_mr = attacks::run_attack(pgd, clf, test_data.rows,
+                                     test_data.labels, nullptr, hopts).mr();
+  }
+  {
+    attacks::Jsma jsma;
+    out.jsma_mr = attacks::run_attack(jsma, clf, test_data.rows,
+                                      test_data.labels, nullptr, hopts).mr();
+  }
+
+  // GEA malware->benign with the largest benign target, refeaturized with
+  // this run's extractor.
+  const auto target_idx =
+      aug::select_by_size(corpus, dataset::kBenign, aug::SizeRank::kMaximum);
+  const auto& target = corpus.samples()[target_idx];
+  std::size_t attacked = 0, flipped = 0;
+  for (std::size_t i = 0; i < corpus.size() && attacked < 150; ++i) {
+    const auto& s = corpus.samples()[i];
+    if (s.label != dataset::kMalicious) continue;
+    if (clf.predict(scaler.transform(raw[i])) != dataset::kMalicious) continue;
+    const auto merged = aug::embed_program(s.program, target.program);
+    const auto fv = featurize(cfg::extract_cfg(merged, {.main_only = true}).graph);
+    ++attacked;
+    if (clf.predict(scaler.transform(fv)) != dataset::kMalicious) ++flipped;
+  }
+  out.gea_mr = attacked == 0 ? 0.0
+                             : static_cast<double>(flipped) /
+                                   static_cast<double>(attacked);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gea;
+  bench::banner("Ablation — feature-set width (23 Table II vs 41 extended)",
+                "paper SII-B mentions eigenvector centrality etc. as further "
+                "candidates; are richer features harder to attack?");
+
+  dataset::CorpusConfig ccfg;
+  ccfg.num_malicious = 700;
+  ccfg.num_benign = 160;
+  ccfg.seed = 2019;
+  const auto corpus = dataset::Corpus::generate(ccfg);
+  util::Rng srng(3);
+  const auto split = dataset::stratified_split(corpus, 0.2, srng);
+
+  util::AsciiTable t({"Feature set", "Test acc (%)", "PGD MR (%)",
+                      "JSMA MR (%)", "GEA MR (%)"});
+  for (bool extended : {false, true}) {
+    const auto r = run_feature_set(corpus, split, extended);
+    t.add_row({r.name, bench::pct(r.test_accuracy), bench::pct(r.pgd_mr),
+               bench::pct(r.jsma_mr), bench::pct(r.gea_mr)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}

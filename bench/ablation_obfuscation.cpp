@@ -1,0 +1,88 @@
+// Extension (paper SVI) — hand-rolled obfuscation vs the detector: how far
+// do classic behaviour-preserving CFG transforms (opaque predicates, block
+// splitting) get an attacker compared with GEA, and what does packing do?
+//
+// This quantifies the paper's SVI discussion: obfuscation changes the CFG
+// "for free" but without steering it anywhere in particular, while GEA
+// steers it at a chosen target-class sample.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cfg/cfg.hpp"
+#include "obfus/transforms.hpp"
+
+int main() {
+  using namespace gea;
+  bench::banner("Extension — CFG obfuscation vs the detector (paper SVI)",
+                "opaque predicates / block splits mutate features blindly; "
+                "packing collapses them; GEA steers them");
+
+  auto& p = bench::paper_pipeline();
+  auto& clf = p.classifier();
+
+  struct Row {
+    const char* name;
+    std::size_t attacked = 0;
+    std::size_t flipped = 0;
+    std::size_t equivalent = 0;
+  };
+  util::Rng rng(77);
+
+  auto classify = [&](const isa::Program& prog) {
+    const auto fv = features::extract_features(
+        cfg::extract_cfg(prog, {.main_only = true}).graph);
+    const auto scaled = p.scaler().transform(fv);
+    return clf.predict({scaled.begin(), scaled.end()});
+  };
+
+  std::vector<Row> rows = {{"opaque predicates x8"},
+                           {"opaque predicates x32"},
+                           {"block splits x32"},
+                           {"opaque x16 + splits x16"},
+                           {"packed (static view)"}};
+
+  for (const auto& s : p.corpus().samples()) {
+    if (s.label != dataset::kMalicious) continue;
+    if (rows[0].attacked >= 250) break;
+    {
+      const auto scaled = p.scaler().transform(s.features);
+      if (clf.predict({scaled.begin(), scaled.end()}) != dataset::kMalicious) {
+        continue;
+      }
+    }
+    auto measure = [&](Row& row, const isa::Program& variant,
+                       bool check_equiv) {
+      ++row.attacked;
+      if (classify(variant) != dataset::kMalicious) ++row.flipped;
+      if (check_equiv && isa::execute(s.program)
+                             .equivalent(isa::execute(variant))) {
+        ++row.equivalent;
+      }
+    };
+    measure(rows[0], obfus::add_opaque_predicates(s.program, rng, 8), true);
+    measure(rows[1], obfus::add_opaque_predicates(s.program, rng, 32), true);
+    measure(rows[2], obfus::split_blocks(s.program, rng, 32), true);
+    measure(rows[3],
+            obfus::split_blocks(
+                obfus::add_opaque_predicates(s.program, rng, 16), rng, 16),
+            true);
+    measure(rows[4], obfus::pack_static_view(s.program, rng), false);
+  }
+
+  util::AsciiTable t({"Transform", "MR (%)", "func-equiv (%)", "# attacked"});
+  for (const auto& r : rows) {
+    t.add_row({r.name,
+               bench::pct(r.attacked ? static_cast<double>(r.flipped) / r.attacked : 0),
+               r.name == std::string("packed (static view)")
+                   ? "n/a (by design)"
+                   : bench::pct(r.attacked ? static_cast<double>(r.equivalent) / r.attacked
+                                           : 0),
+               util::AsciiTable::fmt_int(static_cast<long long>(r.attacked))});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("(Compare with Table IV: a maximum-size GEA graft reaches ~100%% "
+              "MR with the same functionality guarantee. Packing hits a "
+              "detector exactly as hard as its training corpus was packed-"
+              "blind — see ablation_packing.)\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Extension (paper SVI) — packed malware: "the packed malware samples give
+// an attacker a success rate of 100%". A UPX-style stub collapses the CFG
+// to a single node, destroying every structural feature. This bench trains
+// detectors on corpora with varying packed-malware prevalence and measures
+// how detection of packed samples responds.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dataset/split.hpp"
+#include "ml/zoo.hpp"
+
+namespace {
+
+using namespace gea;
+
+struct PackRow {
+  double train_packed_prob;
+  double clean_acc;
+  double packed_detection_rate;  // packed malware classified malicious
+};
+
+PackRow run(double train_packed_prob) {
+  PackRow row{};
+  row.train_packed_prob = train_packed_prob;
+
+  dataset::CorpusConfig ccfg;
+  ccfg.num_malicious = 600;
+  ccfg.num_benign = 130;
+  ccfg.seed = 2019;
+  ccfg.gen.packed_prob = train_packed_prob;
+  const auto corpus = dataset::Corpus::generate(ccfg);
+  util::Rng srng(3);
+  const auto split = dataset::stratified_split(corpus, 0.2, srng);
+
+  features::FeatureScaler scaler;
+  {
+    std::vector<features::FeatureVector> rows;
+    for (std::size_t i : split.train) rows.push_back(corpus.samples()[i].features);
+    scaler.fit(rows);
+  }
+  auto scaled = [&](const std::vector<std::size_t>& idx) {
+    ml::LabeledData d;
+    for (std::size_t i : idx) {
+      const auto t = scaler.transform(corpus.samples()[i].features);
+      d.rows.emplace_back(t.begin(), t.end());
+      d.labels.push_back(corpus.samples()[i].label);
+    }
+    return d;
+  };
+
+  util::Rng drng(11);
+  ml::Model model = ml::make_paper_cnn(features::kNumFeatures, 2, drng);
+  util::Rng wrng(12);
+  model.init(wrng);
+  ml::TrainConfig tcfg;
+  tcfg.epochs = 50;
+  tcfg.early_stop_loss = 0.02;
+  ml::train(model, scaled(split.train), tcfg);
+  row.clean_acc = ml::evaluate(model, scaled(split.test)).accuracy();
+
+  // Fresh packed malware, unseen at training time.
+  ml::ModelClassifier clf(model, features::kNumFeatures, 2);
+  util::Rng prng(99);
+  bingen::GenOptions packed_only;
+  packed_only.packed_prob = 1.0;
+  std::size_t detected = 0;
+  const std::size_t n_packed = 100;
+  for (std::size_t i = 0; i < n_packed; ++i) {
+    const auto s = dataset::make_sample(
+        static_cast<std::uint32_t>(i), bingen::Family::kMiraiLike, prng, packed_only);
+    const auto t = scaler.transform(s.features);
+    if (clf.predict({t.begin(), t.end()}) == dataset::kMalicious) ++detected;
+  }
+  row.packed_detection_rate =
+      static_cast<double>(detected) / static_cast<double>(n_packed);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gea;
+  bench::banner("Extension — packed (UPX-style) malware",
+                "paper SVI: packing collapses the CFG; packed samples give "
+                "the attacker ~100% success against a packing-blind detector");
+
+  util::AsciiTable t({"train packed share", "Clean test acc (%)",
+                      "packed-malware detection (%)",
+                      "packed-malware evasion (%)"});
+  for (double p : {0.0, 0.02, 0.10, 0.25}) {
+    const auto row = run(p);
+    t.add_row({util::AsciiTable::fmt(p * 100, 0) + "%",
+               bench::pct(row.clean_acc),
+               bench::pct(row.packed_detection_rate),
+               bench::pct(1.0 - row.packed_detection_rate)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("(A detector trained with no packed samples should miss them "
+              "badly; seeing even a small packed share at training time "
+              "closes the hole — because a 1-node CFG is itself a give-away.)\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Extension (related work SV-A, Papernot et al.'s black-box setting) —
+// transferability: craft adversarial feature vectors white-box against one
+// model and replay them against another trained on the same data. High
+// transfer rates mean the paper's white-box threat model underestimates
+// nothing: even a black-box attacker with a surrogate succeeds.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dataset/split.hpp"
+#include "ml/zoo.hpp"
+
+namespace {
+
+using namespace gea;
+
+}  // namespace
+
+int main() {
+  using namespace gea;
+  bench::banner("Extension — attack transferability (CNN <-> MLP surrogate)",
+                "black-box attackers use surrogates (Papernot et al.); do "
+                "AEs crafted on one architecture fool the other?");
+
+  dataset::CorpusConfig ccfg;
+  ccfg.num_malicious = 700;
+  ccfg.num_benign = 150;
+  ccfg.seed = 2019;
+  const auto corpus = dataset::Corpus::generate(ccfg);
+  util::Rng srng(3);
+  const auto split = dataset::stratified_split(corpus, 0.2, srng);
+
+  features::FeatureScaler scaler;
+  {
+    std::vector<features::FeatureVector> rows;
+    for (std::size_t i : split.train) rows.push_back(corpus.samples()[i].features);
+    scaler.fit(rows);
+  }
+  auto scaled = [&](const std::vector<std::size_t>& idx) {
+    ml::LabeledData d;
+    for (std::size_t i : idx) {
+      const auto t = scaler.transform(corpus.samples()[i].features);
+      d.rows.emplace_back(t.begin(), t.end());
+      d.labels.push_back(corpus.samples()[i].label);
+    }
+    return d;
+  };
+  const auto train_data = scaled(split.train);
+  const auto test_data = scaled(split.test);
+
+  ml::TrainConfig tcfg;
+  tcfg.epochs = 55;
+  tcfg.early_stop_loss = 0.02;
+
+  util::Rng drng(21);
+  ml::Model cnn = ml::make_paper_cnn(features::kNumFeatures, 2, drng);
+  util::Rng w1(22);
+  cnn.init(w1);
+  ml::train(cnn, train_data, tcfg);
+  ml::Model mlp = ml::make_mlp_baseline(features::kNumFeatures, 2);
+  util::Rng w2(23);
+  mlp.init(w2);
+  ml::train(mlp, train_data, tcfg);
+
+  ml::ModelClassifier cnn_clf(cnn, features::kNumFeatures, 2);
+  ml::ModelClassifier mlp_clf(mlp, features::kNumFeatures, 2);
+
+  util::AsciiTable t({"Attack", "crafted on", "white-box MR (%)",
+                      "transfer MR (%)", "# samples"});
+  auto run_transfer = [&](attacks::Attack& attack,
+                          ml::ModelClassifier& source,
+                          ml::ModelClassifier& victim, const char* src_name) {
+    std::size_t n = 0, white = 0, transfer = 0;
+    for (std::size_t i = 0; i < test_data.size() && n < 120; ++i) {
+      const auto& x = test_data.rows[i];
+      const auto label = test_data.labels[i];
+      if (source.predict(x) != label || victim.predict(x) != label) continue;
+      ++n;
+      const auto adv = attack.craft(source, x, label == 0 ? 1 : 0);
+      if (source.predict(adv) != label) ++white;
+      if (victim.predict(adv) != label) ++transfer;
+    }
+    t.add_row({attack.name(), src_name,
+               bench::pct(n ? static_cast<double>(white) / n : 0.0),
+               bench::pct(n ? static_cast<double>(transfer) / n : 0.0),
+               util::AsciiTable::fmt_int(static_cast<long long>(n))});
+  };
+
+  attacks::Pgd pgd;
+  attacks::Jsma jsma;
+  attacks::Fgsm fgsm;
+  run_transfer(pgd, cnn_clf, mlp_clf, "CNN -> MLP");
+  run_transfer(pgd, mlp_clf, cnn_clf, "MLP -> CNN");
+  run_transfer(jsma, cnn_clf, mlp_clf, "CNN -> MLP");
+  run_transfer(jsma, mlp_clf, cnn_clf, "MLP -> CNN");
+  run_transfer(fgsm, cnn_clf, mlp_clf, "CNN -> MLP");
+  run_transfer(fgsm, mlp_clf, cnn_clf, "MLP -> CNN");
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}

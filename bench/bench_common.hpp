@@ -1,0 +1,36 @@
+// Shared helpers for the table/figure reproduction binaries.
+//
+// Every bench that needs the trained detector calls paper_pipeline(); the
+// first call trains the Fig. 5 CNN on the full Table I corpus (200 epochs,
+// batch 100) and caches the weights to a file, so subsequent bench binaries
+// skip straight to evaluation. Delete the cache file (path printed at
+// train time) to force a retrain.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/evaluator.hpp"
+#include "core/pipeline.hpp"
+#include "util/table.hpp"
+
+namespace gea::bench {
+
+/// The paper's experimental configuration (SIV): Table I corpus, Fig. 5
+/// CNN, 200 epochs, batch 100, 80/20 split.
+core::PipelineConfig paper_config();
+
+/// A scaled-down configuration honoring GEA_BENCH_FAST=1 (used in smoke
+/// runs); otherwise identical to paper_config().
+core::PipelineConfig effective_config();
+
+/// Process-wide trained pipeline, with on-disk weight caching.
+core::DetectionPipeline& paper_pipeline();
+
+/// Print a banner naming the paper artifact being reproduced.
+void banner(const std::string& title, const std::string& paper_claim);
+
+/// "MR (%)" formatting helpers shared by the table benches.
+std::string pct(double fraction);
+
+}  // namespace gea::bench

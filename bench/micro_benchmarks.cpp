@@ -1,0 +1,126 @@
+// Google-benchmark microbenchmarks for the primitives every experiment
+// leans on: centrality computation, CFG extraction, the 23-feature
+// extraction, CNN forward/backward, program generation, GEA splicing and
+// interpretation.
+#include <benchmark/benchmark.h>
+
+#include "bingen/families.hpp"
+#include "cfg/cfg.hpp"
+#include "features/features.hpp"
+#include "gea/embed.hpp"
+#include "graph/centrality.hpp"
+#include "graph/generators.hpp"
+#include "isa/interpreter.hpp"
+#include "ml/trainer.hpp"
+#include "ml/zoo.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gea;
+
+void BM_BetweennessCentrality(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto g = graph::random_cfg_shape(
+      static_cast<std::size_t>(state.range(0)), 0.4, 0.2, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::betweenness_centrality(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BetweennessCentrality)->Range(16, 512)->Complexity();
+
+void BM_ClosenessCentrality(benchmark::State& state) {
+  util::Rng rng(2);
+  const auto g = graph::random_cfg_shape(
+      static_cast<std::size_t>(state.range(0)), 0.4, 0.2, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::closeness_centrality(g));
+  }
+}
+BENCHMARK(BM_ClosenessCentrality)->Range(16, 512);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto g = graph::random_cfg_shape(
+      static_cast<std::size_t>(state.range(0)), 0.4, 0.2, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::extract_features(g));
+  }
+}
+BENCHMARK(BM_FeatureExtraction)->Range(16, 512);
+
+void BM_ProgramGeneration(benchmark::State& state) {
+  util::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bingen::generate_program(bingen::Family::kMiraiLike, rng));
+  }
+}
+BENCHMARK(BM_ProgramGeneration);
+
+void BM_CfgExtraction(benchmark::State& state) {
+  util::Rng rng(5);
+  const auto p = bingen::generate_program(bingen::Family::kMiraiLike, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cfg::extract_cfg(p));
+  }
+}
+BENCHMARK(BM_CfgExtraction);
+
+void BM_GeaEmbed(benchmark::State& state) {
+  util::Rng rng(6);
+  const auto a = bingen::generate_program(bingen::Family::kMiraiLike, rng);
+  const auto b = bingen::generate_program(bingen::Family::kBenignDaemon, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aug::embed_program(a, b));
+  }
+}
+BENCHMARK(BM_GeaEmbed);
+
+void BM_Interpreter(benchmark::State& state) {
+  util::Rng rng(7);
+  const auto p = bingen::generate_program(bingen::Family::kGafgytLike, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isa::execute(p));
+  }
+}
+BENCHMARK(BM_Interpreter);
+
+void BM_CnnForward(benchmark::State& state) {
+  util::Rng drng(8);
+  auto model = ml::make_paper_cnn(23, 2, drng);
+  util::Rng wrng(9);
+  model.init(wrng);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ml::Tensor x({n, 1, 23});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(wrng.uniform());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(x, false));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CnnForward)->Arg(1)->Arg(32)->Arg(100);
+
+void BM_CnnForwardBackward(benchmark::State& state) {
+  util::Rng drng(10);
+  auto model = ml::make_paper_cnn(23, 2, drng);
+  util::Rng wrng(11);
+  model.init(wrng);
+  ml::Tensor x({1, 1, 23});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(wrng.uniform());
+  }
+  ml::Tensor seed({1, 2});
+  seed[0] = 1.0f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(x, false));
+    benchmark::DoNotOptimize(model.backward(seed));
+  }
+}
+BENCHMARK(BM_CnnForwardBackward);
+
+}  // namespace

@@ -1,0 +1,58 @@
+// Reproduces Table I — distribution of IoT samples across the classes —
+// plus the corpus size statistics the GEA target selection relies on
+// (benign 2/24/455 and malicious 1/64/367 node-count anchors).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dataset/corpus.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace gea;
+  bench::banner("Table I — distribution of IoT samples across the classes",
+                "276 benign (10.79%), 2,281 malicious (89.21%), 2,557 total");
+
+  const auto cfg = bench::effective_config();
+  const auto corpus = dataset::Corpus::generate(cfg.corpus);
+
+  const auto benign = corpus.count_label(dataset::kBenign);
+  const auto malicious = corpus.count_label(dataset::kMalicious);
+  const auto total = corpus.size();
+
+  util::AsciiTable t({"Class types", "# of Samples", "% of Samples"});
+  t.add_row({"Benign", util::AsciiTable::fmt_int(static_cast<long long>(benign)),
+             bench::pct(static_cast<double>(benign) / static_cast<double>(total)) + "%"});
+  t.add_row({"Malicious", util::AsciiTable::fmt_int(static_cast<long long>(malicious)),
+             bench::pct(static_cast<double>(malicious) / static_cast<double>(total)) + "%"});
+  t.add_row({"Total", util::AsciiTable::fmt_int(static_cast<long long>(total)), "100%"});
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::printf("Family composition (synthetic substitution for the CSoNet'18 corpus):\n");
+  util::AsciiTable fam({"Family", "Class", "# of Samples"});
+  for (const auto& [family, count] : corpus.family_histogram()) {
+    fam.add_row({bingen::family_name(family),
+                 bingen::is_malicious(family) ? "malicious" : "benign",
+                 util::AsciiTable::fmt_int(static_cast<long long>(count))});
+  }
+  std::printf("%s\n", fam.to_string().c_str());
+
+  std::printf("CFG node-count calibration (paper anchors: benign min/med/max = "
+              "2/24/455; malicious = 1/64/367):\n");
+  util::AsciiTable sizes({"Class", "min", "p25", "median", "p75", "max"});
+  for (std::uint8_t label : {dataset::kBenign, dataset::kMalicious}) {
+    std::vector<double> nodes;
+    for (const auto& s : corpus.samples()) {
+      if (s.label == label) nodes.push_back(static_cast<double>(s.num_nodes()));
+    }
+    sizes.add_row({label == dataset::kBenign ? "Benign" : "Malicious",
+                   util::AsciiTable::fmt(util::min_of(nodes), 0),
+                   util::AsciiTable::fmt(util::percentile(nodes, 25), 0),
+                   util::AsciiTable::fmt(util::median(nodes), 0),
+                   util::AsciiTable::fmt(util::percentile(nodes, 75), 0),
+                   util::AsciiTable::fmt(util::max_of(nodes), 0)});
+  }
+  std::printf("%s", sizes.to_string().c_str());
+  return 0;
+}

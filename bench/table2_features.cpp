@@ -1,0 +1,59 @@
+// Reproduces Table II — distribution of extracted features — and reports
+// per-category value ranges over the corpus together with feature
+// extraction throughput.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dataset/corpus.hpp"
+#include "features/features.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace gea;
+  using features::Category;
+  bench::banner("Table II — distribution of extracted features",
+                "7 categories, 23 features: 5x betweenness/closeness/degree/"
+                "shortest-path + density + #edges + #nodes");
+
+  util::AsciiTable t({"Feature category", "# of features"});
+  std::size_t total = 0;
+  for (Category c : {Category::kBetweenness, Category::kCloseness,
+                     Category::kDegree, Category::kShortestPath,
+                     Category::kDensity, Category::kEdges, Category::kNodes}) {
+    t.add_row({features::category_name(c),
+               util::AsciiTable::fmt_int(
+                   static_cast<long long>(features::category_size(c)))});
+    total += features::category_size(c);
+  }
+  t.add_row({"Total", util::AsciiTable::fmt_int(static_cast<long long>(total))});
+  std::printf("%s\n", t.to_string().c_str());
+
+  // Per-feature ranges over the corpus, with extraction timing.
+  const auto cfg = bench::effective_config();
+  const auto corpus = dataset::Corpus::generate(cfg.corpus);
+
+  util::Stopwatch sw;
+  std::vector<features::FeatureVector> rows;
+  rows.reserve(corpus.size());
+  for (const auto& s : corpus.samples()) {
+    rows.push_back(features::extract_features(s.cfg.graph));
+  }
+  const double ms = sw.elapsed_ms();
+
+  std::printf("Per-feature ranges over %zu samples "
+              "(extraction: %.2f ms total, %.3f ms/sample):\n",
+              corpus.size(), ms, ms / static_cast<double>(corpus.size()));
+  util::AsciiTable ranges({"feature", "min", "median", "max"});
+  for (std::size_t i = 0; i < features::kNumFeatures; ++i) {
+    std::vector<double> col;
+    col.reserve(rows.size());
+    for (const auto& r : rows) col.push_back(r[i]);
+    ranges.add_row({features::feature_name(i),
+                    util::AsciiTable::fmt(util::min_of(col), 4),
+                    util::AsciiTable::fmt(util::median(col), 4),
+                    util::AsciiTable::fmt(util::max_of(col), 4)});
+  }
+  std::printf("%s", ranges.to_string().c_str());
+  return 0;
+}

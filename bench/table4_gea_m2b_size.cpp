@@ -1,0 +1,40 @@
+// Reproduces Table IV — GEA malware-to-benign misclassification rate as a
+// function of the selected benign target's graph size.
+//
+// Expected shape (paper): MR 7.67% @ 2 nodes, 95.48% @ 24 nodes,
+// 100% @ 455 nodes; CT grows with target size (33.69 -> 1123.12 ms).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace gea;
+  bench::banner("Table IV — GEA: malware -> benign misclassification by size",
+                "MR 7.67/95.48/100 % at 2/24/455-node benign targets; CT "
+                "grows with size");
+
+  auto& p = bench::paper_pipeline();
+  core::AdversarialEvaluator eval(p);
+
+  core::EvaluationOptions opts;
+  opts.gea.verify_every = 10;  // execution-check every 10th augmented sample
+
+  const auto rows = eval.run_gea_size_sweep(dataset::kMalicious, opts);
+
+  util::AsciiTable t({"Size", "# Nodes", "# Edges", "MR (%)", "CT (ms)",
+                      "func-equiv (%)", "# attacked"});
+  for (const auto& r : rows) {
+    t.add_row({r.label,
+               util::AsciiTable::fmt_int(static_cast<long long>(r.target_nodes)),
+               util::AsciiTable::fmt_int(static_cast<long long>(r.target_edges)),
+               bench::pct(r.mr()),
+               util::AsciiTable::fmt(r.craft_ms_per_sample, 2),
+               bench::pct(r.equivalence_rate),
+               util::AsciiTable::fmt_int(static_cast<long long>(r.samples))});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("(func-equiv: fraction of sampled augmented binaries the "
+              "interpreter proved behaviourally identical to their originals "
+              "- the paper asserts 100%%; we verify it.)\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Reproduces Table VII — GEA benign-to-malware misclassification with the
+// target node count fixed and the edge count varying.
+//
+// Expected shape (paper): as in Table VI, no meaningful edge-count/MR
+// relationship (e.g. at 15 nodes: 67.02 / 41.66 / 40.21 %).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace gea;
+  bench::banner("Table VII — GEA: benign -> malware, fixed nodes, edge sweep",
+                "nodes in {15, 57, 71}; MR varies non-monotonically with edges");
+
+  auto& p = bench::paper_pipeline();
+  core::AdversarialEvaluator eval(p);
+
+  core::EvaluationOptions opts;
+  opts.gea.verify_every = 5;
+
+  const auto rows = eval.run_gea_density_sweep(dataset::kBenign, opts);
+
+  util::AsciiTable t({"# Nodes", "# Edges", "MR (%)", "CT (ms)",
+                      "func-equiv (%)"});
+  for (const auto& r : rows) {
+    t.add_row({util::AsciiTable::fmt_int(static_cast<long long>(r.target_nodes)),
+               util::AsciiTable::fmt_int(static_cast<long long>(r.target_edges)),
+               bench::pct(r.mr()),
+               util::AsciiTable::fmt(r.craft_ms_per_sample, 2),
+               bench::pct(r.equivalence_rate)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}

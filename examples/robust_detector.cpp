@@ -1,0 +1,112 @@
+// Example: hardening the detector. Trains the plain CNN, then a
+// PGD-adversarially-trained one, then one trained with GEA-augmented data,
+// and shows each model's accuracy and its resistance to a PGD attack and a
+// GEA splice — the defensive follow-up the paper's conclusion asks for.
+//
+//   $ ./examples/robust_detector
+#include <cstdio>
+
+#include "cfg/cfg.hpp"
+#include "attacks/harness.hpp"
+#include "core/pipeline.hpp"
+#include "defense/adversarial_training.hpp"
+#include "defense/gea_augmentation.hpp"
+#include "gea/selection.hpp"
+#include "ml/zoo.hpp"
+#include "util/table.hpp"
+
+namespace core = gea::core;
+namespace dataset = gea::dataset;
+namespace attacks = gea::attacks;
+namespace defense = gea::defense;
+namespace aug = gea::aug;
+namespace features = gea::features;
+namespace ml = gea::ml;
+namespace cfg = gea::cfg;
+namespace util = gea::util;
+
+int main() {
+  std::printf("building corpus and baseline pipeline...\n");
+  auto config = core::quick_config();
+  auto pipeline = core::DetectionPipeline::run(config);
+  const auto& corpus = pipeline.corpus();
+  const auto train = pipeline.scaled_data(pipeline.split().train);
+  const auto test = pipeline.scaled_data(pipeline.split().test);
+
+  // GEA probe: splice the largest benign CFG into malware test samples.
+  const auto target_idx = aug::select_by_size(corpus, dataset::kBenign,
+                                              aug::SizeRank::kMaximum);
+  const auto& target = corpus.samples()[target_idx];
+  auto gea_mr = [&](ml::ModelClassifier& clf) {
+    std::size_t attacked = 0, flipped = 0;
+    for (const auto& s : corpus.samples()) {
+      if (s.label != dataset::kMalicious || attacked >= 60) continue;
+      const auto sc = pipeline.scaler().transform(s.features);
+      if (clf.predict({sc.begin(), sc.end()}) != dataset::kMalicious) continue;
+      ++attacked;
+      const auto merged = aug::embed_program(s.program, target.program);
+      const auto fv = features::extract_features(
+          cfg::extract_cfg(merged, {.main_only = true}).graph);
+      const auto msc = pipeline.scaler().transform(fv);
+      if (clf.predict({msc.begin(), msc.end()}) != dataset::kMalicious) {
+        ++flipped;
+      }
+    }
+    return attacked ? static_cast<double>(flipped) / attacked : 0.0;
+  };
+  auto pgd_mr = [&](ml::ModelClassifier& clf) {
+    attacks::Pgd pgd;
+    attacks::HarnessOptions opts;
+    opts.max_samples = 40;
+    return attacks::run_attack(pgd, clf, test.rows, test.labels, nullptr, opts)
+        .mr();
+  };
+
+  util::AsciiTable t({"Model", "Test acc (%)", "PGD MR (%)", "GEA MR (%)"});
+  auto report = [&](const char* name, ml::Model& m) {
+    ml::ModelClassifier clf(m, features::kNumFeatures, 2);
+    const double acc = ml::evaluate(m, test).accuracy();
+    t.add_row({std::string(name), util::AsciiTable::fmt_pct(acc),
+               util::AsciiTable::fmt_pct(pgd_mr(clf)),
+               util::AsciiTable::fmt_pct(gea_mr(clf))});
+  };
+
+  report("plain CNN", pipeline.model());
+
+  std::printf("adversarially training a second CNN (PGD in the loop)...\n");
+  util::Rng drng(41);
+  ml::Model robust = ml::make_paper_cnn(features::kNumFeatures, 2, drng);
+  util::Rng wrng(42);
+  robust.init(wrng);
+  defense::AdvTrainConfig acfg;
+  acfg.base.epochs = 40;
+  acfg.base.early_stop_loss = 0.03;
+  acfg.adversarial_fraction = 0.5;
+  defense::adversarial_train(robust, train, acfg);
+  report("PGD-adversarial CNN", robust);
+
+  std::printf("training a third CNN on GEA-augmented data...\n");
+  util::Rng drng2(43);
+  ml::Model gea_aware = ml::make_paper_cnn(features::kNumFeatures, 2, drng2);
+  util::Rng wrng2(44);
+  gea_aware.init(wrng2);
+  defense::GeaAugmentConfig gcfg;
+  gcfg.num_augmented = 300;
+  util::Rng arng(45);
+  const auto augmented = defense::augment_with_gea(
+      corpus, pipeline.split().train, pipeline.scaler(), gcfg, arng);
+  ml::TrainConfig tcfg;
+  tcfg.epochs = 60;
+  tcfg.early_stop_loss = 0.03;
+  ml::train(gea_aware, augmented, tcfg);
+  report("GEA-augmented CNN", gea_aware);
+
+  std::printf("\n%s\n", t.to_string().c_str());
+  std::printf(
+      "Adversarial training trades clean accuracy for attack resistance; at\n"
+      "this reduced corpus scale it can blunt even GEA (small benign grafts\n"
+      "only go so far), but at full scale a large-enough graft beats every\n"
+      "defense tried — see bench/ablation_defense. The weakness is the CFG\n"
+      "feature space itself, not the model on top of it.\n");
+  return 0;
+}

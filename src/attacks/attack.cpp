@@ -1,0 +1,26 @@
+#include "attacks/attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gea::attacks::detail {
+
+void clamp01(std::vector<double>& x) {
+  for (auto& v : x) v = std::clamp(v, 0.0, 1.0);
+}
+
+double sgn(double v) { return v > 0.0 ? 1.0 : (v < 0.0 ? -1.0 : 0.0); }
+
+double l2(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double l1(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += std::abs(x);
+  return s;
+}
+
+}  // namespace gea::attacks::detail

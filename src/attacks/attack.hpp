@@ -1,0 +1,56 @@
+// Adversarial attack interface.
+//
+// Attacks consume a DifferentiableClassifier and a *scaled* feature vector
+// in [0,1]^D (the space the detector was trained in, mirroring how
+// Cleverhans attacks image-normalized inputs) and emit a perturbed vector.
+// All attacks clamp their output into [0,1]^D; the DistortionValidator
+// then judges whether the crafted point is admissible as a CFG feature
+// vector.
+//
+// Semantics: `craft(clf, x, target)` attempts a *targeted* attack toward
+// class `target` for the methods defined that way in the paper (C&W, EAD,
+// JSMA); the loss-ascent methods (FGSM, PGD, MIM, VAM) maximize the loss of
+// the *current* label (the paper's untargeted use: with two classes the
+// two notions coincide), and DeepFool is inherently untargeted. In every
+// case, success for the Table III harness means the prediction flipped.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/model.hpp"
+
+namespace gea::attacks {
+
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  /// Display name as used in Table III ("C&W", "FGSM", ...).
+  virtual std::string name() const = 0;
+
+  /// Craft one adversarial example. `x` must lie in [0,1]^input_dim;
+  /// `target` is the desired output class.
+  virtual std::vector<double> craft(ml::DifferentiableClassifier& clf,
+                                    const std::vector<double>& x,
+                                    std::size_t target) = 0;
+};
+
+using AttackPtr = std::unique_ptr<Attack>;
+
+// Shared numeric helpers.
+namespace detail {
+
+/// Elementwise clamp into [0,1].
+void clamp01(std::vector<double>& x);
+/// sign() with sign(0) = 0.
+double sgn(double v);
+/// L2 norm.
+double l2(const std::vector<double>& v);
+/// L1 norm.
+double l1(const std::vector<double>& v);
+
+}  // namespace detail
+
+}  // namespace gea::attacks

@@ -1,0 +1,35 @@
+// Carlini & Wagner L2 attack (S&P 2017).
+//
+// Change of variables x' = (tanh(w) + 1) / 2 keeps iterates in [0,1]
+// without projection; Adam minimizes ||x'-x||_2^2 + c * g(x') where
+// g(x') = max(max_{j != t} Z_j - Z_t, -kappa). Paper config: learning rate
+// 0.1, 200 iterations.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace gea::attacks {
+
+struct CwConfig {
+  double learning_rate = 0.1;
+  std::size_t iterations = 200;
+  double initial_c = 1.0;
+  /// Binary-search steps over c (1 = fixed c).
+  std::size_t search_steps = 3;
+  double kappa = 0.0;  // confidence margin
+};
+
+class CarliniWagnerL2 : public Attack {
+ public:
+  explicit CarliniWagnerL2(CwConfig cfg = {}) : cfg_(cfg) {}
+
+  std::string name() const override { return "C&W"; }
+  std::vector<double> craft(ml::DifferentiableClassifier& clf,
+                            const std::vector<double>& x,
+                            std::size_t target) override;
+
+ private:
+  CwConfig cfg_;
+};
+
+}  // namespace gea::attacks

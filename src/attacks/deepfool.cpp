@@ -1,0 +1,55 @@
+#include "attacks/deepfool.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace gea::attacks {
+
+std::vector<double> DeepFool::craft(ml::DifferentiableClassifier& clf,
+                                    const std::vector<double>& x,
+                                    std::size_t target) {
+  (void)target;  // inherently untargeted
+  const std::size_t k0 = clf.predict(x);
+  const std::size_t classes = clf.num_classes();
+
+  std::vector<double> adv = x;
+  std::vector<double> total_r(x.size(), 0.0);
+
+  for (std::size_t it = 0; it < cfg_.iterations; ++it) {
+    if (clf.predict(adv) != k0) break;
+    const auto f = clf.logits(adv);
+
+    // Nearest boundary over the competing classes.
+    double best_dist = std::numeric_limits<double>::infinity();
+    std::vector<double> best_w;
+    double best_fdiff = 0.0;
+    for (std::size_t k = 0; k < classes; ++k) {
+      if (k == k0) continue;
+      std::vector<double> weights(classes, 0.0);
+      weights[k] = 1.0;
+      weights[k0] = -1.0;
+      auto w = clf.grad_weighted(adv, weights);  // grad(f_k - f_k0)
+      const double fdiff = f[k] - f[k0];
+      const double wn = std::max(detail::l2(w), 1e-12);
+      const double dist = std::abs(fdiff) / wn;
+      if (dist < best_dist) {
+        best_dist = dist;
+        best_w = std::move(w);
+        best_fdiff = fdiff;
+      }
+    }
+    if (best_w.empty()) break;
+    const double wn2 = std::max(detail::l2(best_w), 1e-12);
+    // r = |f_k - f_k0| / ||w||^2 * w, nudged past the boundary.
+    const double scale = (std::abs(best_fdiff) + 1e-6) / (wn2 * wn2);
+    for (std::size_t i = 0; i < adv.size(); ++i) {
+      const double r = scale * best_w[i];
+      total_r[i] += r;
+      adv[i] = x[i] + (1.0 + cfg_.overshoot) * total_r[i];
+    }
+    detail::clamp01(adv);
+  }
+  return adv;
+}
+
+}  // namespace gea::attacks

@@ -1,0 +1,30 @@
+// DeepFool (Moosavi-Dezfooli et al., CVPR 2016).
+//
+// Iterative linearization: at each step, move to the nearest (L2) decision
+// boundary of the locally linearized classifier. Paper config: overshoot
+// 0.02, 100 iterations.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace gea::attacks {
+
+struct DeepFoolConfig {
+  double overshoot = 0.02;
+  std::size_t iterations = 100;
+};
+
+class DeepFool : public Attack {
+ public:
+  explicit DeepFool(DeepFoolConfig cfg = {}) : cfg_(cfg) {}
+
+  std::string name() const override { return "DeepFool"; }
+  std::vector<double> craft(ml::DifferentiableClassifier& clf,
+                            const std::vector<double>& x,
+                            std::size_t target) override;
+
+ private:
+  DeepFoolConfig cfg_;
+};
+
+}  // namespace gea::attacks

@@ -1,0 +1,92 @@
+#include "attacks/elasticnet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gea::attacks {
+
+std::vector<double> ElasticNet::craft(ml::DifferentiableClassifier& clf,
+                                      const std::vector<double>& x,
+                                      std::size_t target) {
+  const std::size_t dim = clf.input_dim();
+  const std::size_t classes = clf.num_classes();
+  const double c = cfg_.initial_c;
+  const double beta = cfg_.beta;
+
+  // FISTA state: z is the shrunk iterate, y the momentum point.
+  std::vector<double> z = x;
+  std::vector<double> y = x;
+  double t_k = 1.0;
+
+  std::vector<double> best = x;
+  double best_elastic = std::numeric_limits<double>::infinity();
+  bool any_success = false;
+
+  auto hinge_grad = [&](const std::vector<double>& point,
+                        std::vector<double>& grad) {
+    const auto zlog = clf.logits(point);
+    std::size_t jmax = target == 0 ? 1 : 0;
+    for (std::size_t j = 0; j < classes; ++j) {
+      if (j != target && zlog[j] > zlog[jmax]) jmax = j;
+    }
+    const double margin = zlog[jmax] - zlog[target];
+    if (margin > -cfg_.kappa) {
+      std::vector<double> weights(classes, 0.0);
+      weights[jmax] = 1.0;
+      weights[target] = -1.0;
+      const auto gh = clf.grad_weighted(point, weights);
+      for (std::size_t i = 0; i < dim; ++i) grad[i] += c * gh[i];
+    }
+  };
+
+  for (std::size_t it = 0; it < cfg_.iterations; ++it) {
+    const double lr =
+        cfg_.learning_rate /
+        std::sqrt(1.0 + static_cast<double>(it));  // decaying step (EAD impl.)
+
+    // Smooth part gradient at y: 2(y - x) + c * d f / d y.
+    std::vector<double> grad(dim, 0.0);
+    for (std::size_t i = 0; i < dim; ++i) grad[i] = 2.0 * (y[i] - x[i]);
+    hinge_grad(y, grad);
+
+    // Gradient step then ISTA shrinkage around the original x.
+    std::vector<double> z_new(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double step = y[i] - lr * grad[i];
+      const double diff = step - x[i];
+      double shrunk;
+      if (diff > beta) shrunk = x[i] + (diff - beta);
+      else if (diff < -beta) shrunk = x[i] + (diff + beta);
+      else shrunk = x[i];
+      z_new[i] = std::clamp(shrunk, 0.0, 1.0);
+    }
+
+    // FISTA momentum.
+    const double t_next = (1.0 + std::sqrt(1.0 + 4.0 * t_k * t_k)) / 2.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      y[i] = z_new[i] + (t_k - 1.0) / t_next * (z_new[i] - z[i]);
+      y[i] = std::clamp(y[i], 0.0, 1.0);
+    }
+    t_k = t_next;
+    z = std::move(z_new);
+
+    if (clf.predict(z) == target) {
+      double l1 = 0.0, l2sq = 0.0;
+      for (std::size_t i = 0; i < dim; ++i) {
+        const double d = z[i] - x[i];
+        l1 += std::abs(d);
+        l2sq += d * d;
+      }
+      const double elastic = beta * l1 + l2sq;
+      if (elastic < best_elastic) {
+        best_elastic = elastic;
+        best = z;
+        any_success = true;
+      }
+    }
+  }
+  return any_success ? best : z;
+}
+
+}  // namespace gea::attacks

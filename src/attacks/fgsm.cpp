@@ -1,0 +1,22 @@
+#include "attacks/fgsm.hpp"
+
+namespace gea::attacks {
+
+std::vector<double> Fgsm::craft(ml::DifferentiableClassifier& clf,
+                                const std::vector<double>& x,
+                                std::size_t target) {
+  // Ascend the loss of the current prediction. With two classes this walks
+  // toward `target`; we keep the label-based formulation of the original
+  // method.
+  const std::size_t label = clf.predict(x);
+  (void)target;
+  const auto g = clf.grad_loss(x, label);
+  std::vector<double> adv = x;
+  for (std::size_t i = 0; i < adv.size(); ++i) {
+    adv[i] += cfg_.epsilon * detail::sgn(g[i]);
+  }
+  detail::clamp01(adv);
+  return adv;
+}
+
+}  // namespace gea::attacks

@@ -1,0 +1,28 @@
+// Fast Gradient Sign Method (Goodfellow et al., ICLR 2015).
+//
+// One step: x' = clamp(x + eps * sign(grad_x J(x, y))). Paper config
+// (SIV-B.2): eps = 0.3.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace gea::attacks {
+
+struct FgsmConfig {
+  double epsilon = 0.3;
+};
+
+class Fgsm : public Attack {
+ public:
+  explicit Fgsm(FgsmConfig cfg = {}) : cfg_(cfg) {}
+
+  std::string name() const override { return "FGSM"; }
+  std::vector<double> craft(ml::DifferentiableClassifier& clf,
+                            const std::vector<double>& x,
+                            std::size_t target) override;
+
+ private:
+  FgsmConfig cfg_;
+};
+
+}  // namespace gea::attacks

@@ -1,0 +1,88 @@
+#include "attacks/harness.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace gea::attacks {
+
+AttackRow run_attack(Attack& attack, ml::DifferentiableClassifier& clf,
+                     const std::vector<std::vector<double>>& rows,
+                     const std::vector<std::uint8_t>& labels,
+                     const features::DistortionValidator* validator,
+                     const HarnessOptions& opts) {
+  if (rows.size() != labels.size()) {
+    throw std::invalid_argument("run_attack: label count mismatch");
+  }
+  AttackRow out;
+  out.attack = attack.name();
+
+  double total_ms = 0.0;
+  double total_changed = 0.0;
+  double total_l2 = 0.0;
+  std::size_t valid = 0;
+
+  for (std::size_t s = 0; s < rows.size(); ++s) {
+    if (opts.max_samples != 0 && out.samples >= opts.max_samples) break;
+    const auto& x = rows[s];
+    const std::size_t label = labels[s];
+    if (opts.skip_already_misclassified && clf.predict(x) != label) continue;
+    const std::size_t target = label == 0 ? 1 : 0;
+
+    util::Stopwatch sw;
+    const auto adv = attack.craft(clf, x, target);
+    total_ms += sw.elapsed_ms();
+    ++out.samples;
+
+    std::size_t changed = 0;
+    double l2sq = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = adv[i] - x[i];
+      if (std::abs(d) > opts.change_tolerance) ++changed;
+      l2sq += d * d;
+    }
+    total_changed += static_cast<double>(changed);
+    total_l2 += std::sqrt(l2sq);
+
+    if (clf.predict(adv) != label) ++out.misclassified;
+    if (validator != nullptr) {
+      features::FeatureVector fv{};
+      if (adv.size() != fv.size()) {
+        throw std::invalid_argument("run_attack: validator dim mismatch");
+      }
+      for (std::size_t i = 0; i < fv.size(); ++i) fv[i] = adv[i];
+      if (validator->validate(fv).admissible()) ++valid;
+    }
+  }
+
+  if (out.samples > 0) {
+    const auto n = static_cast<double>(out.samples);
+    out.avg_features_changed = total_changed / n;
+    out.craft_ms_per_sample = total_ms / n;
+    out.mean_l2 = total_l2 / n;
+    out.valid_fraction = validator ? static_cast<double>(valid) / n : 0.0;
+  }
+  return out;
+}
+
+std::vector<AttackPtr> make_paper_attacks() {
+  std::vector<AttackPtr> attacks;
+  attacks.push_back(std::make_unique<CarliniWagnerL2>(
+      CwConfig{.learning_rate = 0.1, .iterations = 200}));
+  attacks.push_back(std::make_unique<DeepFool>(
+      DeepFoolConfig{.overshoot = 0.02, .iterations = 100}));
+  attacks.push_back(std::make_unique<ElasticNet>(
+      ElasticNetConfig{.learning_rate = 0.1, .iterations = 250}));
+  attacks.push_back(std::make_unique<Fgsm>(FgsmConfig{.epsilon = 0.3}));
+  attacks.push_back(std::make_unique<Jsma>(JsmaConfig{.theta = 0.3, .gamma = 0.6}));
+  attacks.push_back(std::make_unique<Mim>(
+      MimConfig{.epsilon = 0.3, .iterations = 10}));
+  attacks.push_back(std::make_unique<Pgd>(
+      PgdConfig{.epsilon = 0.3, .iterations = 40}));
+  attacks.push_back(std::make_unique<Vam>(
+      VamConfig{.epsilon = 0.3, .power_iterations = 40}));
+  return attacks;
+}
+
+}  // namespace gea::attacks

@@ -1,0 +1,67 @@
+// Attack evaluation harness: runs an attack over a labeled sample set and
+// produces the Table III statistics — misclassification rate (MR), average
+// number of features changed (Avg.FG), and crafting time per sample (CT).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "attacks/attack.hpp"
+#include "attacks/cw.hpp"
+#include "attacks/deepfool.hpp"
+#include "attacks/elasticnet.hpp"
+#include "attacks/fgsm.hpp"
+#include "attacks/jsma.hpp"
+#include "attacks/mim.hpp"
+#include "attacks/pgd.hpp"
+#include "attacks/vam.hpp"
+#include "features/validator.hpp"
+#include "ml/model.hpp"
+
+namespace gea::attacks {
+
+/// Per-attack aggregate result (one Table III row).
+struct AttackRow {
+  std::string attack;
+  std::size_t samples = 0;
+  std::size_t misclassified = 0;
+  double mr() const {
+    return samples == 0
+               ? 0.0
+               : static_cast<double>(misclassified) / static_cast<double>(samples);
+  }
+  double avg_features_changed = 0.0;
+  double craft_ms_per_sample = 0.0;
+  /// Fraction of crafted AEs passing the distortion validator (extra column
+  /// beyond the paper: quantifies "realistic feature values").
+  double valid_fraction = 0.0;
+  /// Mean L2 distortion of successful AEs (diagnostic).
+  double mean_l2 = 0.0;
+};
+
+struct HarnessOptions {
+  /// Threshold on |delta| in scaled units above which a feature counts as
+  /// changed (Table III's FG column).
+  double change_tolerance = 1e-4;
+  /// Evaluate only samples the model classifies correctly first (attacks
+  /// are measured against a working detector).
+  bool skip_already_misclassified = true;
+  /// Optional cap on evaluated samples (0 = all).
+  std::size_t max_samples = 0;
+};
+
+/// Run `attack` on every (row, label) pair; the target class is the
+/// opposite label (binary task).
+AttackRow run_attack(Attack& attack, ml::DifferentiableClassifier& clf,
+                     const std::vector<std::vector<double>>& rows,
+                     const std::vector<std::uint8_t>& labels,
+                     const features::DistortionValidator* validator = nullptr,
+                     const HarnessOptions& opts = {});
+
+/// The eight methods with the exact SIV-B.2 hyper-parameters, in the
+/// paper's Table III order.
+std::vector<AttackPtr> make_paper_attacks();
+
+}  // namespace gea::attacks

@@ -1,0 +1,32 @@
+// Jacobian-based Saliency Map Attack (Papernot et al., EuroS&P 2016).
+//
+// Targeted, L0-oriented: repeatedly pick the feature pair with the highest
+// adversarial saliency (increases the target logit while decreasing the
+// others) and perturb it by theta, until the prediction flips or the gamma
+// budget of modified features is spent. Paper config: theta = 0.3,
+// gamma = 0.6 (fraction of the 23 features allowed to change).
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace gea::attacks {
+
+struct JsmaConfig {
+  double theta = 0.3;
+  double gamma = 0.6;
+};
+
+class Jsma : public Attack {
+ public:
+  explicit Jsma(JsmaConfig cfg = {}) : cfg_(cfg) {}
+
+  std::string name() const override { return "JSMA"; }
+  std::vector<double> craft(ml::DifferentiableClassifier& clf,
+                            const std::vector<double>& x,
+                            std::size_t target) override;
+
+ private:
+  JsmaConfig cfg_;
+};
+
+}  // namespace gea::attacks

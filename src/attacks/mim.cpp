@@ -1,0 +1,31 @@
+#include "attacks/mim.hpp"
+
+#include <algorithm>
+
+namespace gea::attacks {
+
+std::vector<double> Mim::craft(ml::DifferentiableClassifier& clf,
+                               const std::vector<double>& x,
+                               std::size_t target) {
+  (void)target;
+  const std::size_t label = clf.predict(x);
+  const double alpha = cfg_.epsilon / static_cast<double>(cfg_.iterations);
+
+  std::vector<double> adv = x;
+  std::vector<double> momentum(x.size(), 0.0);
+  for (std::size_t it = 0; it < cfg_.iterations; ++it) {
+    const auto g = clf.grad_loss(adv, label);
+    const double n1 = std::max(detail::l1(g), 1e-12);
+    for (std::size_t i = 0; i < momentum.size(); ++i) {
+      momentum[i] = cfg_.decay * momentum[i] + g[i] / n1;
+    }
+    for (std::size_t i = 0; i < adv.size(); ++i) {
+      adv[i] += alpha * detail::sgn(momentum[i]);
+      adv[i] = std::clamp(adv[i], x[i] - cfg_.epsilon, x[i] + cfg_.epsilon);
+    }
+    detail::clamp01(adv);
+  }
+  return adv;
+}
+
+}  // namespace gea::attacks

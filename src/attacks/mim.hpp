@@ -1,0 +1,30 @@
+// Momentum Iterative Method (Dong et al., CVPR 2018).
+//
+// Iterative sign steps on an L1-normalized momentum-accumulated gradient.
+// Paper config: eps = 0.3, 10 iterations; decay mu = 1.0.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace gea::attacks {
+
+struct MimConfig {
+  double epsilon = 0.3;
+  std::size_t iterations = 10;
+  double decay = 1.0;
+};
+
+class Mim : public Attack {
+ public:
+  explicit Mim(MimConfig cfg = {}) : cfg_(cfg) {}
+
+  std::string name() const override { return "MIM"; }
+  std::vector<double> craft(ml::DifferentiableClassifier& clf,
+                            const std::vector<double>& x,
+                            std::size_t target) override;
+
+ private:
+  MimConfig cfg_;
+};
+
+}  // namespace gea::attacks

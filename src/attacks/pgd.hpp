@@ -1,0 +1,37 @@
+// Projected Gradient Descent (Madry et al., ICLR 2018).
+//
+// Iterated FGSM steps projected back onto the L-inf ball of radius eps
+// around the original input (and [0,1]^D). Paper config: eps = 0.3,
+// 40 iterations.
+#pragma once
+
+#include "attacks/attack.hpp"
+#include "util/rng.hpp"
+
+namespace gea::attacks {
+
+struct PgdConfig {
+  double epsilon = 0.3;
+  std::size_t iterations = 40;
+  /// Step size; defaults to 2.5 * eps / iterations when <= 0.
+  double step = -1.0;
+  /// Start from a uniform random point inside the eps-ball.
+  bool random_start = true;
+  std::uint64_t seed = 1;
+};
+
+class Pgd : public Attack {
+ public:
+  explicit Pgd(PgdConfig cfg = {}) : cfg_(cfg), rng_(cfg.seed) {}
+
+  std::string name() const override { return "PGD"; }
+  std::vector<double> craft(ml::DifferentiableClassifier& clf,
+                            const std::vector<double>& x,
+                            std::size_t target) override;
+
+ private:
+  PgdConfig cfg_;
+  util::Rng rng_;
+};
+
+}  // namespace gea::attacks

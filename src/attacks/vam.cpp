@@ -1,0 +1,67 @@
+#include "attacks/vam.hpp"
+
+#include <cmath>
+
+namespace gea::attacks {
+
+namespace {
+
+/// Gradient of KL(p_ref || softmax(logits(z))) with respect to z:
+///   sum_k (q_k - p_ref_k) * grad logit_k(z).
+std::vector<double> kl_grad(ml::DifferentiableClassifier& clf,
+                            const std::vector<double>& p_ref,
+                            const std::vector<double>& z) {
+  auto weights = clf.probabilities(z);
+  for (std::size_t k = 0; k < weights.size(); ++k) weights[k] -= p_ref[k];
+  return clf.grad_weighted(z, weights);
+}
+
+void normalize_l2(std::vector<double>& v) {
+  const double n = detail::l2(v);
+  if (n < 1e-12) return;
+  for (auto& x : v) x /= n;
+}
+
+}  // namespace
+
+std::vector<double> Vam::craft(ml::DifferentiableClassifier& clf,
+                               const std::vector<double>& x,
+                               std::size_t target) {
+  (void)target;
+  const auto p_ref = clf.probabilities(x);
+
+  // Power iteration: d <- normalize(grad_d KL(p(x) || p(x + xi d))).
+  std::vector<double> d(x.size());
+  for (auto& v : d) v = rng_.normal();
+  normalize_l2(d);
+  for (std::size_t it = 0; it < cfg_.power_iterations; ++it) {
+    std::vector<double> probe = x;
+    for (std::size_t i = 0; i < probe.size(); ++i) probe[i] += cfg_.xi * d[i];
+    d = kl_grad(clf, p_ref, probe);
+    normalize_l2(d);
+  }
+
+  std::vector<double> adv = x;
+  for (std::size_t i = 0; i < adv.size(); ++i) adv[i] += cfg_.epsilon * d[i];
+  detail::clamp01(adv);
+
+  // The virtual direction is sign-ambiguous; pick the side that moves the
+  // prediction further from the anchor distribution.
+  std::vector<double> adv_neg = x;
+  for (std::size_t i = 0; i < adv_neg.size(); ++i) {
+    adv_neg[i] -= cfg_.epsilon * d[i];
+  }
+  detail::clamp01(adv_neg);
+  auto kl_of = [&](const std::vector<double>& z) {
+    const auto q = clf.probabilities(z);
+    double kl = 0.0;
+    for (std::size_t k = 0; k < q.size(); ++k) {
+      kl += p_ref[k] * std::log(std::max(p_ref[k], 1e-12) /
+                                std::max(q[k], 1e-12));
+    }
+    return kl;
+  };
+  return kl_of(adv_neg) > kl_of(adv) ? adv_neg : adv;
+}
+
+}  // namespace gea::attacks

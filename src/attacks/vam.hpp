@@ -1,0 +1,37 @@
+// Virtual Adversarial Method (Miyato et al., ICLR 2016).
+//
+// Finds the direction that locally maximizes KL(p(y|x) || p(y|x+r)) via
+// power iteration, then steps eps along it. VAM needs no label — the
+// model's own output distribution is the anchor — which is why the paper
+// classifies it with the gradient family but reports weaker success.
+// Paper config: eps = 0.3, 40 iterations (power-iteration budget).
+#pragma once
+
+#include "attacks/attack.hpp"
+#include "util/rng.hpp"
+
+namespace gea::attacks {
+
+struct VamConfig {
+  double epsilon = 0.3;
+  std::size_t power_iterations = 40;
+  /// Finite-difference probe radius for the power iteration.
+  double xi = 1e-3;
+  std::uint64_t seed = 7;
+};
+
+class Vam : public Attack {
+ public:
+  explicit Vam(VamConfig cfg = {}) : cfg_(cfg), rng_(cfg.seed) {}
+
+  std::string name() const override { return "VAM"; }
+  std::vector<double> craft(ml::DifferentiableClassifier& clf,
+                            const std::vector<double>& x,
+                            std::size_t target) override;
+
+ private:
+  VamConfig cfg_;
+  util::Rng rng_;
+};
+
+}  // namespace gea::attacks

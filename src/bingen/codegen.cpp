@@ -1,0 +1,52 @@
+#include "bingen/codegen.hpp"
+
+namespace gea::bingen {
+
+using isa::Opcode;
+using isa::Syscall;
+
+int CodeGen::fresh_reg() {
+  const int r = next_reg_;
+  next_reg_ = next_reg_ == 7 ? 1 : next_reg_ + 1;
+  return r;
+}
+
+int CodeGen::counter_reg() const { return 8 + loop_depth_ % 5; }
+
+void CodeGen::straight_run(int len) {
+  for (int i = 0; i < len; ++i) {
+    const int rd = fresh_reg();
+    switch (rng_.uniform_int(0, 7)) {
+      case 0: b_.movi(rd, rng_.uniform_int(0, 255)); break;
+      case 1: b_.mov(rd, fresh_reg()); break;
+      case 2: b_.alu(Opcode::kAdd, rd, fresh_reg()); break;
+      case 3: b_.alu(Opcode::kXor, rd, fresh_reg()); break;
+      case 4: b_.alui(Opcode::kAddImm, rd, rng_.uniform_int(1, 64)); break;
+      case 5: b_.alu(Opcode::kAnd, rd, fresh_reg()); break;
+      case 6: b_.load(rd, fresh_reg(), rng_.uniform_int(0, 63)); break;
+      case 7: b_.store(rd, rng_.uniform_int(0, 63), fresh_reg()); break;
+    }
+  }
+}
+
+void CodeGen::syscall_batch(std::initializer_list<Syscall> calls) {
+  for (Syscall s : calls) {
+    const int arg = fresh_reg();
+    b_.movi(arg, rng_.uniform_int(0, 1023));
+    b_.syscall(s, arg);
+  }
+}
+
+void CodeGen::syscall_batch_random(int count) {
+  static constexpr Syscall kPool[] = {
+      Syscall::kOpen, Syscall::kRead,  Syscall::kWrite, Syscall::kSocket,
+      Syscall::kSend, Syscall::kSleep, Syscall::kTime,
+  };
+  for (int i = 0; i < count; ++i) {
+    const int arg = fresh_reg();
+    b_.movi(arg, rng_.uniform_int(0, 1023));
+    b_.syscall(kPool[rng_.uniform_int(0, 6)], arg);
+  }
+}
+
+}  // namespace gea::bingen

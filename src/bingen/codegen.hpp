@@ -1,0 +1,137 @@
+// Structured-code emission helpers.
+//
+// These compose mini-ISA control-flow idioms (straight-line runs, if/else,
+// counted loops, input-driven loops, dispatch switches, syscall batches)
+// into terminating programs. Generators consume a *block budget*: each
+// construct spends roughly the number of basic blocks it will contribute to
+// the CFG, which lets family templates target a CFG size distribution.
+//
+// Register discipline: r0 is the syscall-return / result register;
+// r1-r7 are scratch, allocated round-robin; r8-r12 are loop counters,
+// assigned by nesting depth so an inner construct can never clobber an
+// enclosing loop's counter (which would produce non-terminating programs);
+// r13-r15 are never touched (r15 is reserved for the GEA guard).
+#pragma once
+
+#include <cstdint>
+
+#include "isa/program.hpp"
+#include "util/rng.hpp"
+
+namespace gea::bingen {
+
+/// Emission context threading the builder, randomness and register cursor.
+class CodeGen {
+ public:
+  CodeGen(isa::ProgramBuilder& builder, util::Rng& rng)
+      : b_(builder), rng_(rng) {}
+
+  isa::ProgramBuilder& builder() { return b_; }
+  util::Rng& rng() { return rng_; }
+
+  /// Next scratch register (r1..r7, round-robin).
+  int fresh_reg();
+
+  /// `len` random ALU / mov / load / store instructions; no control flow.
+  void straight_run(int len);
+
+  /// cmpi + je/jne diamond. Spends ~4 blocks plus the bodies'.
+  /// `budget` is split between the two arms; bodies recurse via body_fn.
+  template <typename BodyFn>
+  void if_else(int budget, BodyFn&& body_fn);
+
+  /// Counted loop with `iters` iterations (kept small so the interpreter
+  /// terminates quickly). Spends ~3 blocks plus the body's.
+  template <typename BodyFn>
+  void counted_loop(int iters, int budget, BodyFn&& body_fn);
+
+  /// Loop driven by an input syscall: `while (recv() != 0) body;`
+  /// Terminates because the interpreter's input stream contains a zero.
+  template <typename BodyFn>
+  void input_loop(isa::Syscall source, int budget, BodyFn&& body_fn);
+
+  /// Dispatch switch over `cases` compare-and-jump cases on an input value.
+  template <typename CaseFn>
+  void dispatch_switch(isa::Syscall source, int cases, int budget,
+                       CaseFn&& case_fn);
+
+  /// A batch of `count` syscalls with small argument setup.
+  void syscall_batch(std::initializer_list<isa::Syscall> calls);
+  void syscall_batch_random(int count);
+
+ private:
+  /// Loop-counter register for the current nesting level (r8..r12).
+  int counter_reg() const;
+
+  isa::ProgramBuilder& b_;
+  util::Rng& rng_;
+  int next_reg_ = 1;
+  int loop_depth_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Template implementations.
+
+template <typename BodyFn>
+void CodeGen::if_else(int budget, BodyFn&& body_fn) {
+  const int r = fresh_reg();
+  b_.cmpi(r, rng_.uniform_int(0, 8));
+  const int l_else = b_.new_label();
+  const int l_end = b_.new_label();
+  b_.jump(rng_.chance(0.5) ? isa::Opcode::kJe : isa::Opcode::kJle, l_else);
+  body_fn(budget / 2);
+  b_.jump(isa::Opcode::kJmp, l_end);
+  b_.bind(l_else);
+  body_fn(budget - budget / 2);
+  b_.bind(l_end);
+  b_.nop();
+}
+
+template <typename BodyFn>
+void CodeGen::counted_loop(int iters, int budget, BodyFn&& body_fn) {
+  const int counter = counter_reg();
+  ++loop_depth_;
+  b_.movi(counter, 0);
+  const int l_top = b_.new_label();
+  b_.bind(l_top);
+  body_fn(budget);
+  b_.alui(isa::Opcode::kAddImm, counter, 1);
+  b_.cmpi(counter, iters);
+  b_.jump(isa::Opcode::kJl, l_top);
+  --loop_depth_;
+}
+
+template <typename BodyFn>
+void CodeGen::input_loop(isa::Syscall source, int budget, BodyFn&& body_fn) {
+  const int l_top = b_.new_label();
+  const int l_end = b_.new_label();
+  b_.bind(l_top);
+  b_.syscall(source, 0);  // r0 <- next input
+  b_.cmpi(0, 0);
+  b_.jump(isa::Opcode::kJe, l_end);
+  body_fn(budget);
+  b_.jump(isa::Opcode::kJmp, l_top);
+  b_.bind(l_end);
+  b_.nop();
+}
+
+template <typename CaseFn>
+void CodeGen::dispatch_switch(isa::Syscall source, int cases, int budget,
+                              CaseFn&& case_fn) {
+  b_.syscall(source, 0);  // r0 <- selector
+  const int l_end = b_.new_label();
+  const int per_case = cases > 0 ? budget / cases : budget;
+  for (int c = 0; c < cases; ++c) {
+    const int l_next = b_.new_label();
+    b_.cmpi(0, c + 1);
+    b_.jump(isa::Opcode::kJne, l_next);
+    case_fn(c, per_case);
+    b_.jump(isa::Opcode::kJmp, l_end);
+    b_.bind(l_next);
+  }
+  b_.nop();  // default case
+  b_.bind(l_end);
+  b_.nop();
+}
+
+}  // namespace gea::bingen

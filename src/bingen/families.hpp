@@ -1,0 +1,69 @@
+// Synthetic IoT software families.
+//
+// The paper's corpus is 2,281 real IoT malware samples (CSoNet'18 dataset;
+// predominantly Mirai/Gafgyt/Tsunami lineages) and 276 benign binaries from
+// OpenWRT firmware. We cannot redistribute malware, so each family here is
+// a *program template* whose structural envelope mimics its namesake:
+//
+//  benign:
+//   - Utility   — OpenWRT-style CLI tools: argument checks, a read loop,
+//                 small dispatch, mostly shallow and linear. Small CFGs.
+//   - Daemon    — long-running status daemons: one input-driven main loop
+//                 with a modest dispatch and a few helpers.
+//   - NetTool   — network clients: connect/send/recv sequences with
+//                 moderate branching.
+//  malicious:
+//   - MiraiLike — scanner + dictionary attack + C&C dispatch over many
+//                 attack helper functions. Large, many-component CFGs.
+//   - GafgytLike— flooder set behind a simple command switch.
+//   - TsunamiLike— IRC-bot style: one deep command-parse loop.
+//
+// Additionally, any malicious sample may be emitted as a *packed stub*
+// (UPX-style): a single straight-line block that unpacks-then-jumps, which
+// collapses the CFG to one node — the paper's Table V minimum-size target
+// (1 node) is exactly such a sample.
+//
+// Calibration targets (paper, §IV): benign CFG sizes spanning 2..455 nodes
+// with median ≈24; malicious sizes spanning 1..367 with median ≈64.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "util/rng.hpp"
+
+namespace gea::bingen {
+
+enum class Family {
+  kBenignUtility,
+  kBenignDaemon,
+  kBenignNetTool,
+  kMiraiLike,
+  kGafgytLike,
+  kTsunamiLike,
+};
+
+bool is_malicious(Family f);
+const char* family_name(Family f);
+std::vector<Family> benign_families();
+std::vector<Family> malicious_families();
+
+struct GenOptions {
+  /// Multiplies the family's target CFG size (1.0 = calibrated default).
+  double size_scale = 1.0;
+  /// Probability that a malicious sample is emitted as a packed stub.
+  double packed_prob = 0.02;
+};
+
+/// Generate one program of the given family. Deterministic given the Rng
+/// state. The result always passes Program::validate() and terminates under
+/// the default interpreter options.
+isa::Program generate_program(Family f, util::Rng& rng,
+                              const GenOptions& opts = {});
+
+/// The target number of CFG nodes drawn for a sample of `f` (exposed for
+/// tests and calibration tooling).
+int draw_target_nodes(Family f, util::Rng& rng, const GenOptions& opts = {});
+
+}  // namespace gea::bingen

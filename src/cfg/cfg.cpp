@@ -1,0 +1,129 @@
+#include "cfg/cfg.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace gea::cfg {
+
+using isa::Instruction;
+using isa::Opcode;
+
+std::optional<graph::NodeId> Cfg::block_of(std::uint32_t pc) const {
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (pc >= blocks[i].begin && pc < blocks[i].end) {
+      return static_cast<graph::NodeId>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+std::string block_label(const isa::Program& p, const BasicBlock& b,
+                        std::size_t max_instructions) {
+  std::ostringstream ss;
+  ss << "0x" << std::hex << b.begin << std::dec << ":\n";
+  const std::uint32_t shown =
+      std::min<std::uint32_t>(b.size(), static_cast<std::uint32_t>(max_instructions));
+  for (std::uint32_t i = b.begin; i < b.begin + shown; ++i) {
+    ss << isa::to_string(p.code()[i]) << '\n';
+  }
+  if (shown < b.size()) ss << "... (+" << (b.size() - shown) << ")\n";
+  return ss.str();
+}
+
+}  // namespace
+
+Cfg extract_cfg(const isa::Program& program, const CfgOptions& opts) {
+  if (auto err = program.validate()) {
+    throw std::invalid_argument("extract_cfg: invalid program: " + *err);
+  }
+
+  const auto& code = program.code();
+  const std::size_t n = code.size();
+
+  // Pass 1: identify leaders per function.
+  std::vector<bool> leader(n, false);
+  for (const auto& f : program.functions()) {
+    leader[f.begin] = true;
+    for (std::uint32_t i = f.begin; i < f.end; ++i) {
+      const Instruction& ins = code[i];
+      if (isa::is_jump(ins.op)) {
+        leader[ins.target] = true;
+        if (i + 1 < f.end) leader[i + 1] = true;  // fall-through successor
+      } else if (ins.op == Opcode::kRet || ins.op == Opcode::kHalt) {
+        if (i + 1 < f.end) leader[i + 1] = true;
+      }
+    }
+  }
+
+  // Pass 2: materialize blocks (contiguous ranges between leaders, clipped
+  // at function boundaries).
+  Cfg cfg;
+  std::map<std::uint32_t, graph::NodeId> block_at;  // begin pc -> node
+  const std::size_t num_functions =
+      opts.main_only ? 1 : program.functions().size();
+  for (std::size_t fi = 0; fi < num_functions; ++fi) {
+    const auto& f = program.functions()[fi];
+    std::uint32_t start = f.begin;
+    for (std::uint32_t i = f.begin + 1; i <= f.end; ++i) {
+      if (i == f.end || leader[i]) {
+        BasicBlock b{start, i, static_cast<std::uint32_t>(fi)};
+        const auto node = cfg.graph.add_node(
+            opts.label_blocks ? block_label(program, b, opts.label_max_instructions)
+                              : std::string{});
+        cfg.blocks.push_back(b);
+        block_at[start] = node;
+        start = i;
+      }
+    }
+  }
+
+  // Pass 3: edges.
+  for (std::size_t bi = 0; bi < cfg.blocks.size(); ++bi) {
+    const BasicBlock& b = cfg.blocks[bi];
+    const auto node = static_cast<graph::NodeId>(bi);
+    const Instruction& last = code[b.end - 1];
+    const auto& f = program.functions()[b.function];
+
+    auto link_to_pc = [&](std::uint32_t pc) {
+      const auto it = block_at.find(pc);
+      if (it == block_at.end()) {
+        throw std::logic_error("extract_cfg: edge to non-leader pc");
+      }
+      cfg.graph.add_edge(node, it->second);
+    };
+
+    if (isa::is_jump(last.op)) {
+      link_to_pc(last.target);
+      if (isa::is_conditional(last.op) && b.end < f.end) link_to_pc(b.end);
+    } else if (last.op == Opcode::kRet || last.op == Opcode::kHalt) {
+      // no successors
+    } else if (b.end < f.end) {
+      link_to_pc(b.end);  // plain fall-through (includes blocks ending in call)
+    }
+
+    if (opts.call_edges && !opts.main_only) {
+      for (std::uint32_t i = b.begin; i < b.end; ++i) {
+        if (code[i].op == Opcode::kCall) link_to_pc(code[i].target);
+      }
+    }
+  }
+
+  // Entry and exits.
+  cfg.entry = block_at.at(0);
+  const auto& main_fn = program.functions().front();
+  for (std::size_t bi = 0; bi < cfg.blocks.size(); ++bi) {
+    const BasicBlock& b = cfg.blocks[bi];
+    const Instruction& last = code[b.end - 1];
+    const bool main_ret = last.op == Opcode::kRet && main_fn.contains(b.begin);
+    if (last.op == Opcode::kHalt || main_ret) {
+      cfg.exit_nodes.push_back(static_cast<graph::NodeId>(bi));
+    }
+  }
+  return cfg;
+}
+
+}  // namespace gea::cfg

@@ -1,0 +1,39 @@
+#include "core/evaluator.hpp"
+
+namespace gea::core {
+
+std::vector<attacks::AttackRow> AdversarialEvaluator::run_generic_attacks(
+    const EvaluationOptions& opts) {
+  const ml::LabeledData test = pipeline_->scaled_data(pipeline_->split().test);
+
+  attacks::HarnessOptions hopts = opts.attack;
+  if (opts.max_samples != 0) hopts.max_samples = opts.max_samples;
+
+  std::vector<attacks::AttackRow> rows;
+  for (auto& attack : attacks::make_paper_attacks()) {
+    rows.push_back(attacks::run_attack(*attack, pipeline_->classifier(),
+                                       test.rows, test.labels,
+                                       &pipeline_->validator(), hopts));
+  }
+  return rows;
+}
+
+std::vector<aug::GeaRow> AdversarialEvaluator::run_gea_size_sweep(
+    std::uint8_t source_label, const EvaluationOptions& opts) {
+  aug::GeaHarness harness(pipeline_->corpus(), pipeline_->scaler(),
+                          pipeline_->classifier());
+  aug::GeaHarnessOptions gopts = opts.gea;
+  if (opts.max_samples != 0) gopts.max_samples = opts.max_samples;
+  return harness.size_sweep(source_label, gopts);
+}
+
+std::vector<aug::GeaRow> AdversarialEvaluator::run_gea_density_sweep(
+    std::uint8_t source_label, const EvaluationOptions& opts) {
+  aug::GeaHarness harness(pipeline_->corpus(), pipeline_->scaler(),
+                          pipeline_->classifier());
+  aug::GeaHarnessOptions gopts = opts.gea;
+  if (opts.max_samples != 0) gopts.max_samples = opts.max_samples;
+  return harness.density_sweep(source_label, 3, 3, gopts);
+}
+
+}  // namespace gea::core

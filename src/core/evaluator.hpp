@@ -1,0 +1,44 @@
+// AdversarialEvaluator: the full SIV evaluation — Table III (eight generic
+// attacks over the test split) plus Tables IV-VII (GEA sweeps) — against a
+// trained DetectionPipeline.
+#pragma once
+
+#include <vector>
+
+#include "attacks/harness.hpp"
+#include "core/pipeline.hpp"
+#include "gea/harness.hpp"
+
+namespace gea::core {
+
+struct EvaluationOptions {
+  /// Cap on attacked samples per attack/table row (0 = all). Benches use 0;
+  /// tests cap for speed.
+  std::size_t max_samples = 0;
+  attacks::HarnessOptions attack{};
+  aug::GeaHarnessOptions gea{};
+};
+
+class AdversarialEvaluator {
+ public:
+  explicit AdversarialEvaluator(DetectionPipeline& pipeline)
+      : pipeline_(&pipeline) {}
+
+  /// Table III: all eight generic attacks over the test split (both attack
+  /// directions, as in the paper's "malicious as benign and vice versa").
+  std::vector<attacks::AttackRow> run_generic_attacks(
+      const EvaluationOptions& opts = {});
+
+  /// Table IV (malicious -> benign) / Table V (benign -> malicious).
+  std::vector<aug::GeaRow> run_gea_size_sweep(std::uint8_t source_label,
+                                              const EvaluationOptions& opts = {});
+
+  /// Table VI / VII.
+  std::vector<aug::GeaRow> run_gea_density_sweep(
+      std::uint8_t source_label, const EvaluationOptions& opts = {});
+
+ private:
+  DetectionPipeline* pipeline_;
+};
+
+}  // namespace gea::core

@@ -1,0 +1,71 @@
+#include "core/pipeline.hpp"
+
+#include "ml/zoo.hpp"
+
+namespace gea::core {
+
+PipelineConfig quick_config() {
+  PipelineConfig cfg;
+  cfg.corpus.num_malicious = 400;
+  cfg.corpus.num_benign = 80;
+  cfg.train.epochs = 60;
+  cfg.train.early_stop_loss = 0.02;
+  return cfg;
+}
+
+ml::LabeledData DetectionPipeline::scaled_data(
+    const std::vector<std::size_t>& indices) const {
+  ml::LabeledData data;
+  data.rows.reserve(indices.size());
+  data.labels.reserve(indices.size());
+  for (std::size_t i : indices) {
+    const auto scaled = scaler_.transform(corpus_.samples()[i].features);
+    data.rows.emplace_back(scaled.begin(), scaled.end());
+    data.labels.push_back(corpus_.samples()[i].label);
+  }
+  return data;
+}
+
+void DetectionPipeline::reevaluate() {
+  train_metrics_ = ml::evaluate(model_, scaled_data(split_.train));
+  test_metrics_ = ml::evaluate(model_, scaled_data(split_.test));
+}
+
+DetectionPipeline DetectionPipeline::run(const PipelineConfig& cfg) {
+  DetectionPipeline p;
+  p.cfg_ = cfg;
+  p.corpus_ = dataset::Corpus::generate(cfg.corpus);
+
+  util::Rng split_rng(cfg.split_seed);
+  p.split_ = dataset::stratified_split(p.corpus_, cfg.test_fraction, split_rng);
+
+  // Fit scaling on training rows only.
+  {
+    std::vector<features::FeatureVector> train_rows;
+    train_rows.reserve(p.split_.train.size());
+    for (std::size_t i : p.split_.train) {
+      train_rows.push_back(p.corpus_.samples()[i].features);
+    }
+    p.scaler_.fit(train_rows);
+  }
+  p.validator_ = std::make_unique<features::DistortionValidator>(p.scaler_);
+
+  p.dropout_rng_ = std::make_unique<util::Rng>(cfg.weight_seed + 1);
+  p.model_ = cfg.detector == DetectorKind::kPaperCnn
+                 ? ml::make_paper_cnn(features::kNumFeatures, 2, *p.dropout_rng_)
+                 : ml::make_mlp_baseline(features::kNumFeatures, 2);
+  util::Rng weight_rng(cfg.weight_seed);
+  p.model_.init(weight_rng);
+
+  const ml::LabeledData train_data = p.scaled_data(p.split_.train);
+  p.train_stats_ = ml::train(p.model_, train_data, cfg.train);
+
+  p.train_metrics_ = ml::evaluate(p.model_, train_data);
+  p.test_metrics_ = ml::evaluate(p.model_, p.scaled_data(p.split_.test));
+
+  p.classifier_ = std::make_unique<ml::ModelClassifier>(
+      p.model_, features::kNumFeatures, 2);
+  return p;
+}
+
+}  // namespace gea::core

@@ -1,0 +1,86 @@
+// End-to-end detection pipeline (Fig. 1, upper half): corpus synthesis ->
+// CFG feature extraction -> min-max scaling -> CNN training -> evaluation.
+//
+// This is the library's main entry point; examples and benches build one
+// of these, then hand its classifier to the attack harnesses.
+#pragma once
+
+#include <memory>
+
+#include "dataset/corpus.hpp"
+#include "dataset/split.hpp"
+#include "features/scaler.hpp"
+#include "features/validator.hpp"
+#include "ml/metrics.hpp"
+#include "ml/model.hpp"
+#include "ml/trainer.hpp"
+
+namespace gea::core {
+
+enum class DetectorKind {
+  kPaperCnn,     // Fig. 5 architecture
+  kMlpBaseline,  // ablation: small MLP
+};
+
+struct PipelineConfig {
+  dataset::CorpusConfig corpus{};
+  double test_fraction = 0.2;
+  ml::TrainConfig train{
+      .epochs = 200,
+      .batch_size = 100,
+      .learning_rate = 1e-3,
+      .seed = 42,
+      .early_stop_loss = 0.0,
+  };
+  DetectorKind detector = DetectorKind::kPaperCnn;
+  std::uint64_t split_seed = 7;
+  std::uint64_t weight_seed = 13;
+};
+
+/// A moderate configuration for tests and quick examples: a reduced corpus
+/// and an early-stopped training run (the full Table I corpus with 200
+/// epochs lives in the benches).
+PipelineConfig quick_config();
+
+class DetectionPipeline {
+ public:
+  /// Generate the corpus, split, fit the scaler on the training rows,
+  /// train the detector, and evaluate both splits.
+  static DetectionPipeline run(const PipelineConfig& cfg);
+
+  const PipelineConfig& config() const { return cfg_; }
+  const dataset::Corpus& corpus() const { return corpus_; }
+  const dataset::Split& split() const { return split_; }
+  const features::FeatureScaler& scaler() const { return scaler_; }
+  const features::DistortionValidator& validator() const { return *validator_; }
+
+  ml::Model& model() { return model_; }
+  ml::ModelClassifier& classifier() { return *classifier_; }
+
+  const ml::ConfusionMatrix& train_metrics() const { return train_metrics_; }
+  const ml::ConfusionMatrix& test_metrics() const { return test_metrics_; }
+  const ml::TrainStats& train_stats() const { return train_stats_; }
+
+  /// Scaled rows + labels for a split's indices.
+  ml::LabeledData scaled_data(const std::vector<std::size_t>& indices) const;
+
+  /// Recompute train/test metrics (after loading external weights).
+  void reevaluate();
+
+ private:
+  DetectionPipeline() = default;
+
+  PipelineConfig cfg_;
+  dataset::Corpus corpus_;
+  dataset::Split split_;
+  features::FeatureScaler scaler_;
+  std::unique_ptr<features::DistortionValidator> validator_;
+  std::unique_ptr<util::Rng> dropout_rng_;
+  ml::Model model_;
+  std::unique_ptr<ml::ModelClassifier> classifier_;
+  ml::ConfusionMatrix train_metrics_;
+  ml::ConfusionMatrix test_metrics_;
+  ml::TrainStats train_stats_;
+};
+
+}  // namespace gea::core

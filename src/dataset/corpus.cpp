@@ -1,0 +1,80 @@
+#include "dataset/corpus.hpp"
+
+namespace gea::dataset {
+
+Corpus Corpus::generate(const CorpusConfig& cfg) {
+  util::Rng rng(cfg.seed);
+  Corpus c;
+  c.samples_.reserve(cfg.num_benign + cfg.num_malicious);
+  std::uint32_t next_id = 0;
+
+  // Benign mix: utilities dominate OpenWRT userland, then network tools,
+  // then daemons.
+  const std::vector<std::pair<bingen::Family, double>> benign_mix = {
+      {bingen::Family::kBenignUtility, 0.50},
+      {bingen::Family::kBenignNetTool, 0.30},
+      {bingen::Family::kBenignDaemon, 0.20},
+  };
+  // Malicious mix mirroring the CSoNet'18 IoT dataset's family skew.
+  const std::vector<std::pair<bingen::Family, double>> mal_mix = {
+      {bingen::Family::kGafgytLike, 0.55},
+      {bingen::Family::kMiraiLike, 0.35},
+      {bingen::Family::kTsunamiLike, 0.10},
+  };
+
+  auto draw_family =
+      [&](const std::vector<std::pair<bingen::Family, double>>& mix) {
+        double u = rng.uniform();
+        for (const auto& [family, p] : mix) {
+          if (u < p) return family;
+          u -= p;
+        }
+        return mix.back().first;
+      };
+
+  for (std::size_t i = 0; i < cfg.num_benign; ++i) {
+    c.samples_.push_back(make_sample(next_id++, draw_family(benign_mix), rng, cfg.gen));
+  }
+  for (std::size_t i = 0; i < cfg.num_malicious; ++i) {
+    c.samples_.push_back(make_sample(next_id++, draw_family(mal_mix), rng, cfg.gen));
+  }
+  return c;
+}
+
+std::size_t Corpus::count_label(std::uint8_t label) const {
+  std::size_t n = 0;
+  for (const auto& s : samples_) {
+    if (s.label == label) ++n;
+  }
+  return n;
+}
+
+std::map<bingen::Family, std::size_t> Corpus::family_histogram() const {
+  std::map<bingen::Family, std::size_t> h;
+  for (const auto& s : samples_) ++h[s.family];
+  return h;
+}
+
+std::vector<std::size_t> Corpus::indices_of(std::uint8_t label) const {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    if (samples_[i].label == label) idx.push_back(i);
+  }
+  return idx;
+}
+
+std::vector<features::FeatureVector> Corpus::feature_rows() const {
+  std::vector<features::FeatureVector> rows;
+  rows.reserve(samples_.size());
+  for (const auto& s : samples_) rows.push_back(s.features);
+  return rows;
+}
+
+std::vector<std::uint8_t> Corpus::labels() const {
+  std::vector<std::uint8_t> l;
+  l.reserve(samples_.size());
+  for (const auto& s : samples_) l.push_back(s.label);
+  return l;
+}
+
+}  // namespace gea::dataset

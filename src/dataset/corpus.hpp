@@ -1,0 +1,45 @@
+// Corpus synthesis matching Table I: 2,281 malicious + 276 benign samples.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dataset/sample.hpp"
+
+namespace gea::dataset {
+
+struct CorpusConfig {
+  std::size_t num_malicious = 2281;  // Table I
+  std::size_t num_benign = 276;      // Table I
+  std::uint64_t seed = 2019;         // ICDCS'19
+  bingen::GenOptions gen{};
+};
+
+class Corpus {
+ public:
+  /// Generate a full corpus. Family mix within each class is drawn to
+  /// roughly match the IoT landscape the source dataset covers
+  /// (Gafgyt-heavy, then Mirai, then Tsunami).
+  static Corpus generate(const CorpusConfig& cfg = {});
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  std::vector<Sample>& samples() { return samples_; }
+  std::size_t size() const { return samples_.size(); }
+
+  std::size_t count_label(std::uint8_t label) const;
+  std::map<bingen::Family, std::size_t> family_histogram() const;
+
+  /// Indices of all samples with the given label.
+  std::vector<std::size_t> indices_of(std::uint8_t label) const;
+
+  /// Feature matrix / label vector views (copies).
+  std::vector<features::FeatureVector> feature_rows() const;
+  std::vector<std::uint8_t> labels() const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace gea::dataset

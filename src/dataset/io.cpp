@@ -1,0 +1,47 @@
+#include "dataset/io.hpp"
+
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace gea::dataset {
+
+void write_features_csv(const Corpus& corpus, const std::string& path) {
+  util::CsvWriter w(path);
+  std::vector<std::string> header = {"id", "family", "label"};
+  for (std::size_t i = 0; i < features::kNumFeatures; ++i) {
+    header.push_back(features::feature_name(i));
+  }
+  w.write_row(header);
+  for (const auto& s : corpus.samples()) {
+    std::vector<std::string> row = {std::to_string(s.id),
+                                    bingen::family_name(s.family),
+                                    std::to_string(static_cast<int>(s.label))};
+    for (double f : s.features) row.push_back(std::to_string(f));
+    w.write_row(row);
+  }
+}
+
+LoadedFeatures read_features_csv(const std::string& path) {
+  const auto rows = util::CsvReader::read_file(path);
+  if (rows.empty()) throw std::runtime_error("read_features_csv: empty file");
+  const std::size_t expected = 3 + features::kNumFeatures;
+  LoadedFeatures out;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != expected) {
+      throw std::runtime_error("read_features_csv: bad column count at row " +
+                               std::to_string(r));
+    }
+    out.families.push_back(row[1]);
+    out.labels.push_back(static_cast<std::uint8_t>(std::stoi(row[2])));
+    features::FeatureVector fv{};
+    for (std::size_t i = 0; i < features::kNumFeatures; ++i) {
+      fv[i] = std::stod(row[3 + i]);
+    }
+    out.rows.push_back(fv);
+  }
+  return out;
+}
+
+}  // namespace gea::dataset

@@ -1,0 +1,24 @@
+// Feature-matrix persistence (CSV with a header row), so experiments can be
+// rerun without regenerating the corpus.
+#pragma once
+
+#include <string>
+
+#include "dataset/corpus.hpp"
+
+namespace gea::dataset {
+
+/// Write id, family, label and the 23 features per sample.
+void write_features_csv(const Corpus& corpus, const std::string& path);
+
+/// Feature rows + labels loaded back from a CSV produced by
+/// write_features_csv. (Programs/CFGs are not persisted.)
+struct LoadedFeatures {
+  std::vector<features::FeatureVector> rows;
+  std::vector<std::uint8_t> labels;
+  std::vector<std::string> families;
+};
+
+LoadedFeatures read_features_csv(const std::string& path);
+
+}  // namespace gea::dataset

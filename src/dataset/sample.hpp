@@ -1,0 +1,35 @@
+// A corpus sample: program, its CFG, its features, and labels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bingen/families.hpp"
+#include "cfg/cfg.hpp"
+#include "features/features.hpp"
+#include "isa/program.hpp"
+
+namespace gea::dataset {
+
+/// Binary task labels used throughout (paper convention).
+inline constexpr std::uint8_t kBenign = 0;
+inline constexpr std::uint8_t kMalicious = 1;
+
+struct Sample {
+  std::uint32_t id = 0;
+  bingen::Family family{};
+  std::uint8_t label = kBenign;  // kBenign / kMalicious
+  isa::Program program;
+  cfg::Cfg cfg;
+  features::FeatureVector features{};
+
+  std::size_t num_nodes() const { return cfg.num_nodes(); }
+  std::size_t num_edges() const { return cfg.num_edges(); }
+};
+
+/// Generate one fully-populated sample (program -> CFG -> features).
+Sample make_sample(std::uint32_t id, bingen::Family family, util::Rng& rng,
+                   const bingen::GenOptions& opts = {});
+
+}  // namespace gea::dataset

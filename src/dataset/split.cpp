@@ -1,0 +1,47 @@
+#include "dataset/split.hpp"
+
+#include <stdexcept>
+
+namespace gea::dataset {
+
+Split stratified_split(const Corpus& corpus, double test_fraction,
+                       util::Rng& rng) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    throw std::invalid_argument("stratified_split: fraction out of (0,1)");
+  }
+  Split split;
+  for (std::uint8_t label : {kBenign, kMalicious}) {
+    auto idx = corpus.indices_of(label);
+    rng.shuffle(idx);
+    const auto n_test = static_cast<std::size_t>(
+        test_fraction * static_cast<double>(idx.size()) + 0.5);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      (i < n_test ? split.test : split.train).push_back(idx[i]);
+    }
+  }
+  rng.shuffle(split.train);
+  rng.shuffle(split.test);
+  return split;
+}
+
+std::vector<std::vector<double>> rows_for(
+    const std::vector<features::FeatureVector>& all_rows,
+    const std::vector<std::size_t>& indices) {
+  std::vector<std::vector<double>> out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) {
+    const auto& fv = all_rows.at(i);
+    out.emplace_back(fv.begin(), fv.end());
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> labels_for(const std::vector<std::uint8_t>& all,
+                                     const std::vector<std::size_t>& indices) {
+  std::vector<std::uint8_t> out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) out.push_back(all.at(i));
+  return out;
+}
+
+}  // namespace gea::dataset

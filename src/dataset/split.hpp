@@ -1,0 +1,29 @@
+// Stratified train/test splitting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/corpus.hpp"
+#include "util/rng.hpp"
+
+namespace gea::dataset {
+
+struct Split {
+  std::vector<std::size_t> train;  // indices into the corpus
+  std::vector<std::size_t> test;
+};
+
+/// Split sample indices with per-label stratification so both splits keep
+/// the corpus's class imbalance. `test_fraction` in (0,1).
+Split stratified_split(const Corpus& corpus, double test_fraction,
+                       util::Rng& rng);
+
+/// Materialize feature rows / labels for a set of indices.
+std::vector<std::vector<double>> rows_for(
+    const std::vector<features::FeatureVector>& all_rows,
+    const std::vector<std::size_t>& indices);
+std::vector<std::uint8_t> labels_for(const std::vector<std::uint8_t>& all,
+                                     const std::vector<std::size_t>& indices);
+
+}  // namespace gea::dataset

@@ -1,0 +1,38 @@
+// Adversarial training (Madry-style): harden the detector by training on
+// PGD adversarial examples crafted against the current model.
+//
+// The paper's conclusion calls for "more robust detection tools against
+// adversarial learning"; this is the canonical baseline defense for the
+// feature-space attacks, and the `ablation_defense` bench measures how far
+// it gets (spoiler: it blunts the bounded gradient attacks but cannot
+// answer GEA, whose perturbations are unbounded in feature space —
+// supporting the paper's position that the features themselves are the
+// weakness).
+#pragma once
+
+#include "attacks/pgd.hpp"
+#include "ml/model.hpp"
+#include "ml/trainer.hpp"
+
+namespace gea::defense {
+
+struct AdvTrainConfig {
+  ml::TrainConfig base{};
+  /// Probability that a training sample is replaced by its PGD adversarial
+  /// counterpart (crafted against the evolving model).
+  double adversarial_fraction = 0.5;
+  attacks::PgdConfig pgd{.epsilon = 0.3,
+                         .iterations = 7,
+                         .step = -1.0,
+                         .random_start = true,
+                         .seed = 99};
+  std::uint64_t seed = 4242;
+};
+
+/// Train `model` on a mixture of clean and per-epoch PGD-perturbed samples.
+/// `model` must map (N,1,D) inputs to (N,K) logits; the classifier adapter
+/// is built internally.
+ml::TrainStats adversarial_train(ml::Model& model, const ml::LabeledData& data,
+                                 const AdvTrainConfig& cfg);
+
+}  // namespace gea::defense

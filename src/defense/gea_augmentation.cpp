@@ -1,0 +1,42 @@
+#include "defense/gea_augmentation.hpp"
+
+#include <stdexcept>
+
+#include "cfg/cfg.hpp"
+
+namespace gea::defense {
+
+ml::LabeledData augment_with_gea(const dataset::Corpus& corpus,
+                                 const std::vector<std::size_t>& train_indices,
+                                 const features::FeatureScaler& scaler,
+                                 const GeaAugmentConfig& cfg, util::Rng& rng) {
+  ml::LabeledData data;
+  std::vector<std::size_t> benign, malicious;
+  for (std::size_t i : train_indices) {
+    const auto& s = corpus.samples()[i];
+    (s.label == dataset::kBenign ? benign : malicious).push_back(i);
+    const auto scaled = scaler.transform(s.features);
+    data.rows.emplace_back(scaled.begin(), scaled.end());
+    data.labels.push_back(s.label);
+  }
+  if (benign.empty() || malicious.empty()) {
+    throw std::invalid_argument("augment_with_gea: need both classes in train");
+  }
+
+  for (std::size_t k = 0; k < cfg.num_augmented; ++k) {
+    const bool mal_source = k % 2 == 0;
+    const auto& sources = mal_source ? malicious : benign;
+    const auto& targets = mal_source ? benign : malicious;
+    const auto& src = corpus.samples()[rng.choice(sources)];
+    const auto& tgt = corpus.samples()[rng.choice(targets)];
+
+    const auto merged = aug::embed_program(src.program, tgt.program, cfg.embed);
+    const auto fv = features::extract_features(cfg::extract_cfg(merged, {.main_only = true}).graph);
+    const auto scaled = scaler.transform(fv);
+    data.rows.emplace_back(scaled.begin(), scaled.end());
+    data.labels.push_back(src.label);  // the graft does not change behaviour
+  }
+  return data;
+}
+
+}  // namespace gea::defense

@@ -1,0 +1,34 @@
+// GEA-aware data augmentation: extend the training set with GEA-spliced
+// samples carrying their *true* (source) label, so the detector learns that
+// a malware CFG with a benign graft is still malware.
+//
+// This is the structural analogue of adversarial training, aimed at the
+// attack the paper shows feature-space defenses cannot touch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/corpus.hpp"
+#include "features/scaler.hpp"
+#include "gea/embed.hpp"
+#include "ml/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace gea::defense {
+
+struct GeaAugmentConfig {
+  /// Number of augmented samples to add (split evenly across directions).
+  std::size_t num_augmented = 500;
+  aug::EmbedOptions embed{};
+};
+
+/// Build a LabeledData of scaled rows for `train_indices`, then append
+/// `num_augmented` GEA splices of random train-set pairs (malicious source
+/// + benign target and vice versa), labeled with the source class.
+ml::LabeledData augment_with_gea(const dataset::Corpus& corpus,
+                                 const std::vector<std::size_t>& train_indices,
+                                 const features::FeatureScaler& scaler,
+                                 const GeaAugmentConfig& cfg, util::Rng& rng);
+
+}  // namespace gea::defense

@@ -1,0 +1,53 @@
+#include "defense/squeeze.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gea::defense {
+
+std::vector<double> squeeze(const std::vector<double>& x, std::size_t levels) {
+  if (levels < 2) throw std::invalid_argument("squeeze: levels must be >= 2");
+  const double steps = static_cast<double>(levels - 1);
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = std::round(x[i] * steps) / steps;
+  }
+  return out;
+}
+
+SqueezedClassifier::SqueezedClassifier(ml::DifferentiableClassifier& inner,
+                                       std::size_t levels)
+    : inner_(&inner), levels_(levels) {
+  if (levels < 2) throw std::invalid_argument("SqueezedClassifier: levels");
+}
+
+std::vector<double> SqueezedClassifier::logits(const std::vector<double>& x) {
+  return inner_->logits(squeeze(x, levels_));
+}
+
+std::vector<double> SqueezedClassifier::grad_logit(const std::vector<double>& x,
+                                                   std::size_t k) {
+  return inner_->grad_logit(squeeze(x, levels_), k);
+}
+
+std::vector<double> SqueezedClassifier::grad_weighted(
+    const std::vector<double>& x, const std::vector<double>& weights) {
+  return inner_->grad_weighted(squeeze(x, levels_), weights);
+}
+
+bool squeeze_detects_adversarial(ml::DifferentiableClassifier& clf,
+                                 const std::vector<double>& x,
+                                 std::size_t levels, double threshold) {
+  const auto raw = clf.probabilities(x);
+  const auto sq = clf.probabilities(squeeze(x, levels));
+  std::size_t raw_pred = 0, sq_pred = 0;
+  double delta = 0.0;
+  for (std::size_t k = 0; k < raw.size(); ++k) {
+    if (raw[k] > raw[raw_pred]) raw_pred = k;
+    if (sq[k] > sq[sq_pred]) sq_pred = k;
+    delta = std::max(delta, std::abs(raw[k] - sq[k]));
+  }
+  return raw_pred != sq_pred || delta > threshold;
+}
+
+}  // namespace gea::defense

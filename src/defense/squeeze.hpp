@@ -1,0 +1,45 @@
+// Feature squeezing (Xu et al., NDSS 2018) adapted to CFG features:
+// quantize the scaled feature vector to a small number of levels before
+// classification, and flag inputs whose prediction disagrees between the
+// squeezed and raw views as adversarial.
+#pragma once
+
+#include <memory>
+
+#include "ml/model.hpp"
+
+namespace gea::defense {
+
+/// Quantize each coordinate of a [0,1] vector to `levels` evenly spaced
+/// values (levels >= 2).
+std::vector<double> squeeze(const std::vector<double>& x, std::size_t levels);
+
+/// A classifier view that squeezes inputs before every query. Gradients are
+/// taken at the squeezed point (straight-through), so white-box attacks
+/// still "work" but optimize a staircase.
+class SqueezedClassifier : public ml::DifferentiableClassifier {
+ public:
+  SqueezedClassifier(ml::DifferentiableClassifier& inner, std::size_t levels);
+
+  std::size_t input_dim() const override { return inner_->input_dim(); }
+  std::size_t num_classes() const override { return inner_->num_classes(); }
+  std::vector<double> logits(const std::vector<double>& x) override;
+  std::vector<double> grad_logit(const std::vector<double>& x,
+                                 std::size_t k) override;
+  std::vector<double> grad_weighted(
+      const std::vector<double>& x,
+      const std::vector<double>& weights) override;
+
+ private:
+  ml::DifferentiableClassifier* inner_;
+  std::size_t levels_;
+};
+
+/// Detection rule: adversarial iff the raw and squeezed predictions differ,
+/// or the max softmax probability moves by more than `threshold`.
+bool squeeze_detects_adversarial(ml::DifferentiableClassifier& clf,
+                                 const std::vector<double>& x,
+                                 std::size_t levels = 8,
+                                 double threshold = 0.5);
+
+}  // namespace gea::defense

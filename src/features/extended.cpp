@@ -1,0 +1,82 @@
+#include "features/extended.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+#include "graph/spectral.hpp"
+#include "util/stats.hpp"
+
+namespace gea::features {
+
+std::vector<double> extract_extended_features(const graph::DiGraph& g) {
+  const FeatureVector base = extract_features(g);
+  std::vector<double> out(base.begin(), base.end());
+  out.reserve(kNumExtendedFeatures);
+
+  auto push5 = [&out](const util::Summary5& s) {
+    out.push_back(s.min);
+    out.push_back(s.max);
+    out.push_back(s.median);
+    out.push_back(s.mean);
+    out.push_back(s.stddev);
+  };
+  push5(util::summary5(graph::eigenvector_centrality(g)));
+  push5(util::summary5(graph::pagerank(g)));
+  push5(util::summary5(graph::clustering_coefficient(g)));
+  out.push_back(graph::diameter(g));
+  out.push_back(static_cast<double>(graph::num_weakly_connected_components(g)));
+  out.push_back(static_cast<double>(graph::num_strongly_connected_components(g)));
+  return out;
+}
+
+std::string extended_feature_name(std::size_t index) {
+  if (index < kNumFeatures) return feature_name(index);
+  static const char* kSuffix[] = {"min", "max", "median", "mean", "std"};
+  if (index < 28) return std::string("eigenvector_") + kSuffix[index - 23];
+  if (index < 33) return std::string("pagerank_") + kSuffix[index - 28];
+  if (index < 38) return std::string("clustering_") + kSuffix[index - 33];
+  if (index == 38) return "diameter";
+  if (index == 39) return "num_wcc";
+  if (index == 40) return "num_scc";
+  throw std::out_of_range("extended_feature_name: bad index");
+}
+
+void DynScaler::fit(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) throw std::invalid_argument("DynScaler::fit: no rows");
+  lo_ = rows.front();
+  hi_ = rows.front();
+  for (const auto& r : rows) {
+    if (r.size() != lo_.size()) {
+      throw std::invalid_argument("DynScaler::fit: ragged rows");
+    }
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      lo_[i] = std::min(lo_[i], r[i]);
+      hi_[i] = std::max(hi_[i], r[i]);
+    }
+  }
+  fitted_ = true;
+}
+
+std::vector<double> DynScaler::transform(const std::vector<double>& raw) const {
+  if (!fitted_) throw std::logic_error("DynScaler: not fitted");
+  if (raw.size() != lo_.size()) {
+    throw std::invalid_argument("DynScaler::transform: dim mismatch");
+  }
+  std::vector<double> out(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const double range = hi_[i] - lo_[i];
+    out[i] = range > 0.0 ? (raw[i] - lo_[i]) / range : 0.0;
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> DynScaler::transform_all(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) out.push_back(transform(r));
+  return out;
+}
+
+}  // namespace gea::features

@@ -1,0 +1,53 @@
+// Extended, variable-width feature sets.
+//
+// The paper's detector consumes exactly the 23 Table II features; SII-B
+// notes that further graph measures ("Eigenvector centrality, etc.") are
+// candidates. This module provides a dynamic-width feature pipeline —
+// extraction, naming, and min-max scaling over std::vector<double> — used
+// by the extended-feature-set ablation (does a richer feature vector make
+// the detector harder to attack?).
+//
+// Extended layout: the 23 base features, followed by
+//   [23..27] eigenvector centrality  {min,max,median,mean,std}
+//   [28..32] PageRank                {min,max,median,mean,std}
+//   [33..37] clustering coefficient  {min,max,median,mean,std}
+//   [38]     diameter
+//   [39]     # weakly connected components
+//   [40]     # strongly connected components
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "features/features.hpp"
+#include "graph/digraph.hpp"
+
+namespace gea::features {
+
+inline constexpr std::size_t kNumExtendedFeatures = 41;
+
+/// Extract the 41-feature extended vector.
+std::vector<double> extract_extended_features(const graph::DiGraph& g);
+
+/// Name of extended feature `index` (indices < 23 defer to feature_name).
+std::string extended_feature_name(std::size_t index);
+
+/// Min-max scaler over dynamic-width rows (the FeatureScaler counterpart
+/// for extended vectors; zero-range features scale to 0).
+class DynScaler {
+ public:
+  void fit(const std::vector<std::vector<double>>& rows);
+  bool fitted() const { return fitted_; }
+  std::size_t dim() const { return lo_.size(); }
+
+  std::vector<double> transform(const std::vector<double>& raw) const;
+  std::vector<std::vector<double>> transform_all(
+      const std::vector<std::vector<double>>& rows) const;
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+  bool fitted_ = false;
+};
+
+}  // namespace gea::features

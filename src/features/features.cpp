@@ -1,0 +1,101 @@
+#include "features/features.hpp"
+
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+#include "graph/centrality.hpp"
+#include "util/stats.hpp"
+
+namespace gea::features {
+
+namespace {
+
+const std::array<std::string, kNumFeatures>& names() {
+  static const std::array<std::string, kNumFeatures> kNames = {
+      "betweenness_min",  "betweenness_max",  "betweenness_median",
+      "betweenness_mean", "betweenness_std",  "closeness_min",
+      "closeness_max",    "closeness_median", "closeness_mean",
+      "closeness_std",    "degree_min",       "degree_max",
+      "degree_median",    "degree_mean",      "degree_std",
+      "shortest_path_min", "shortest_path_max", "shortest_path_median",
+      "shortest_path_mean", "shortest_path_std", "density",
+      "num_edges",        "num_nodes",
+  };
+  return kNames;
+}
+
+}  // namespace
+
+const std::string& feature_name(std::size_t index) {
+  if (index >= kNumFeatures) throw std::out_of_range("feature_name: bad index");
+  return names()[index];
+}
+
+Category feature_category(std::size_t index) {
+  if (index < 5) return Category::kBetweenness;
+  if (index < 10) return Category::kCloseness;
+  if (index < 15) return Category::kDegree;
+  if (index < 20) return Category::kShortestPath;
+  if (index == kDensity) return Category::kDensity;
+  if (index == kNumEdges) return Category::kEdges;
+  if (index == kNumNodes) return Category::kNodes;
+  throw std::out_of_range("feature_category: bad index");
+}
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::kBetweenness: return "Betweenness centrality";
+    case Category::kCloseness: return "Closeness centrality";
+    case Category::kDegree: return "Degree centrality";
+    case Category::kShortestPath: return "Shortest path";
+    case Category::kDensity: return "Density";
+    case Category::kEdges: return "# of Edges";
+    case Category::kNodes: return "# of Nodes";
+  }
+  return "?";
+}
+
+std::size_t category_size(Category c) {
+  switch (c) {
+    case Category::kBetweenness:
+    case Category::kCloseness:
+    case Category::kDegree:
+    case Category::kShortestPath:
+      return 5;
+    default:
+      return 1;
+  }
+}
+
+FeatureVector extract_features(const graph::DiGraph& g) {
+  FeatureVector f{};
+
+  auto put5 = [&f](std::size_t base, const util::Summary5& s) {
+    f[base + 0] = s.min;
+    f[base + 1] = s.max;
+    f[base + 2] = s.median;
+    f[base + 3] = s.mean;
+    f[base + 4] = s.stddev;
+  };
+
+  put5(kBetweennessMin, util::summary5(graph::betweenness_centrality(g)));
+  put5(kClosenessMin, util::summary5(graph::closeness_centrality(g)));
+  put5(kDegreeMin, util::summary5(graph::degree_centrality(g)));
+  put5(kShortestPathMin, util::summary5(graph::all_shortest_path_lengths(g)));
+  f[kDensity] = g.density();
+  f[kNumEdges] = static_cast<double>(g.num_edges());
+  f[kNumNodes] = static_cast<double>(g.num_nodes());
+  return f;
+}
+
+std::vector<std::size_t> changed_features(const FeatureVector& a,
+                                          const FeatureVector& b, double tol) {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    const double d = a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
+    if (d > tol) idx.push_back(i);
+  }
+  return idx;
+}
+
+}  // namespace gea::features

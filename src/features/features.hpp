@@ -1,0 +1,85 @@
+// The 23 CFG-algorithmic features of Table II.
+//
+// Seven categories; the four distributional categories each contribute the
+// 5-tuple {min, max, median, mean, stddev} over their per-node / per-pair
+// population:
+//
+//   [ 0.. 4] betweenness centrality   (per node)
+//   [ 5.. 9] closeness centrality     (per node)
+//   [10..14] degree centrality        (per node)
+//   [15..19] shortest path length     (per reachable ordered pair)
+//   [20]     density                  |E| / (|V|(|V|-1))
+//   [21]     number of edges
+//   [22]     number of nodes
+//
+// Degenerate graphs (empty population) contribute zeros, mirroring how a
+// one-block packed stub featurizes.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace gea::features {
+
+inline constexpr std::size_t kNumFeatures = 23;
+
+using FeatureVector = std::array<double, kNumFeatures>;
+
+/// Feature indices, named. The *Min..*Std blocks are contiguous.
+enum Feature : std::size_t {
+  kBetweennessMin = 0,
+  kBetweennessMax,
+  kBetweennessMedian,
+  kBetweennessMean,
+  kBetweennessStd,
+  kClosenessMin,
+  kClosenessMax,
+  kClosenessMedian,
+  kClosenessMean,
+  kClosenessStd,
+  kDegreeMin,
+  kDegreeMax,
+  kDegreeMedian,
+  kDegreeMean,
+  kDegreeStd,
+  kShortestPathMin,
+  kShortestPathMax,
+  kShortestPathMedian,
+  kShortestPathMean,
+  kShortestPathStd,
+  kDensity,
+  kNumEdges,
+  kNumNodes,
+};
+
+/// Category grouping used by Table II.
+enum class Category {
+  kBetweenness,
+  kCloseness,
+  kDegree,
+  kShortestPath,
+  kDensity,
+  kEdges,
+  kNodes,
+};
+
+/// Human-readable feature name, e.g. "closeness_median".
+const std::string& feature_name(std::size_t index);
+/// Category of a feature index.
+Category feature_category(std::size_t index);
+const char* category_name(Category c);
+/// Number of features per category (Table II's right column).
+std::size_t category_size(Category c);
+
+/// Extract all 23 features from a CFG graph.
+FeatureVector extract_features(const graph::DiGraph& g);
+
+/// Indices whose value differs by more than `tol` between the two vectors.
+std::vector<std::size_t> changed_features(const FeatureVector& a,
+                                          const FeatureVector& b,
+                                          double tol = 1e-9);
+
+}  // namespace gea::features

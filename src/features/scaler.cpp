@@ -1,0 +1,52 @@
+#include "features/scaler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gea::features {
+
+void FeatureScaler::fit(const std::vector<FeatureVector>& rows) {
+  if (rows.empty()) throw std::invalid_argument("FeatureScaler::fit: no rows");
+  lo_ = rows.front();
+  hi_ = rows.front();
+  for (const auto& r : rows) {
+    for (std::size_t i = 0; i < kNumFeatures; ++i) {
+      lo_[i] = std::min(lo_[i], r[i]);
+      hi_[i] = std::max(hi_[i], r[i]);
+    }
+  }
+  fitted_ = true;
+}
+
+void FeatureScaler::require_fitted() const {
+  if (!fitted_) throw std::logic_error("FeatureScaler: not fitted");
+}
+
+FeatureVector FeatureScaler::transform(const FeatureVector& raw) const {
+  require_fitted();
+  FeatureVector out{};
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    const double range = hi_[i] - lo_[i];
+    out[i] = range > 0.0 ? (raw[i] - lo_[i]) / range : 0.0;
+  }
+  return out;
+}
+
+FeatureVector FeatureScaler::inverse(const FeatureVector& scaled) const {
+  require_fitted();
+  FeatureVector out{};
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    out[i] = lo_[i] + scaled[i] * (hi_[i] - lo_[i]);
+  }
+  return out;
+}
+
+std::vector<FeatureVector> FeatureScaler::transform_all(
+    const std::vector<FeatureVector>& rows) const {
+  std::vector<FeatureVector> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) out.push_back(transform(r));
+  return out;
+}
+
+}  // namespace gea::features

@@ -1,0 +1,39 @@
+// Min-max feature scaling to [0, 1].
+//
+// The attacks operate in scaled space (as Cleverhans does on image-like
+// inputs); the scaler is fit on the training split only and applied to
+// everything else. `inverse()` maps adversarial feature vectors back to raw
+// feature units for the distortion validator.
+#pragma once
+
+#include <vector>
+
+#include "features/features.hpp"
+
+namespace gea::features {
+
+class FeatureScaler {
+ public:
+  /// Fit per-feature [lo, hi] ranges. Features with zero range scale to 0.
+  void fit(const std::vector<FeatureVector>& rows);
+
+  bool fitted() const { return fitted_; }
+
+  FeatureVector transform(const FeatureVector& raw) const;
+  FeatureVector inverse(const FeatureVector& scaled) const;
+
+  std::vector<FeatureVector> transform_all(
+      const std::vector<FeatureVector>& rows) const;
+
+  double lo(std::size_t i) const { return lo_.at(i); }
+  double hi(std::size_t i) const { return hi_.at(i); }
+
+ private:
+  void require_fitted() const;
+
+  FeatureVector lo_{};
+  FeatureVector hi_{};
+  bool fitted_ = false;
+};
+
+}  // namespace gea::features

@@ -1,0 +1,71 @@
+#include "features/validator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gea::features {
+
+FeatureVector DistortionValidator::clamp01(const FeatureVector& scaled) {
+  FeatureVector out = scaled;
+  for (auto& v : out) v = std::clamp(v, 0.0, 1.0);
+  return out;
+}
+
+ValidationReport DistortionValidator::validate(const FeatureVector& scaled) const {
+  ValidationReport rep;
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    if (scaled[i] < -1e-9 || scaled[i] > 1.0 + 1e-9) {
+      rep.in_range = false;
+      rep.violations.push_back(feature_name(i) + " outside observed range");
+    }
+  }
+  const FeatureVector raw = scaler_->inverse(clamp01(scaled));
+
+  const double nodes = raw[kNumNodes];
+  const double edges = raw[kNumEdges];
+  if (nodes < 0.0) {
+    rep.consistent = false;
+    rep.violations.push_back("negative node count");
+  }
+  if (edges < 0.0) {
+    rep.consistent = false;
+    rep.violations.push_back("negative edge count");
+  }
+  // A simple digraph on n nodes has at most n(n-1) edges.
+  const double n_round = std::round(nodes);
+  if (n_round >= 0.0 && edges > n_round * (n_round - 1.0) + 0.5) {
+    rep.consistent = false;
+    rep.violations.push_back("edge count exceeds simple-digraph maximum");
+  }
+  // Density must match edges/nodes within a loose tolerance (the attack
+  // moves features independently; wildly inconsistent triples are not
+  // realizable by any graph).
+  if (n_round >= 2.0) {
+    const double implied = edges / (n_round * (n_round - 1.0));
+    if (std::abs(implied - raw[kDensity]) > 0.15) {
+      rep.consistent = false;
+      rep.violations.push_back("density inconsistent with node/edge counts");
+    }
+  }
+  // Bounded centralities live in [0,1]; max >= mean >= min within tuples.
+  auto check_tuple = [&](std::size_t base, const char* what, bool bounded) {
+    const double mn = raw[base + 0];
+    const double mx = raw[base + 1];
+    const double mean = raw[base + 3];
+    if (bounded && (mn < -1e-6 || mx > 1.0 + 1e-6)) {
+      rep.consistent = false;
+      rep.violations.push_back(std::string(what) + " centrality outside [0,1]");
+    }
+    if (mn > mx + 1e-6 || mean > mx + 1e-6 || mean < mn - 1e-6) {
+      rep.consistent = false;
+      rep.violations.push_back(std::string(what) + " min/mean/max ordering violated");
+    }
+  };
+  check_tuple(kBetweennessMin, "betweenness", true);
+  check_tuple(kClosenessMin, "closeness", true);
+  check_tuple(kDegreeMin, "degree", false);  // degree centrality can exceed 1
+  check_tuple(kShortestPathMin, "shortest-path", false);
+  return rep;
+}
+
+}  // namespace gea::features

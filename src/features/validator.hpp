@@ -1,0 +1,43 @@
+// Distortion validator (the "Distortion Validator" box of Fig. 1).
+//
+// Off-the-shelf attacks perturb scaled features freely; a crafted vector is
+// only *admissible* if every feature stays inside the value range observed
+// over real samples, and if the handful of integrality/consistency
+// constraints a CFG imposes still hold (node/edge counts are non-negative
+// integers; density matches |E|/(|V|(|V|-1)) within tolerance; bounded
+// centralities stay in [0,1]).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "features/features.hpp"
+#include "features/scaler.hpp"
+
+namespace gea::features {
+
+struct ValidationReport {
+  bool in_range = true;          // every scaled feature within [0,1]
+  bool consistent = true;        // CFG consistency constraints hold
+  std::vector<std::string> violations;
+
+  bool admissible() const { return in_range && consistent; }
+};
+
+class DistortionValidator {
+ public:
+  explicit DistortionValidator(const FeatureScaler& scaler)
+      : scaler_(&scaler) {}
+
+  /// Validate a *scaled* feature vector.
+  ValidationReport validate(const FeatureVector& scaled) const;
+
+  /// Clamp a scaled vector into [0,1]^23 (the projection the bounded
+  /// attacks use between iterations).
+  static FeatureVector clamp01(const FeatureVector& scaled);
+
+ private:
+  const FeatureScaler* scaler_;
+};
+
+}  // namespace gea::features

@@ -1,0 +1,166 @@
+#include "gea/embed.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gea::aug {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Program;
+
+namespace {
+
+/// Index remapping for one source program spliced into the merged image:
+/// main instructions move to `main_base`, helper instructions (everything
+/// past the main function) move to `helper_base`.
+struct Relocation {
+  std::uint32_t main_end;     // end of main in the source program
+  std::uint32_t main_base;    // where source main starts in the merged image
+  std::uint32_t helper_base;  // where source helpers start in the merged image
+
+  std::uint32_t map(std::uint32_t old_index) const {
+    return old_index < main_end ? main_base + old_index
+                                : helper_base + (old_index - main_end);
+  }
+};
+
+/// Copy a program's main-function body into `out`, remapping jump/call
+/// targets and rewriting terminators (halt, main-level ret) into jumps to
+/// the shared exit. One-for-one instruction replacement keeps all indices
+/// stable, so the relocation stays a pure offset.
+void splice_main(const Program& src, const Relocation& rel,
+                 std::uint32_t exit_index, std::vector<Instruction>& out) {
+  const auto& main_fn = src.functions().front();
+  for (std::uint32_t i = main_fn.begin; i < main_fn.end; ++i) {
+    Instruction ins = src.code()[i];
+    if (ins.op == Opcode::kHalt || ins.op == Opcode::kRet) {
+      ins = Instruction{Opcode::kJmp, 0, 0, 0, exit_index};
+    } else if (isa::has_target(ins.op)) {
+      ins.target = rel.map(ins.target);
+    }
+    out.push_back(ins);
+  }
+}
+
+/// Copy a program's helper functions, remapping targets. Helpers keep their
+/// own terminators (a helper's `halt` halts both the original and the
+/// augmented run at the same trace point, so equivalence is preserved).
+void splice_helpers(const Program& src, const Relocation& rel,
+                    const std::string& prefix,
+                    std::vector<Instruction>& out,
+                    std::vector<isa::Function>& functions) {
+  const auto& main_fn = src.functions().front();
+  for (std::size_t f = 1; f < src.functions().size(); ++f) {
+    const auto& fn = src.functions()[f];
+    functions.push_back({prefix + fn.name, rel.map(fn.begin), rel.map(fn.end - 1) + 1});
+  }
+  for (std::uint32_t i = main_fn.end; i < src.code().size(); ++i) {
+    Instruction ins = src.code()[i];
+    if (isa::has_target(ins.op)) ins.target = rel.map(ins.target);
+    out.push_back(ins);
+  }
+}
+
+}  // namespace
+
+isa::Program embed_program(const Program& original, const Program& selected,
+                           const EmbedOptions& opts) {
+  if (auto err = original.validate()) {
+    throw std::invalid_argument("embed_program: invalid original: " + *err);
+  }
+  if (auto err = selected.validate()) {
+    throw std::invalid_argument("embed_program: invalid selected: " + *err);
+  }
+
+  // Fall-through chunk runs; jump-target chunk never does. The opaque
+  // guard (always-false jne) puts the original on the fall-through path;
+  // the kTargetFirst ablation uses an always-true je to reach the original
+  // behind the jump, leaving the selected body dead on the fall-through.
+  const bool original_first = opts.guard == GuardKind::kOpaquePredicate;
+  const Program& first = original_first ? original : selected;
+  const Program& second = original_first ? selected : original;
+
+  const std::uint32_t m_first = first.functions().front().end;
+  const std::uint32_t m_second = second.functions().front().end;
+
+  // Layout:
+  //  [0..2]   guard: movi r15,0 ; cmpi r15,0 ; j{ne,e} <second_base>
+  //  [3]      flag normalizer for the first chunk (cmpi r15,-1)
+  //  [4..]    first main chunk
+  //  [..]     flag normalizer for the second chunk
+  //  [..]     second main chunk
+  //  [exit]   halt (the shared exit node)
+  //  [..]     first program's helpers, then second's
+  const std::uint32_t first_base = 4;
+  const std::uint32_t second_norm = first_base + m_first;
+  const std::uint32_t second_base = second_norm + 1;
+  const std::uint32_t exit_index = second_base + m_second;
+  const std::uint32_t helpers_first = exit_index + 1;
+  const std::uint32_t helpers_second =
+      helpers_first +
+      (static_cast<std::uint32_t>(first.size()) - m_first);
+
+  const Relocation rel_first{m_first, first_base, helpers_first};
+  const Relocation rel_second{m_second, second_base, helpers_second};
+
+  std::vector<Instruction> code;
+  code.reserve(first.size() + second.size() + 6);
+
+  // Guard block. r15 is reserved for instrumentation, so setting it cannot
+  // disturb either embedded program; the trailing cmpi r15,-1 restores the
+  // flags to their program-start state (zero=0, sign=0) on both paths.
+  const int guard = isa::kGuardRegister;
+  code.push_back({Opcode::kMovImm, static_cast<std::uint8_t>(guard), 0, 0, 0});
+  code.push_back({Opcode::kCmpImm, static_cast<std::uint8_t>(guard), 0, 0, 0});
+  code.push_back({original_first ? Opcode::kJne : Opcode::kJe, 0, 0, 0,
+                  second_norm});
+  code.push_back({Opcode::kCmpImm, static_cast<std::uint8_t>(guard), 0, -1, 0});
+
+  splice_main(first, rel_first, exit_index, code);
+  code.push_back({Opcode::kCmpImm, static_cast<std::uint8_t>(guard), 0, -1, 0});
+  splice_main(second, rel_second, exit_index, code);
+  code.push_back({Opcode::kHalt, 0, 0, 0, 0});  // shared exit
+
+  std::vector<isa::Function> functions;
+  functions.push_back({"main", 0, exit_index + 1});
+  splice_helpers(first, rel_first, original_first ? "o_" : "t_", code, functions);
+  splice_helpers(second, rel_second, original_first ? "t_" : "o_", code, functions);
+
+  Program merged;
+  merged.code() = std::move(code);
+  merged.functions() = std::move(functions);
+  if (auto err = merged.validate()) {
+    throw std::logic_error("embed_program: produced invalid program: " + *err);
+  }
+  return merged;
+}
+
+graph::DiGraph embed_graph(const graph::DiGraph& original,
+                           graph::NodeId orig_entry,
+                           const std::vector<graph::NodeId>& orig_exits,
+                           const graph::DiGraph& selected,
+                           graph::NodeId sel_entry,
+                           const std::vector<graph::NodeId>& sel_exits) {
+  graph::DiGraph merged;
+  const auto entry = merged.add_node("entry (guard)");
+  const auto off_orig = merged.merge_disjoint(original);
+  const auto off_sel = merged.merge_disjoint(selected);
+  const auto exit = merged.add_node("exit");
+
+  merged.add_edge(entry, off_orig + orig_entry);
+  merged.add_edge(entry, off_sel + sel_entry);
+  for (auto e : orig_exits) merged.add_edge(off_orig + e, exit);
+  for (auto e : sel_exits) merged.add_edge(off_sel + e, exit);
+  return merged;
+}
+
+bool functionally_equivalent(const Program& original, const Program& augmented,
+                             const isa::ExecOptions& opts) {
+  const auto a = isa::execute(original, opts);
+  const auto b = isa::execute(augmented, opts);
+  return a.equivalent(b);
+}
+
+}  // namespace gea::aug

@@ -1,0 +1,69 @@
+// Graph Embedding and Augmentation (GEA) — the paper's core contribution
+// (SIII-B), realized at the *program* level.
+//
+// Given an original sample x_org and a selected target sample x_sel, GEA
+// builds a combined program whose CFG contains both samples' graphs behind
+// a shared entry and a shared exit:
+//
+//     entry:  movi r15, 0        ; opaque guard (r15 is reserved)
+//             cmpi r15, 0
+//             jne  sel_entry     ; never taken
+//             <x_org main, inlined; halt/ret -> jmp exit>
+//             jmp  exit
+//     sel_entry:
+//             <x_sel main, inlined; halt/ret -> jmp exit>
+//             jmp  exit
+//     exit:   halt
+//     <x_org helper functions, relocated>
+//     <x_sel helper functions, relocated>
+//
+// The guard always falls through, so the combined binary executes exactly
+// the original behaviour (the interpreter verifies this); yet every
+// CFG-level feature — size, density, centralities, path lengths — absorbs
+// the target sample's structure, which is what drags the classifier across
+// the decision boundary.
+#pragma once
+
+#include "cfg/cfg.hpp"
+#include "isa/interpreter.hpp"
+#include "isa/program.hpp"
+
+namespace gea::aug {
+
+enum class GuardKind {
+  /// Opaque always-false predicate at the shared entry (the paper's shape).
+  kOpaquePredicate,
+  /// Ablation: put the *target* body on the fall-through path and jump to
+  /// the original via an always-true guard. Same merged topology, different
+  /// placement; functionality is still the original's.
+  kTargetFirst,
+};
+
+struct EmbedOptions {
+  GuardKind guard = GuardKind::kOpaquePredicate;
+};
+
+/// Splice `selected` into `original`. Both programs must validate. The
+/// result validates, and executes equivalently to `original`.
+isa::Program embed_program(const isa::Program& original,
+                           const isa::Program& selected,
+                           const EmbedOptions& opts = {});
+
+/// Pure graph-level merge (used by tests and the graph-only sweeps):
+/// disjoint union of the two graphs plus a fresh entry node with edges to
+/// both entries and a fresh exit node fed by both exit sets.
+graph::DiGraph embed_graph(const graph::DiGraph& original,
+                           graph::NodeId orig_entry,
+                           const std::vector<graph::NodeId>& orig_exits,
+                           const graph::DiGraph& selected,
+                           graph::NodeId sel_entry,
+                           const std::vector<graph::NodeId>& sel_exits);
+
+/// Execute both programs and check observable equivalence (same syscall
+/// trace, result, and termination class). Used to *prove* the
+/// functionality-preservation claim rather than assert it.
+bool functionally_equivalent(const isa::Program& original,
+                             const isa::Program& augmented,
+                             const isa::ExecOptions& opts = {});
+
+}  // namespace gea::aug

@@ -1,0 +1,112 @@
+#include "gea/harness.hpp"
+
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace gea::aug {
+
+GeaRow GeaHarness::attack_with_target(std::uint8_t source_label,
+                                      std::size_t target_index,
+                                      const GeaHarnessOptions& opts) const {
+  const auto& samples = corpus_->samples();
+  if (target_index >= samples.size()) {
+    throw std::invalid_argument("attack_with_target: bad target index");
+  }
+  const dataset::Sample& target = samples[target_index];
+  if (target.label == source_label) {
+    throw std::invalid_argument(
+        "attack_with_target: target must be from the opposite class");
+  }
+
+  GeaRow row;
+  row.target_nodes = target.num_nodes();
+  row.target_edges = target.num_edges();
+
+  double total_ms = 0.0;
+  std::size_t verified = 0, equivalent = 0;
+
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (opts.max_samples != 0 && row.samples >= opts.max_samples) break;
+    const dataset::Sample& s = samples[i];
+    if (s.label != source_label || i == target_index) continue;
+
+    std::vector<double> scaled_orig(features::kNumFeatures);
+    {
+      const auto t = scaler_->transform(s.features);
+      scaled_orig.assign(t.begin(), t.end());
+    }
+    if (opts.skip_already_misclassified &&
+        clf_->predict(scaled_orig) != s.label) {
+      continue;
+    }
+
+    // Craft: splice, re-disassemble, re-featurize (the timed pipeline).
+    util::Stopwatch sw;
+    const isa::Program augmented =
+        embed_program(s.program, target.program, opts.embed);
+    const cfg::Cfg merged_cfg = cfg::extract_cfg(augmented, {.main_only = true});
+    const features::FeatureVector fv = features::extract_features(merged_cfg.graph);
+    total_ms += sw.elapsed_ms();
+
+    const auto scaled = scaler_->transform(fv);
+    const std::vector<double> x(scaled.begin(), scaled.end());
+    ++row.samples;
+    if (clf_->predict(x) != s.label) ++row.misclassified;
+
+    if (opts.verify_every != 0 && (row.samples - 1) % opts.verify_every == 0) {
+      ++verified;
+      if (functionally_equivalent(s.program, augmented)) ++equivalent;
+    }
+  }
+
+  if (row.samples > 0) {
+    row.craft_ms_per_sample = total_ms / static_cast<double>(row.samples);
+  }
+  row.equivalence_rate =
+      verified == 0 ? 0.0
+                    : static_cast<double>(equivalent) / static_cast<double>(verified);
+  return row;
+}
+
+std::vector<GeaRow> GeaHarness::size_sweep(std::uint8_t source_label,
+                                           const GeaHarnessOptions& opts) const {
+  const std::uint8_t target_label =
+      source_label == dataset::kBenign ? dataset::kMalicious : dataset::kBenign;
+  // Among similarly-sized candidates, graft the one the detector classifies
+  // most confidently as the target class (see select_by_size_confident).
+  auto confidence = [&](const dataset::Sample& s) {
+    const auto scaled = scaler_->transform(s.features);
+    return clf_->probabilities({scaled.begin(), scaled.end()})[target_label];
+  };
+  std::vector<GeaRow> rows;
+  for (SizeRank rank :
+       {SizeRank::kMinimum, SizeRank::kMedian, SizeRank::kMaximum}) {
+    const std::size_t t =
+        select_by_size_confident(*corpus_, target_label, rank, confidence);
+    GeaRow row = attack_with_target(source_label, t, opts);
+    row.label = size_rank_name(rank);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<GeaRow> GeaHarness::density_sweep(std::uint8_t source_label,
+                                              std::size_t groups,
+                                              std::size_t variants,
+                                              const GeaHarnessOptions& opts) const {
+  const std::uint8_t target_label =
+      source_label == dataset::kBenign ? dataset::kMalicious : dataset::kBenign;
+  std::vector<GeaRow> rows;
+  for (const auto& g :
+       pick_density_targets(*corpus_, target_label, groups, variants)) {
+    for (std::size_t t : g.sample_indices) {
+      GeaRow row = attack_with_target(source_label, t, opts);
+      row.label = std::to_string(g.num_nodes) + " nodes";
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+}  // namespace gea::aug

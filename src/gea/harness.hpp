@@ -1,0 +1,80 @@
+// GEA evaluation harness producing the rows of Tables IV-VII.
+//
+// For a chosen target sample x_sel, every corpus sample of the *opposite*
+// class is augmented (embed_program), re-disassembled, re-featurized,
+// scaled, and classified; the row reports the misclassification rate, the
+// crafting time per sample (splice + CFG extraction + feature extraction,
+// matching what the paper times), and — beyond the paper — the fraction of
+// augmented samples whose execution the interpreter proved equivalent to
+// the original.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/corpus.hpp"
+#include "features/scaler.hpp"
+#include "gea/embed.hpp"
+#include "gea/selection.hpp"
+#include "ml/model.hpp"
+
+namespace gea::aug {
+
+struct GeaRow {
+  std::string label;            // "Minimum" / "Median" / "Maximum" or node/edge id
+  std::size_t target_nodes = 0;
+  std::size_t target_edges = 0;
+  std::size_t samples = 0;
+  std::size_t misclassified = 0;
+  double mr() const {
+    return samples == 0
+               ? 0.0
+               : static_cast<double>(misclassified) / static_cast<double>(samples);
+  }
+  double craft_ms_per_sample = 0.0;
+  /// Fraction of augmented programs proved functionally equivalent to the
+  /// original (should be 1.0).
+  double equivalence_rate = 0.0;
+};
+
+struct GeaHarnessOptions {
+  EmbedOptions embed{};
+  /// Verify functional equivalence by execution on every N-th sample
+  /// (1 = all, 0 = never). Interpretation is cheap but not free.
+  std::size_t verify_every = 1;
+  /// Only attack samples the detector currently classifies correctly.
+  bool skip_already_misclassified = true;
+  /// Cap on attacked samples (0 = all).
+  std::size_t max_samples = 0;
+};
+
+class GeaHarness {
+ public:
+  GeaHarness(const dataset::Corpus& corpus, const features::FeatureScaler& scaler,
+             ml::DifferentiableClassifier& clf)
+      : corpus_(&corpus), scaler_(&scaler), clf_(&clf) {}
+
+  /// Attack every sample of `source_label` using target sample
+  /// `target_index` (a corpus index of the opposite class).
+  GeaRow attack_with_target(std::uint8_t source_label, std::size_t target_index,
+                            const GeaHarnessOptions& opts = {}) const;
+
+  /// Tables IV (source=malicious) / V (source=benign): the three
+  /// min/median/max-size targets of the opposite class.
+  std::vector<GeaRow> size_sweep(std::uint8_t source_label,
+                                 const GeaHarnessOptions& opts = {}) const;
+
+  /// Tables VI / VII: fixed-node-count targets with varying edge counts.
+  std::vector<GeaRow> density_sweep(std::uint8_t source_label,
+                                    std::size_t groups = 3,
+                                    std::size_t variants = 3,
+                                    const GeaHarnessOptions& opts = {}) const;
+
+ private:
+  const dataset::Corpus* corpus_;
+  const features::FeatureScaler* scaler_;
+  ml::DifferentiableClassifier* clf_;
+};
+
+}  // namespace gea::aug

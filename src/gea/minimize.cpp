@@ -1,0 +1,50 @@
+#include "gea/minimize.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cfg/cfg.hpp"
+
+namespace gea::aug {
+
+MinimizeResult find_minimal_target(const dataset::Corpus& corpus,
+                                   std::size_t victim_index,
+                                   ml::DifferentiableClassifier& clf,
+                                   const features::FeatureScaler& scaler,
+                                   const MinimizeOptions& opts) {
+  if (victim_index >= corpus.size()) {
+    throw std::invalid_argument("find_minimal_target: bad victim index");
+  }
+  const dataset::Sample& victim = corpus.samples()[victim_index];
+  const std::uint8_t target_label =
+      victim.label == dataset::kBenign ? dataset::kMalicious : dataset::kBenign;
+
+  auto targets = corpus.indices_of(target_label);
+  std::sort(targets.begin(), targets.end(), [&](std::size_t a, std::size_t b) {
+    return corpus.samples()[a].num_nodes() < corpus.samples()[b].num_nodes();
+  });
+
+  MinimizeResult res;
+  res.original_nodes = victim.num_nodes();
+  for (std::size_t ti : targets) {
+    if (opts.max_targets != 0 && res.targets_tried >= opts.max_targets) break;
+    ++res.targets_tried;
+    const auto& target = corpus.samples()[ti];
+    const auto merged = embed_program(victim.program, target.program, opts.embed);
+    const auto merged_cfg = cfg::extract_cfg(merged, {.main_only = true});
+    const auto scaled =
+        scaler.transform(features::extract_features(merged_cfg.graph));
+    if (clf.predict({scaled.begin(), scaled.end()}) != victim.label) {
+      res.evaded = true;
+      res.target_index = ti;
+      res.target_nodes = target.num_nodes();
+      res.merged_nodes = merged_cfg.num_nodes();
+      res.size_overhead = static_cast<double>(merged.size()) /
+                          static_cast<double>(victim.program.size());
+      return res;
+    }
+  }
+  return res;
+}
+
+}  // namespace gea::aug

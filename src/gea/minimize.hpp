@@ -1,0 +1,47 @@
+// GEA size minimization — the paper's SVI future work: "investigate more
+// effective methods to minimize the size of the generated AEs, while
+// preserving the main characteristics".
+//
+// Greedy policy: walk opposite-class targets in increasing CFG size and
+// return the first whose splice flips the classifier. Size/MR is not
+// strictly monotone (Tables VI-VII), so greedy-by-size is a heuristic — the
+// result is the smallest *successful* target in the scan order, and the
+// reported overhead is what a real attacker would pay in bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dataset/corpus.hpp"
+#include "features/scaler.hpp"
+#include "gea/embed.hpp"
+#include "ml/model.hpp"
+
+namespace gea::aug {
+
+struct MinimizeResult {
+  bool evaded = false;
+  std::size_t target_index = 0;      // corpus index of the chosen target
+  std::size_t target_nodes = 0;
+  std::size_t targets_tried = 0;
+  std::size_t original_nodes = 0;
+  std::size_t merged_nodes = 0;
+  /// merged/original instruction-count ratio (the size cost of evasion).
+  double size_overhead = 0.0;
+};
+
+struct MinimizeOptions {
+  EmbedOptions embed{};
+  /// Cap on targets scanned (0 = all opposite-class samples).
+  std::size_t max_targets = 0;
+};
+
+/// Find the smallest opposite-class target (by CFG node count) whose GEA
+/// splice makes `victim` misclassified. `victim_index` is a corpus index.
+MinimizeResult find_minimal_target(const dataset::Corpus& corpus,
+                                   std::size_t victim_index,
+                                   ml::DifferentiableClassifier& clf,
+                                   const features::FeatureScaler& scaler,
+                                   const MinimizeOptions& opts = {});
+
+}  // namespace gea::aug

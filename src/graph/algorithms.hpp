@@ -1,0 +1,51 @@
+// Path and connectivity algorithms over DiGraph (all edges unit weight —
+// CFG edges carry no weights).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace gea::graph {
+
+/// Sentinel distance for unreachable nodes.
+inline constexpr std::uint32_t kUnreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// BFS distances from `source` following out-edges.
+/// result[v] == kUnreachable if v cannot be reached.
+std::vector<std::uint32_t> bfs_distances(const DiGraph& g, NodeId source);
+
+/// BFS distances to `sink` following in-edges (i.e. distances in the
+/// reverse graph). Used by closeness centrality.
+std::vector<std::uint32_t> bfs_distances_reverse(const DiGraph& g, NodeId sink);
+
+/// All finite directed shortest-path lengths d(u,v), u != v, as a flat list.
+/// This is the "shortest path" feature population of Table II.
+/// O(V * (V + E)); fine for CFG-sized graphs.
+std::vector<double> all_shortest_path_lengths(const DiGraph& g);
+
+/// Average over all finite shortest paths; 0 if none exist.
+double average_shortest_path_length(const DiGraph& g);
+
+/// Weakly connected component id per node (edge direction ignored);
+/// component ids are dense and assigned in discovery order.
+std::vector<std::uint32_t> weakly_connected_components(const DiGraph& g);
+std::size_t num_weakly_connected_components(const DiGraph& g);
+
+/// Set of nodes reachable from `source` (including itself).
+std::vector<bool> reachable_from(const DiGraph& g, NodeId source);
+
+/// True if every node is reachable from `source` — the well-formedness
+/// condition for a CFG rooted at its entry block.
+bool all_reachable_from(const DiGraph& g, NodeId source);
+
+/// Topological order if the graph is a DAG, empty vector otherwise.
+std::vector<NodeId> topological_order(const DiGraph& g);
+
+/// True if the graph contains a directed cycle.
+bool has_cycle(const DiGraph& g);
+
+}  // namespace gea::graph

@@ -1,0 +1,113 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace gea::graph {
+
+DiGraph::DiGraph(std::size_t n)
+    : out_(n), in_(n), labels_(n) {}
+
+NodeId DiGraph::add_node() { return add_node(std::string{}); }
+
+NodeId DiGraph::add_node(std::string label) {
+  out_.emplace_back();
+  in_.emplace_back();
+  labels_.push_back(std::move(label));
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+void DiGraph::check_node(NodeId u) const {
+  if (u >= out_.size()) {
+    throw std::out_of_range("DiGraph: node id " + std::to_string(u) +
+                            " out of range (n=" + std::to_string(out_.size()) + ")");
+  }
+}
+
+bool DiGraph::add_edge(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  auto& adj = out_[u];
+  if (std::find(adj.begin(), adj.end(), v) != adj.end()) return false;
+  adj.push_back(v);
+  in_[v].push_back(u);
+  ++num_edges_;
+  return true;
+}
+
+bool DiGraph::has_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  const auto& adj = out_[u];
+  return std::find(adj.begin(), adj.end(), v) != adj.end();
+}
+
+std::span<const NodeId> DiGraph::out_neighbors(NodeId u) const {
+  check_node(u);
+  return out_[u];
+}
+
+std::span<const NodeId> DiGraph::in_neighbors(NodeId u) const {
+  check_node(u);
+  return in_[u];
+}
+
+double DiGraph::density() const {
+  const auto n = static_cast<double>(num_nodes());
+  if (n < 2.0) return 0.0;
+  return static_cast<double>(num_edges_) / (n * (n - 1.0));
+}
+
+NodeId DiGraph::merge_disjoint(const DiGraph& other) {
+  const auto offset = static_cast<NodeId>(num_nodes());
+  for (std::size_t u = 0; u < other.num_nodes(); ++u) {
+    add_node(other.labels_[u]);
+  }
+  for (std::size_t u = 0; u < other.num_nodes(); ++u) {
+    for (NodeId v : other.out_[u]) {
+      add_edge(offset + static_cast<NodeId>(u), offset + v);
+    }
+  }
+  return offset;
+}
+
+bool DiGraph::same_structure(const DiGraph& other) const {
+  if (num_nodes() != other.num_nodes() || num_edges() != other.num_edges()) {
+    return false;
+  }
+  for (std::size_t u = 0; u < num_nodes(); ++u) {
+    auto a = out_[u];
+    auto b = other.out_[u];
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    if (a != b) return false;
+  }
+  return true;
+}
+
+std::optional<std::string> DiGraph::validate() const {
+  if (out_.size() != in_.size() || out_.size() != labels_.size()) {
+    return "adjacency/label arrays disagree on node count";
+  }
+  std::size_t edge_count = 0;
+  for (std::size_t u = 0; u < out_.size(); ++u) {
+    std::unordered_set<NodeId> seen;
+    for (NodeId v : out_[u]) {
+      if (v >= out_.size()) return "out-edge target out of range";
+      if (!seen.insert(v).second) return "duplicate out-edge";
+      const auto& rin = in_[v];
+      if (std::find(rin.begin(), rin.end(), static_cast<NodeId>(u)) == rin.end()) {
+        return "out-edge missing mirror in-edge";
+      }
+      ++edge_count;
+    }
+  }
+  if (edge_count != num_edges_) return "edge count mismatch";
+  std::size_t in_count = 0;
+  for (const auto& lst : in_) in_count += lst.size();
+  if (in_count != num_edges_) return "in-adjacency edge count mismatch";
+  return std::nullopt;
+}
+
+}  // namespace gea::graph

@@ -1,0 +1,75 @@
+// Directed graph used to represent control-flow graphs.
+//
+// Nodes are dense integer ids [0, num_nodes). The graph is a simple directed
+// graph: parallel edges are collapsed by `add_edge`, self-loops are allowed
+// (a one-block infinite loop produces one). Both out- and in-adjacency are
+// maintained so that centrality algorithms over the reverse graph need no
+// copy.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gea::graph {
+
+using NodeId = std::uint32_t;
+
+/// Mutable simple directed graph with O(1) node append and O(deg) edge insert.
+class DiGraph {
+ public:
+  DiGraph() = default;
+  /// Construct with `n` isolated nodes.
+  explicit DiGraph(std::size_t n);
+
+  /// Append one node; returns its id.
+  NodeId add_node();
+  /// Append one node carrying a display label (used in DOT export).
+  NodeId add_node(std::string label);
+
+  /// Insert edge u->v if absent. Returns true if the edge was new.
+  /// Throws std::out_of_range for invalid endpoints.
+  bool add_edge(NodeId u, NodeId v);
+
+  std::size_t num_nodes() const { return out_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  std::span<const NodeId> out_neighbors(NodeId u) const;
+  std::span<const NodeId> in_neighbors(NodeId u) const;
+
+  std::size_t out_degree(NodeId u) const { return out_.at(u).size(); }
+  std::size_t in_degree(NodeId u) const { return in_.at(u).size(); }
+  std::size_t degree(NodeId u) const { return out_degree(u) + in_degree(u); }
+
+  const std::string& label(NodeId u) const { return labels_.at(u); }
+  void set_label(NodeId u, std::string label) { labels_.at(u) = std::move(label); }
+
+  /// Density for a simple directed graph: |E| / (|V| (|V|-1)).
+  /// Zero for graphs with fewer than two nodes.
+  double density() const;
+
+  /// Disjoint union: appends `other`'s nodes (ids shifted by num_nodes())
+  /// and edges into this graph. Returns the id offset applied to `other`.
+  NodeId merge_disjoint(const DiGraph& other);
+
+  /// Structural equality (same node count, same edge set, labels ignored).
+  bool same_structure(const DiGraph& other) const;
+
+  /// Internal-consistency check (out/in adjacency mirror each other, ids in
+  /// range, no duplicate edges). Returns an error description, or nullopt.
+  std::optional<std::string> validate() const;
+
+ private:
+  void check_node(NodeId u) const;
+
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  std::vector<std::string> labels_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace gea::graph

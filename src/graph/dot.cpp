@@ -1,0 +1,54 @@
+#include "graph/dot.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gea::graph {
+
+namespace {
+std::string escape_label(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\l"; break;  // left-justified line break
+      default: out += c;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_dot(const DiGraph& g, const DotOptions& opts) {
+  std::ostringstream out;
+  out << "digraph " << opts.graph_name << " {\n";
+  if (opts.rankdir_lr) out << "  rankdir=LR;\n";
+  out << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+    out << "  n" << u;
+    if (opts.use_labels && !g.label(static_cast<NodeId>(u)).empty()) {
+      out << " [label=\"" << escape_label(g.label(static_cast<NodeId>(u)))
+          << "\"]";
+    }
+    out << ";\n";
+  }
+  for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.out_neighbors(static_cast<NodeId>(u))) {
+      out << "  n" << u << " -> n" << v << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+void write_dot(const DiGraph& g, const std::string& path,
+               const DotOptions& opts) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("write_dot: cannot open " + path);
+  f << to_dot(g, opts);
+}
+
+}  // namespace gea::graph

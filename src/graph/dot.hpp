@@ -1,0 +1,26 @@
+// Graphviz DOT export, used to regenerate the Fig. 2/3/4 style CFG
+// renderings from the paper.
+#pragma once
+
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace gea::graph {
+
+struct DotOptions {
+  std::string graph_name = "cfg";
+  /// Render basic-block labels inside record-shaped nodes.
+  bool use_labels = true;
+  /// Left-to-right instead of top-down layout.
+  bool rankdir_lr = false;
+};
+
+/// Render the graph as a DOT document.
+std::string to_dot(const DiGraph& g, const DotOptions& opts = {});
+
+/// Write DOT to a file; throws std::runtime_error on I/O failure.
+void write_dot(const DiGraph& g, const std::string& path,
+               const DotOptions& opts = {});
+
+}  // namespace gea::graph

@@ -1,0 +1,77 @@
+#include "graph/generators.hpp"
+
+namespace gea::graph {
+
+DiGraph erdos_renyi(std::size_t n, double p, util::Rng& rng) {
+  DiGraph g(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (u != v && rng.chance(p)) {
+        g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+      }
+    }
+  }
+  return g;
+}
+
+DiGraph random_cfg_shape(std::size_t n, double branch_prob, double loop_prob,
+                         util::Rng& rng) {
+  DiGraph g(n);
+  if (n <= 1) return g;
+  const auto exit = static_cast<NodeId>(n - 1);
+  // Spanning structure: each node i>0 hangs off a random earlier node, so
+  // everything is reachable from node 0.
+  for (std::size_t v = 1; v < n; ++v) {
+    const auto u = static_cast<NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(v) - 1));
+    g.add_edge(u, static_cast<NodeId>(v));
+  }
+  // Conditional branches: forward edge to a random later node.
+  for (std::size_t u = 0; u + 1 < n; ++u) {
+    if (g.out_degree(static_cast<NodeId>(u)) < 2 && rng.chance(branch_prob)) {
+      const auto v = static_cast<NodeId>(
+          rng.uniform_int(static_cast<std::int64_t>(u) + 1,
+                          static_cast<std::int64_t>(n) - 1));
+      g.add_edge(static_cast<NodeId>(u), v);
+    }
+  }
+  // Loops: back edge to a random earlier node.
+  for (std::size_t u = 1; u + 1 < n; ++u) {
+    if (g.out_degree(static_cast<NodeId>(u)) < 2 && rng.chance(loop_prob)) {
+      const auto v = static_cast<NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(u)));
+      g.add_edge(static_cast<NodeId>(u), v);
+    }
+  }
+  // Every node without a successor flows to the exit.
+  for (std::size_t u = 0; u + 1 < n; ++u) {
+    if (g.out_degree(static_cast<NodeId>(u)) == 0) {
+      g.add_edge(static_cast<NodeId>(u), exit);
+    }
+  }
+  return g;
+}
+
+DiGraph path_graph(std::size_t n) {
+  DiGraph g(n);
+  for (std::size_t u = 0; u + 1 < n; ++u) {
+    g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(u + 1));
+  }
+  return g;
+}
+
+DiGraph cycle_graph(std::size_t n) {
+  DiGraph g = path_graph(n);
+  if (n >= 2) g.add_edge(static_cast<NodeId>(n - 1), 0);
+  return g;
+}
+
+DiGraph complete_digraph(std::size_t n) {
+  DiGraph g(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (u != v) g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    }
+  }
+  return g;
+}
+
+}  // namespace gea::graph

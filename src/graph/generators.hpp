@@ -1,0 +1,29 @@
+// Random graph generators. Used by property tests (cross-checking graph
+// algorithms on arbitrary digraphs) and by the pure graph-level GEA variant.
+#pragma once
+
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace gea::graph {
+
+/// Erdos-Renyi directed G(n, p); self-loops excluded.
+DiGraph erdos_renyi(std::size_t n, double p, util::Rng& rng);
+
+/// A random CFG-shaped graph: single entry (node 0), single exit (node n-1),
+/// every node reachable from the entry and the exit reachable from every
+/// node; out-degree <= 2 (fallthrough/branch), plus occasional back edges
+/// (loops). Mimics the structural envelope of real control-flow graphs.
+DiGraph random_cfg_shape(std::size_t n, double branch_prob, double loop_prob,
+                         util::Rng& rng);
+
+/// Directed path 0 -> 1 -> ... -> n-1 (straight-line code).
+DiGraph path_graph(std::size_t n);
+
+/// Directed cycle over n nodes.
+DiGraph cycle_graph(std::size_t n);
+
+/// Complete directed graph (every ordered pair, no self-loops).
+DiGraph complete_digraph(std::size_t n);
+
+}  // namespace gea::graph

@@ -1,0 +1,210 @@
+#include "graph/spectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "graph/algorithms.hpp"
+
+namespace gea::graph {
+
+std::vector<double> eigenvector_centrality(const DiGraph& g,
+                                           std::size_t max_iterations,
+                                           double tolerance) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return {};
+  std::vector<double> x(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  if (g.num_edges() == 0) return x;
+
+  std::vector<double> next(n);
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t u = 0; u < n; ++u) {
+      for (NodeId v : g.out_neighbors(static_cast<NodeId>(u))) {
+        next[v] += x[u];
+      }
+    }
+    double norm = 0.0;
+    for (double v : next) norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm < 1e-300) return std::vector<double>(n, 0.0);  // nilpotent (DAG)
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      next[i] /= norm;
+      delta += std::abs(next[i] - x[i]);
+    }
+    x.swap(next);
+    if (delta < tolerance) break;
+  }
+  return x;
+}
+
+std::vector<double> pagerank(const DiGraph& g, double damping,
+                             std::size_t max_iterations, double tolerance) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return {};
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    double dangling = 0.0;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (g.out_degree(static_cast<NodeId>(u)) == 0) dangling += rank[u];
+    }
+    const double base =
+        (1.0 - damping) / static_cast<double>(n) +
+        damping * dangling / static_cast<double>(n);
+    std::fill(next.begin(), next.end(), base);
+    for (std::size_t u = 0; u < n; ++u) {
+      const auto deg = g.out_degree(static_cast<NodeId>(u));
+      if (deg == 0) continue;
+      const double share = damping * rank[u] / static_cast<double>(deg);
+      for (NodeId v : g.out_neighbors(static_cast<NodeId>(u))) {
+        next[v] += share;
+      }
+    }
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) delta += std::abs(next[i] - rank[i]);
+    rank.swap(next);
+    if (delta < tolerance) break;
+  }
+  return rank;
+}
+
+std::vector<double> katz_centrality(const DiGraph& g, double alpha, double beta,
+                                    std::size_t max_iterations,
+                                    double tolerance) {
+  const std::size_t n = g.num_nodes();
+  std::vector<double> x(n, beta);
+  std::vector<double> next(n);
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    std::fill(next.begin(), next.end(), beta);
+    for (std::size_t u = 0; u < n; ++u) {
+      for (NodeId v : g.out_neighbors(static_cast<NodeId>(u))) {
+        next[v] += alpha * x[u];
+      }
+    }
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) delta += std::abs(next[i] - x[i]);
+    x.swap(next);
+    if (delta < tolerance) break;
+  }
+  return x;
+}
+
+std::vector<double> eccentricity(const DiGraph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<double> ecc(n, 0.0);
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto dist = bfs_distances(g, static_cast<NodeId>(u));
+    std::uint32_t mx = 0;
+    for (std::uint32_t d : dist) {
+      if (d != kUnreachable) mx = std::max(mx, d);
+    }
+    ecc[u] = static_cast<double>(mx);
+  }
+  return ecc;
+}
+
+double diameter(const DiGraph& g) {
+  const auto ecc = eccentricity(g);
+  double mx = 0.0;
+  for (double e : ecc) mx = std::max(mx, e);
+  return mx;
+}
+
+std::vector<double> clustering_coefficient(const DiGraph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<double> cc(n, 0.0);
+  for (std::size_t u = 0; u < n; ++u) {
+    // Undirected neighbourhood of u (excluding u itself).
+    std::unordered_set<NodeId> nbrs;
+    for (NodeId v : g.out_neighbors(static_cast<NodeId>(u))) {
+      if (v != u) nbrs.insert(v);
+    }
+    for (NodeId v : g.in_neighbors(static_cast<NodeId>(u))) {
+      if (v != u) nbrs.insert(v);
+    }
+    const std::size_t k = nbrs.size();
+    if (k < 2) continue;
+    std::size_t links = 0;
+    for (NodeId a : nbrs) {
+      for (NodeId b : g.out_neighbors(a)) {
+        if (b != a && nbrs.count(b)) ++links;
+      }
+    }
+    cc[u] = static_cast<double>(links) /
+            (static_cast<double>(k) * static_cast<double>(k - 1));
+  }
+  return cc;
+}
+
+std::vector<std::uint32_t> strongly_connected_components(const DiGraph& g) {
+  const std::size_t n = g.num_nodes();
+  constexpr std::uint32_t kUnset = 0xffffffffu;
+  std::vector<std::uint32_t> comp(n, kUnset);
+  std::vector<std::uint32_t> index(n, kUnset);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  std::uint32_t next_index = 0;
+  std::uint32_t next_comp = 0;
+
+  // Iterative Tarjan: frame = (node, next-neighbour cursor).
+  struct Frame {
+    NodeId node;
+    std::size_t cursor;
+  };
+  std::vector<Frame> frames;
+
+  for (std::size_t start = 0; start < n; ++start) {
+    if (index[start] != kUnset) continue;
+    frames.push_back({static_cast<NodeId>(start), 0});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const NodeId u = f.node;
+      if (f.cursor == 0) {
+        index[u] = lowlink[u] = next_index++;
+        stack.push_back(u);
+        on_stack[u] = true;
+      }
+      const auto nbrs = g.out_neighbors(u);
+      bool descended = false;
+      while (f.cursor < nbrs.size()) {
+        const NodeId v = nbrs[f.cursor++];
+        if (index[v] == kUnset) {
+          frames.push_back({v, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[v]) lowlink[u] = std::min(lowlink[u], index[v]);
+      }
+      if (descended) continue;
+      // u finished.
+      if (lowlink[u] == index[u]) {
+        NodeId w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          comp[w] = next_comp;
+        } while (w != u);
+        ++next_comp;
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        const NodeId parent = frames.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+      }
+    }
+  }
+  return comp;
+}
+
+std::size_t num_strongly_connected_components(const DiGraph& g) {
+  const auto comp = strongly_connected_components(g);
+  std::uint32_t mx = 0;
+  for (auto c : comp) mx = std::max(mx, c + 1);
+  return g.num_nodes() == 0 ? 0 : mx;
+}
+
+}  // namespace gea::graph

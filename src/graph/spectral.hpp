@@ -1,0 +1,54 @@
+// Spectral and higher-order node measures beyond the paper's Table II set.
+//
+// SII-B lists "closeness centrality, betweenness centrality, Eigenvector
+// centrality, etc." as candidate features; the paper's detector uses only
+// the first two plus degree. These extras power the extended-feature-set
+// ablation: does a richer, harder-to-steer feature vector resist the
+// attacks any better?
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace gea::graph {
+
+/// Eigenvector centrality via power iteration on A^T (left eigenvector:
+/// a node is central if central nodes point at it), L2-normalized.
+/// Returns the uniform vector for edgeless graphs.
+std::vector<double> eigenvector_centrality(const DiGraph& g,
+                                           std::size_t max_iterations = 100,
+                                           double tolerance = 1e-10);
+
+/// PageRank with the standard damping model; L1-normalized. Dangling nodes
+/// redistribute uniformly.
+std::vector<double> pagerank(const DiGraph& g, double damping = 0.85,
+                             std::size_t max_iterations = 100,
+                             double tolerance = 1e-12);
+
+/// Katz centrality: sum over walks weighted by alpha^length, plus beta.
+/// alpha must be below the reciprocal spectral radius for convergence; the
+/// default is conservative for CFG-sized graphs.
+std::vector<double> katz_centrality(const DiGraph& g, double alpha = 0.05,
+                                    double beta = 1.0,
+                                    std::size_t max_iterations = 200,
+                                    double tolerance = 1e-12);
+
+/// Out-eccentricity per node: the longest shortest path leaving the node
+/// (unreachable pairs ignored; isolated sources get 0).
+std::vector<double> eccentricity(const DiGraph& g);
+
+/// Diameter: max finite eccentricity (0 for edgeless graphs).
+double diameter(const DiGraph& g);
+
+/// Local clustering coefficient, directed variant: fraction of ordered
+/// neighbour pairs (treating the neighbourhood as the union of in/out
+/// neighbours) that are themselves connected by an edge.
+std::vector<double> clustering_coefficient(const DiGraph& g);
+
+/// Strongly connected components (Tarjan, iterative). Component ids are
+/// dense, assigned in completion order.
+std::vector<std::uint32_t> strongly_connected_components(const DiGraph& g);
+std::size_t num_strongly_connected_components(const DiGraph& g);
+
+}  // namespace gea::graph

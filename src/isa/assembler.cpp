@@ -1,0 +1,263 @@
+#include "isa/assembler.hpp"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace gea::isa {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split_operands(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(strip(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  cur = strip(cur);
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("assemble: line " + std::to_string(line) + ": " + msg);
+}
+
+int parse_reg(const std::string& s, int line) {
+  if (s.size() < 2 || (s[0] != 'r' && s[0] != 'R')) fail(line, "expected register, got '" + s + "'");
+  int v = 0;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) fail(line, "bad register '" + s + "'");
+    v = v * 10 + (s[i] - '0');
+  }
+  if (v >= kNumRegisters) fail(line, "register out of range '" + s + "'");
+  return v;
+}
+
+std::int64_t parse_imm(const std::string& s, int line) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(s, &pos, 0);
+    if (pos != s.size()) fail(line, "bad immediate '" + s + "'");
+    return v;
+  } catch (const std::invalid_argument&) {
+    fail(line, "bad immediate '" + s + "'");
+  } catch (const std::out_of_range&) {
+    fail(line, "immediate out of range '" + s + "'");
+  }
+}
+
+// Parse "[rX+imm]" or "[rX-imm]" or "[rX]".
+std::pair<int, std::int64_t> parse_mem(const std::string& s, int line) {
+  if (s.size() < 3 || s.front() != '[' || s.back() != ']') {
+    fail(line, "expected memory operand, got '" + s + "'");
+  }
+  const std::string inner = s.substr(1, s.size() - 2);
+  std::size_t sep = inner.find_first_of("+-");
+  if (sep == std::string::npos) return {parse_reg(strip(inner), line), 0};
+  const int r = parse_reg(strip(inner.substr(0, sep)), line);
+  std::int64_t off = parse_imm(strip(inner.substr(sep + 1)), line);
+  if (inner[sep] == '-') off = -off;
+  return {r, off};
+}
+
+const std::map<std::string, Opcode>& mnemonic_table() {
+  static const std::map<std::string, Opcode> table = {
+      {"movi", Opcode::kMovImm}, {"mov", Opcode::kMovReg},
+      {"load", Opcode::kLoad},   {"store", Opcode::kStore},
+      {"push", Opcode::kPush},   {"pop", Opcode::kPop},
+      {"add", Opcode::kAdd},     {"addi", Opcode::kAddImm},
+      {"sub", Opcode::kSub},     {"subi", Opcode::kSubImm},
+      {"mul", Opcode::kMul},     {"div", Opcode::kDiv},
+      {"and", Opcode::kAnd},     {"or", Opcode::kOr},
+      {"xor", Opcode::kXor},     {"shl", Opcode::kShl},
+      {"shr", Opcode::kShr},     {"cmp", Opcode::kCmp},
+      {"cmpi", Opcode::kCmpImm}, {"jmp", Opcode::kJmp},
+      {"je", Opcode::kJe},       {"jne", Opcode::kJne},
+      {"jl", Opcode::kJl},       {"jle", Opcode::kJle},
+      {"jg", Opcode::kJg},       {"jge", Opcode::kJge},
+      {"call", Opcode::kCall},   {"ret", Opcode::kRet},
+      {"syscall", Opcode::kSyscall}, {"nop", Opcode::kNop},
+      {"halt", Opcode::kHalt},
+  };
+  return table;
+}
+
+}  // namespace
+
+Program assemble(const std::string& source) {
+  ProgramBuilder b;
+  std::map<std::string, int> labels;  // per-function label name -> builder id
+  auto label_id = [&](const std::string& name) {
+    auto it = labels.find(name);
+    if (it != labels.end()) return it->second;
+    const int id = b.new_label();
+    labels.emplace(name, id);
+    return id;
+  };
+
+  std::istringstream in(source);
+  std::string raw;
+  int line_no = 0;
+  bool in_func = false;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // Strip comments and whitespace.
+    if (const auto sc = raw.find(';'); sc != std::string::npos) raw = raw.substr(0, sc);
+    std::string line = strip(raw);
+    if (line.empty()) continue;
+
+    if (line.rfind("func ", 0) == 0) {
+      if (in_func) fail(line_no, "nested func");
+      b.begin_function(strip(line.substr(5)));
+      in_func = true;
+      labels.clear();
+      continue;
+    }
+    if (line == "endfunc") {
+      if (!in_func) fail(line_no, "endfunc outside function");
+      b.end_function();
+      in_func = false;
+      labels.clear();
+      continue;
+    }
+    if (line.back() == ':') {
+      if (!in_func) fail(line_no, "label outside function");
+      const std::string name = strip(line.substr(0, line.size() - 1));
+      if (name.empty()) fail(line_no, "empty label");
+      try {
+        b.bind(label_id(name));
+      } catch (const std::logic_error& e) {
+        fail(line_no, e.what());
+      }
+      continue;
+    }
+
+    if (!in_func) fail(line_no, "instruction outside function");
+    // Split mnemonic and operand list.
+    std::size_t sp = line.find_first_of(" \t");
+    const std::string mnem = sp == std::string::npos ? line : line.substr(0, sp);
+    const std::string rest = sp == std::string::npos ? "" : strip(line.substr(sp));
+    const auto it = mnemonic_table().find(mnem);
+    if (it == mnemonic_table().end()) fail(line_no, "unknown mnemonic '" + mnem + "'");
+    const Opcode op = it->second;
+    const auto ops = split_operands(rest);
+    auto need = [&](std::size_t n) {
+      if (ops.size() != n) fail(line_no, "expected " + std::to_string(n) + " operands");
+    };
+
+    switch (op) {
+      case Opcode::kMovImm:
+        need(2);
+        b.movi(parse_reg(ops[0], line_no), parse_imm(ops[1], line_no));
+        break;
+      case Opcode::kMovReg:
+        need(2);
+        b.mov(parse_reg(ops[0], line_no), parse_reg(ops[1], line_no));
+        break;
+      case Opcode::kLoad: {
+        need(2);
+        const auto [r, off] = parse_mem(ops[1], line_no);
+        b.load(parse_reg(ops[0], line_no), r, off);
+        break;
+      }
+      case Opcode::kStore: {
+        need(2);
+        const auto [r, off] = parse_mem(ops[0], line_no);
+        b.store(r, off, parse_reg(ops[1], line_no));
+        break;
+      }
+      case Opcode::kPush:
+        need(1);
+        b.push(parse_reg(ops[0], line_no));
+        break;
+      case Opcode::kPop:
+        need(1);
+        b.pop(parse_reg(ops[0], line_no));
+        break;
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+      case Opcode::kDiv:
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+      case Opcode::kShl:
+      case Opcode::kShr:
+        need(2);
+        b.alu(op, parse_reg(ops[0], line_no), parse_reg(ops[1], line_no));
+        break;
+      case Opcode::kAddImm:
+      case Opcode::kSubImm:
+        need(2);
+        b.alui(op, parse_reg(ops[0], line_no), parse_imm(ops[1], line_no));
+        break;
+      case Opcode::kCmp:
+        need(2);
+        b.cmp(parse_reg(ops[0], line_no), parse_reg(ops[1], line_no));
+        break;
+      case Opcode::kCmpImm:
+        need(2);
+        b.cmpi(parse_reg(ops[0], line_no), parse_imm(ops[1], line_no));
+        break;
+      case Opcode::kJmp:
+      case Opcode::kJe:
+      case Opcode::kJne:
+      case Opcode::kJl:
+      case Opcode::kJle:
+      case Opcode::kJg:
+      case Opcode::kJge:
+        need(1);
+        b.jump(op, label_id(ops[0]));
+        break;
+      case Opcode::kCall:
+        need(1);
+        b.call(ops[0]);
+        break;
+      case Opcode::kSyscall:
+        need(2);
+        b.syscall(static_cast<Syscall>(parse_imm(ops[0], line_no)),
+                  parse_reg(ops[1], line_no));
+        break;
+      case Opcode::kRet:
+        need(0);
+        b.ret();
+        break;
+      case Opcode::kNop:
+        need(0);
+        b.nop();
+        break;
+      case Opcode::kHalt:
+        need(0);
+        b.halt();
+        break;
+    }
+  }
+  if (in_func) fail(line_no, "missing endfunc");
+  try {
+    return b.build();
+  } catch (const std::logic_error& e) {
+    throw std::runtime_error(std::string("assemble: ") + e.what());
+  }
+}
+
+}  // namespace gea::isa

@@ -1,0 +1,32 @@
+// Two-pass textual assembler for the mini ISA.
+//
+// Grammar (one item per line, ';' starts a comment):
+//   func NAME          — open function
+//   endfunc            — close function
+//   LABEL:             — bind a local label
+//   OPCODE operands    — instruction; jumps take label names, call takes a
+//                        function name
+//
+// Example (the Fig. 2 counting loop):
+//   func main
+//     movi r1, 0
+//   loop:
+//     addi r1, 1
+//     cmpi r1, 9
+//     jle loop
+//     nop
+//     halt
+//   endfunc
+#pragma once
+
+#include <string>
+
+#include "isa/program.hpp"
+
+namespace gea::isa {
+
+/// Assemble source text into a validated Program.
+/// Throws std::runtime_error with a line-numbered message on any error.
+Program assemble(const std::string& source);
+
+}  // namespace gea::isa

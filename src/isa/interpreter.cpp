@@ -1,0 +1,169 @@
+#include "isa/interpreter.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace gea::isa {
+
+namespace {
+
+struct Flags {
+  bool zero = false;
+  bool sign = false;
+
+  void set_from(std::int64_t value) {
+    zero = value == 0;
+    sign = value < 0;
+  }
+};
+
+bool branch_taken(Opcode op, const Flags& f) {
+  switch (op) {
+    case Opcode::kJe: return f.zero;
+    case Opcode::kJne: return !f.zero;
+    case Opcode::kJl: return f.sign;
+    case Opcode::kJle: return f.sign || f.zero;
+    case Opcode::kJg: return !f.sign && !f.zero;
+    case Opcode::kJge: return !f.sign;
+    default: return false;
+  }
+}
+
+bool is_input_syscall(std::int64_t no) {
+  switch (static_cast<Syscall>(no)) {
+    case Syscall::kRead:
+    case Syscall::kRecv:
+    case Syscall::kRandom:
+    case Syscall::kTime:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ExecResult execute(const Program& program, const ExecOptions& opts) {
+  if (auto err = program.validate()) {
+    throw std::invalid_argument("execute: invalid program: " + *err);
+  }
+
+  ExecResult res;
+  std::array<std::int64_t, kNumRegisters> reg{};
+  Flags flags;
+  std::vector<std::int64_t> stack;
+  std::vector<std::uint32_t> call_stack;
+  std::unordered_map<std::int64_t, std::int64_t> memory;
+  std::size_t input_cursor = 0;
+
+  auto trap = [&](const std::string& msg) {
+    res.reason = ExitReason::kTrap;
+    res.trap_message = msg;
+    res.result = reg[0];
+  };
+
+  std::uint32_t pc = 0;
+  while (true) {
+    if (res.steps >= opts.step_budget) {
+      res.reason = ExitReason::kStepBudget;
+      res.result = reg[0];
+      return res;
+    }
+    ++res.steps;
+    const Instruction& ins = program.code()[pc];
+    std::uint32_t next = pc + 1;
+    switch (ins.op) {
+      case Opcode::kMovImm: reg[ins.rd] = ins.imm; break;
+      case Opcode::kMovReg: reg[ins.rd] = reg[ins.rs]; break;
+      case Opcode::kLoad: {
+        const auto it = memory.find(reg[ins.rs] + ins.imm);
+        reg[ins.rd] = it == memory.end() ? 0 : it->second;
+        break;
+      }
+      case Opcode::kStore:
+        memory[reg[ins.rd] + ins.imm] = reg[ins.rs];
+        break;
+      case Opcode::kPush:
+        if (stack.size() > 1 << 20) { trap("stack overflow"); return res; }
+        stack.push_back(reg[ins.rs]);
+        break;
+      case Opcode::kPop:
+        if (stack.empty()) { trap("stack underflow"); return res; }
+        reg[ins.rd] = stack.back();
+        stack.pop_back();
+        break;
+      case Opcode::kAdd: reg[ins.rd] += reg[ins.rs]; break;
+      case Opcode::kAddImm: reg[ins.rd] += ins.imm; break;
+      case Opcode::kSub: reg[ins.rd] -= reg[ins.rs]; break;
+      case Opcode::kSubImm: reg[ins.rd] -= ins.imm; break;
+      case Opcode::kMul: reg[ins.rd] *= reg[ins.rs]; break;
+      case Opcode::kDiv:
+        if (reg[ins.rs] == 0) { trap("divide by zero"); return res; }
+        reg[ins.rd] /= reg[ins.rs];
+        break;
+      case Opcode::kAnd: reg[ins.rd] &= reg[ins.rs]; break;
+      case Opcode::kOr: reg[ins.rd] |= reg[ins.rs]; break;
+      case Opcode::kXor: reg[ins.rd] ^= reg[ins.rs]; break;
+      case Opcode::kShl:
+        reg[ins.rd] = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(reg[ins.rd])
+            << (static_cast<std::uint64_t>(reg[ins.rs]) & 63));
+        break;
+      case Opcode::kShr:
+        reg[ins.rd] = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(reg[ins.rd]) >>
+            (static_cast<std::uint64_t>(reg[ins.rs]) & 63));
+        break;
+      case Opcode::kCmp: flags.set_from(reg[ins.rd] - reg[ins.rs]); break;
+      case Opcode::kCmpImm: flags.set_from(reg[ins.rd] - ins.imm); break;
+      case Opcode::kJmp: next = ins.target; break;
+      case Opcode::kJe:
+      case Opcode::kJne:
+      case Opcode::kJl:
+      case Opcode::kJle:
+      case Opcode::kJg:
+      case Opcode::kJge:
+        if (branch_taken(ins.op, flags)) next = ins.target;
+        break;
+      case Opcode::kCall:
+        if (call_stack.size() > 4096) { trap("call stack overflow"); return res; }
+        call_stack.push_back(pc + 1);
+        next = ins.target;
+        break;
+      case Opcode::kRet:
+        if (call_stack.empty()) {
+          res.reason = ExitReason::kReturnedFromMain;
+          res.result = reg[0];
+          return res;
+        }
+        next = call_stack.back();
+        call_stack.pop_back();
+        break;
+      case Opcode::kSyscall: {
+        res.trace.push_back({ins.imm, reg[ins.rs]});
+        if (is_input_syscall(ins.imm)) {
+          // One-shot stream with EOF-as-zero: termination guarantee for
+          // input-driven loops.
+          reg[0] = input_cursor < opts.input_stream.size()
+                       ? opts.input_stream[input_cursor]
+                       : 0;
+          ++input_cursor;
+        }
+        if (static_cast<Syscall>(ins.imm) == Syscall::kExit) {
+          res.reason = ExitReason::kHalted;
+          res.result = reg[ins.rs];
+          return res;
+        }
+        break;
+      }
+      case Opcode::kNop: break;
+      case Opcode::kHalt:
+        res.reason = ExitReason::kHalted;
+        res.result = reg[0];
+        return res;
+    }
+    pc = next;
+  }
+}
+
+}  // namespace gea::isa

@@ -1,0 +1,69 @@
+// Reference interpreter for the mini ISA.
+//
+// Its purpose in the reproduction is evidentiary: the paper *claims* GEA
+// preserves the functionality of the original sample; we *check* it by
+// executing original and augmented programs and comparing their observable
+// traces (syscalls issued, in order, with arguments) and results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace gea::isa {
+
+/// One observable event: a syscall and the argument register's value.
+struct TraceEvent {
+  std::int64_t syscall_no = 0;
+  std::int64_t arg = 0;
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+enum class ExitReason {
+  kHalted,          // executed kHalt
+  kReturnedFromMain,
+  kStepBudget,      // ran out of fuel (e.g. infinite loop)
+  kTrap,            // divide by zero, stack underflow, bad memory...
+};
+
+struct ExecResult {
+  ExitReason reason = ExitReason::kHalted;
+  std::uint64_t steps = 0;
+  std::int64_t result = 0;  // r0 at exit
+  std::vector<TraceEvent> trace;
+  std::string trap_message;
+
+  static bool is_normal(ExitReason r) {
+    return r == ExitReason::kHalted || r == ExitReason::kReturnedFromMain;
+  }
+
+  /// Functional equivalence: same observable trace and result, and the same
+  /// termination class. kHalted and kReturnedFromMain are both "normal" —
+  /// GEA rewrites a main-function `ret` into a jump to the shared exit
+  /// block's `halt`, which is behaviourally identical.
+  bool equivalent(const ExecResult& other) const {
+    const bool same_class = (is_normal(reason) && is_normal(other.reason)) ||
+                            reason == other.reason;
+    return same_class && result == other.result && trace == other.trace;
+  }
+};
+
+struct ExecOptions {
+  std::uint64_t step_budget = 1'000'000;
+  /// Values returned by input-like syscalls (recv/read/random/time), in
+  /// order. Once exhausted, every further input syscall returns 0 (EOF),
+  /// which guarantees that input-driven loops terminate. Defaults to a
+  /// fixed stream so runs are deterministic.
+  std::vector<std::int64_t> input_stream = {7, 3, 11, 1, 2, 5};
+};
+
+/// Execute `program` from instruction 0. Never throws on program
+/// misbehaviour (reports kTrap instead); throws std::invalid_argument only
+/// if the program fails static validation.
+ExecResult execute(const Program& program, const ExecOptions& opts = {});
+
+}  // namespace gea::isa

@@ -1,0 +1,128 @@
+#include "isa/isa.hpp"
+
+#include <sstream>
+
+namespace gea::isa {
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kMovImm: return "movi";
+    case Opcode::kMovReg: return "mov";
+    case Opcode::kLoad: return "load";
+    case Opcode::kStore: return "store";
+    case Opcode::kPush: return "push";
+    case Opcode::kPop: return "pop";
+    case Opcode::kAdd: return "add";
+    case Opcode::kAddImm: return "addi";
+    case Opcode::kSub: return "sub";
+    case Opcode::kSubImm: return "subi";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDiv: return "div";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kCmp: return "cmp";
+    case Opcode::kCmpImm: return "cmpi";
+    case Opcode::kJmp: return "jmp";
+    case Opcode::kJe: return "je";
+    case Opcode::kJne: return "jne";
+    case Opcode::kJl: return "jl";
+    case Opcode::kJle: return "jle";
+    case Opcode::kJg: return "jg";
+    case Opcode::kJge: return "jge";
+    case Opcode::kCall: return "call";
+    case Opcode::kRet: return "ret";
+    case Opcode::kSyscall: return "syscall";
+    case Opcode::kNop: return "nop";
+    case Opcode::kHalt: return "halt";
+  }
+  return "?";
+}
+
+bool is_jump(Opcode op) {
+  switch (op) {
+    case Opcode::kJmp:
+    case Opcode::kJe:
+    case Opcode::kJne:
+    case Opcode::kJl:
+    case Opcode::kJle:
+    case Opcode::kJg:
+    case Opcode::kJge:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_conditional(Opcode op) { return is_jump(op) && op != Opcode::kJmp; }
+
+bool is_terminator(Opcode op) {
+  return op == Opcode::kJmp || op == Opcode::kRet || op == Opcode::kHalt;
+}
+
+bool has_target(Opcode op) { return is_jump(op) || op == Opcode::kCall; }
+
+std::string to_string(const Instruction& ins) {
+  std::ostringstream ss;
+  ss << opcode_name(ins.op);
+  auto reg = [](int r) { return "r" + std::to_string(r); };
+  switch (ins.op) {
+    case Opcode::kMovImm:
+      ss << ' ' << reg(ins.rd) << ", " << ins.imm;
+      break;
+    case Opcode::kMovReg:
+      ss << ' ' << reg(ins.rd) << ", " << reg(ins.rs);
+      break;
+    case Opcode::kLoad:
+      ss << ' ' << reg(ins.rd) << ", [" << reg(ins.rs) << '+' << ins.imm << ']';
+      break;
+    case Opcode::kStore:
+      ss << " [" << reg(ins.rd) << '+' << ins.imm << "], " << reg(ins.rs);
+      break;
+    case Opcode::kPush:
+      ss << ' ' << reg(ins.rs);
+      break;
+    case Opcode::kPop:
+      ss << ' ' << reg(ins.rd);
+      break;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kCmp:
+      ss << ' ' << reg(ins.rd) << ", " << reg(ins.rs);
+      break;
+    case Opcode::kAddImm:
+    case Opcode::kSubImm:
+    case Opcode::kCmpImm:
+      ss << ' ' << reg(ins.rd) << ", " << ins.imm;
+      break;
+    case Opcode::kJmp:
+    case Opcode::kJe:
+    case Opcode::kJne:
+    case Opcode::kJl:
+    case Opcode::kJle:
+    case Opcode::kJg:
+    case Opcode::kJge:
+    case Opcode::kCall:
+      ss << ' ' << ins.target;
+      break;
+    case Opcode::kSyscall:
+      ss << ' ' << ins.imm << ", " << reg(ins.rs);
+      break;
+    case Opcode::kRet:
+    case Opcode::kNop:
+    case Opcode::kHalt:
+      break;
+  }
+  return ss.str();
+}
+
+}  // namespace gea::isa

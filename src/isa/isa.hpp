@@ -1,0 +1,97 @@
+// A miniature load/store instruction set standing in for the ARM/MIPS
+// binaries of real IoT firmware.
+//
+// The paper disassembles IoT ELF binaries with Radare2 and works on the
+// resulting control-flow graphs; we cannot ship a malware corpus, so the
+// `bingen` module *generates programs in this ISA* and `cfg` extracts CFGs
+// from the instruction stream the same way a disassembler would. The ISA is
+// deliberately simple but expressive enough for structured control flow
+// (branches, loops, calls) and observable behaviour (syscalls), which lets
+// the interpreter *prove* that GEA-augmented samples behave identically to
+// their originals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gea::isa {
+
+/// Register file size. Registers r13-r15 are reserved by convention for
+/// instrumentation (the GEA guard uses r15); generated programs use r0-r12.
+inline constexpr int kNumRegisters = 16;
+inline constexpr int kGuardRegister = 15;
+
+enum class Opcode : std::uint8_t {
+  // Data movement.
+  kMovImm,   // rD <- imm
+  kMovReg,   // rD <- rS
+  kLoad,     // rD <- mem[rS + imm]
+  kStore,    // mem[rD + imm] <- rS
+  kPush,     // stack push rS
+  kPop,      // rD <- stack pop
+  // Arithmetic / logic (rD <- rD op rS, or rD <- rD op imm for *Imm).
+  kAdd, kAddImm,
+  kSub, kSubImm,
+  kMul,
+  kDiv,      // signed; divide-by-zero traps
+  kAnd, kOr, kXor,
+  kShl, kShr,
+  // Comparison: sets zero/sign flags from (rA - rB) or (rA - imm).
+  kCmp, kCmpImm,
+  // Control flow. `target` is an absolute instruction index.
+  kJmp,
+  kJe, kJne, kJl, kJle, kJg, kJge,
+  kCall,     // push return address, jump to target
+  kRet,      // pop return address
+  // Environment.
+  kSyscall,  // abstract I/O: imm selects the syscall, rS carries the argument
+  kNop,
+  kHalt,     // end of program
+};
+
+/// Abstract syscall numbers the generator emits; the interpreter records
+/// them in the observable trace.
+enum class Syscall : std::int64_t {
+  kExit = 0,
+  kOpen = 1,
+  kRead = 2,
+  kWrite = 3,
+  kSocket = 4,
+  kConnect = 5,
+  kSend = 6,
+  kRecv = 7,
+  kExec = 8,
+  kSleep = 9,
+  kFork = 10,
+  kKill = 11,
+  kRandom = 12,
+  kTime = 13,
+};
+
+/// One decoded instruction. Fields not used by an opcode are zero.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  std::uint8_t rd = 0;       // destination register
+  std::uint8_t rs = 0;       // source register
+  std::int64_t imm = 0;      // immediate
+  std::uint32_t target = 0;  // absolute instruction index for jumps/calls
+
+  bool operator==(const Instruction&) const = default;
+};
+
+/// Mnemonic for an opcode ("mov", "jne", ...).
+const char* opcode_name(Opcode op);
+
+/// True for kJmp and all conditional branches (not calls).
+bool is_jump(Opcode op);
+/// True for conditional branches only.
+bool is_conditional(Opcode op);
+/// True if the instruction never falls through (jmp, ret, halt).
+bool is_terminator(Opcode op);
+/// True if the opcode uses the `target` field (jumps, branches, call).
+bool has_target(Opcode op);
+
+/// Render one instruction as assembly text, e.g. "add r1, r2" or "jne 17".
+std::string to_string(const Instruction& ins);
+
+}  // namespace gea::isa

@@ -1,0 +1,111 @@
+// A program is a flat instruction array plus function metadata.
+//
+// Execution starts at instruction 0 (the entry of `main`, which is always
+// the first function). `call` pushes a return address and jumps to a
+// function's first instruction; every function is a contiguous instruction
+// range.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace gea::isa {
+
+/// Contiguous instruction range [begin, end) implementing one function.
+struct Function {
+  std::string name;
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;  // one past the last instruction
+
+  bool contains(std::uint32_t pc) const { return pc >= begin && pc < end; }
+
+  bool operator==(const Function&) const = default;
+};
+
+class Program {
+ public:
+  std::vector<Instruction>& code() { return code_; }
+  const std::vector<Instruction>& code() const { return code_; }
+  std::vector<Function>& functions() { return functions_; }
+  const std::vector<Function>& functions() const { return functions_; }
+
+  std::size_t size() const { return code_.size(); }
+  bool empty() const { return code_.empty(); }
+
+  /// Function containing `pc`, if any.
+  const Function* function_at(std::uint32_t pc) const;
+  /// Function by name, if any.
+  const Function* function_named(const std::string& name) const;
+
+  /// Static well-formedness: non-empty, jump/call targets in range, calls
+  /// land on function starts, functions tile the code without overlap, and
+  /// jumps stay within their function. Returns error text or nullopt.
+  std::optional<std::string> validate() const;
+
+  /// Full disassembly listing with function headers and line numbers.
+  std::string disassemble() const;
+
+  bool operator==(const Program&) const = default;
+
+ private:
+  std::vector<Instruction> code_;
+  std::vector<Function> functions_;
+};
+
+/// Incremental program builder with label-based control flow, so callers
+/// never compute absolute instruction indices by hand.
+class ProgramBuilder {
+ public:
+  /// Open a new function; subsequent emits land in it. Functions must not
+  /// be nested; the first opened function is the entry (`main`).
+  void begin_function(const std::string& name);
+  void end_function();
+
+  /// Emit a non-control-flow instruction.
+  void emit(Instruction ins);
+  // Convenience emitters.
+  void movi(int rd, std::int64_t imm);
+  void mov(int rd, int rs);
+  void load(int rd, int rs, std::int64_t offset);
+  void store(int rd, std::int64_t offset, int rs);
+  void push(int rs);
+  void pop(int rd);
+  void alu(Opcode op, int rd, int rs);
+  void alui(Opcode op, int rd, std::int64_t imm);
+  void cmp(int ra, int rb);
+  void cmpi(int ra, std::int64_t imm);
+  void syscall(Syscall n, int rs);
+  void nop();
+  void halt();
+  void ret();
+
+  /// Create a fresh label id (not yet placed).
+  int new_label();
+  /// Place a label at the current position.
+  void bind(int label);
+  /// Emit a jump/branch to a label (may be bound later).
+  void jump(Opcode op, int label);
+  /// Emit a call to a function by name (function may be defined later).
+  void call(const std::string& function_name);
+
+  std::size_t current_index() const { return program_.code().size(); }
+
+  /// Resolve all labels and calls; throws std::logic_error on unbound
+  /// labels, unknown call targets, or an unterminated final instruction.
+  Program build();
+
+ private:
+  Program program_;
+  std::vector<std::int64_t> label_pos_;                 // -1 = unbound
+  std::vector<std::pair<std::uint32_t, int>> fixups_;   // (instr idx, label)
+  std::vector<std::pair<std::uint32_t, std::string>> call_fixups_;
+  bool in_function_ = false;
+  std::uint32_t function_start_ = 0;
+  std::string function_name_;
+};
+
+}  // namespace gea::isa

@@ -1,0 +1,111 @@
+#include "isa/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace gea::isa {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'E', 'A', 'P'};
+// Guards against allocating absurd buffers from corrupt headers.
+constexpr std::uint64_t kMaxCount = 1u << 24;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("load_program: truncated input");
+  return v;
+}
+
+}  // namespace
+
+void save_program(const Program& program, std::ostream& out) {
+  if (auto err = program.validate()) {
+    throw std::runtime_error("save_program: invalid program: " + *err);
+  }
+  out.write(kMagic, 4);
+  write_pod(out, kProgramFormatVersion);
+  write_pod(out, static_cast<std::uint64_t>(program.size()));
+  for (const auto& ins : program.code()) {
+    write_pod(out, static_cast<std::uint8_t>(ins.op));
+    write_pod(out, ins.rd);
+    write_pod(out, ins.rs);
+    write_pod(out, ins.imm);
+    write_pod(out, ins.target);
+  }
+  write_pod(out, static_cast<std::uint64_t>(program.functions().size()));
+  for (const auto& f : program.functions()) {
+    write_pod(out, static_cast<std::uint64_t>(f.name.size()));
+    out.write(f.name.data(), static_cast<std::streamsize>(f.name.size()));
+    write_pod(out, f.begin);
+    write_pod(out, f.end);
+  }
+  if (!out) throw std::runtime_error("save_program: write failed");
+}
+
+void save_program(const Program& program, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_program: cannot open " + path);
+  save_program(program, out);
+}
+
+Program load_program(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("load_program: bad magic");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kProgramFormatVersion) {
+    throw std::runtime_error("load_program: unsupported version " +
+                             std::to_string(version));
+  }
+  Program p;
+  const auto code_count = read_pod<std::uint64_t>(in);
+  if (code_count > kMaxCount) throw std::runtime_error("load_program: oversized code");
+  p.code().reserve(code_count);
+  for (std::uint64_t i = 0; i < code_count; ++i) {
+    Instruction ins;
+    ins.op = static_cast<Opcode>(read_pod<std::uint8_t>(in));
+    ins.rd = read_pod<std::uint8_t>(in);
+    ins.rs = read_pod<std::uint8_t>(in);
+    ins.imm = read_pod<std::int64_t>(in);
+    ins.target = read_pod<std::uint32_t>(in);
+    p.code().push_back(ins);
+  }
+  const auto fn_count = read_pod<std::uint64_t>(in);
+  if (fn_count > kMaxCount) throw std::runtime_error("load_program: oversized functions");
+  for (std::uint64_t i = 0; i < fn_count; ++i) {
+    Function f;
+    const auto name_len = read_pod<std::uint64_t>(in);
+    if (name_len > kMaxCount) throw std::runtime_error("load_program: oversized name");
+    f.name.resize(name_len);
+    in.read(f.name.data(), static_cast<std::streamsize>(name_len));
+    if (!in) throw std::runtime_error("load_program: truncated name");
+    f.begin = read_pod<std::uint32_t>(in);
+    f.end = read_pod<std::uint32_t>(in);
+    p.functions().push_back(std::move(f));
+  }
+  if (auto err = p.validate()) {
+    throw std::runtime_error("load_program: invalid program: " + *err);
+  }
+  return p;
+}
+
+Program load_program(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_program: cannot open " + path);
+  return load_program(in);
+}
+
+}  // namespace gea::isa

@@ -1,0 +1,31 @@
+// Binary (de)serialization of programs — the repository's "ELF": corpora
+// can be generated once, saved, and reloaded by later analysis runs
+// without regenerating, and individual samples (e.g. a GEA-spliced
+// evasive binary) can be shipped between tools.
+//
+// Format (little-endian, versioned):
+//   magic "GEAP" | u32 version | u64 code count | instructions
+//   | u64 function count | functions (u64 name length, name bytes,
+//     u32 begin, u32 end)
+// Each instruction: u8 op, u8 rd, u8 rs, i64 imm, u32 target.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "isa/program.hpp"
+
+namespace gea::isa {
+
+inline constexpr std::uint32_t kProgramFormatVersion = 1;
+
+/// Serialize to a stream / file. Throws std::runtime_error on I/O failure.
+void save_program(const Program& program, std::ostream& out);
+void save_program(const Program& program, const std::string& path);
+
+/// Deserialize; validates the result. Throws std::runtime_error on
+/// malformed input (bad magic, truncation, failed validation).
+Program load_program(std::istream& in);
+Program load_program(const std::string& path);
+
+}  // namespace gea::isa

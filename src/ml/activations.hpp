@@ -1,0 +1,47 @@
+// Stateless / mask-based layers: ReLU, Dropout, Flatten.
+#pragma once
+
+#include "ml/layer.hpp"
+
+namespace gea::ml {
+
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string describe() const override { return "ReLU"; }
+
+ private:
+  std::vector<bool> mask_;  // true where input > 0
+};
+
+/// Inverted dropout: at train time zeroes activations with probability `p`
+/// and scales survivors by 1/(1-p); identity at inference, so attacks (which
+/// run inference-mode forwards) see the deterministic network.
+class Dropout : public Layer {
+ public:
+  Dropout(double p, util::Rng& rng);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string describe() const override;
+
+ private:
+  double p_;
+  util::Rng* rng_;
+  std::vector<float> mask_;  // multiplier applied elementwise at train time
+  bool last_training_ = false;
+};
+
+/// (N, C, L) -> (N, C*L).
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string describe() const override { return "Flatten"; }
+
+ private:
+  std::vector<std::size_t> in_shape_;
+};
+
+}  // namespace gea::ml

@@ -1,0 +1,128 @@
+#include "ml/conv1d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gea::ml {
+
+Conv1D::Conv1D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel_size, Padding padding)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      k_(kernel_size),
+      padding_(padding),
+      w_(out_channels * in_channels * kernel_size, 0.0f),
+      b_(out_channels, 0.0f),
+      gw_(w_.size(), 0.0f),
+      gb_(b_.size(), 0.0f) {
+  if (kernel_size == 0 || kernel_size % 2 == 0) {
+    throw std::invalid_argument("Conv1D: kernel size must be odd and nonzero");
+  }
+}
+
+std::size_t Conv1D::output_length(std::size_t input_length) const {
+  if (padding_ == Padding::kSame) return input_length;
+  if (input_length < k_) {
+    throw std::invalid_argument("Conv1D: input shorter than kernel");
+  }
+  return input_length - k_ + 1;
+}
+
+void Conv1D::init(util::Rng& rng) {
+  const double fan_in = static_cast<double>(in_ch_ * k_);
+  const double scale = std::sqrt(2.0 / fan_in);
+  for (auto& w : w_) w = static_cast<float>(rng.normal(0.0, scale));
+  for (auto& b : b_) b = 0.0f;
+}
+
+Tensor Conv1D::forward(const Tensor& x, bool /*training*/) {
+  if (x.rank() != 3 || x.dim(1) != in_ch_) {
+    throw std::invalid_argument("Conv1D::forward: expected (N, " +
+                                std::to_string(in_ch_) + ", L), got " +
+                                x.shape_string());
+  }
+  last_input_ = x;
+  const std::size_t n = x.dim(0);
+  const std::size_t l_in = x.dim(2);
+  const std::size_t l_out = output_length(l_in);
+  // Offset of input position relative to output position: for `same`,
+  // position j reads x[j - k/2 .. j + k/2]; for `valid`, x[j .. j + k - 1].
+  const std::ptrdiff_t base =
+      padding_ == Padding::kSame ? -static_cast<std::ptrdiff_t>(k_ / 2) : 0;
+
+  Tensor y({n, out_ch_, l_out});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      float* yrow = y.data() + (i * out_ch_ + oc) * l_out;
+      for (std::size_t j = 0; j < l_out; ++j) yrow[j] = b_[oc];
+      for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+        const float* xrow = x.data() + (i * in_ch_ + ic) * l_in;
+        const float* wrow = w_.data() + (oc * in_ch_ + ic) * k_;
+        for (std::size_t j = 0; j < l_out; ++j) {
+          float acc = 0.0f;
+          for (std::size_t t = 0; t < k_; ++t) {
+            const std::ptrdiff_t src =
+                static_cast<std::ptrdiff_t>(j) + base + static_cast<std::ptrdiff_t>(t);
+            if (src >= 0 && src < static_cast<std::ptrdiff_t>(l_in)) {
+              acc += wrow[t] * xrow[src];
+            }
+          }
+          yrow[j] += acc;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv1D::backward(const Tensor& grad_out) {
+  const std::size_t n = last_input_.dim(0);
+  const std::size_t l_in = last_input_.dim(2);
+  const std::size_t l_out = output_length(l_in);
+  if (grad_out.rank() != 3 || grad_out.dim(0) != n ||
+      grad_out.dim(1) != out_ch_ || grad_out.dim(2) != l_out) {
+    throw std::invalid_argument("Conv1D::backward: bad gradient shape " +
+                                grad_out.shape_string());
+  }
+  const std::ptrdiff_t base =
+      padding_ == Padding::kSame ? -static_cast<std::ptrdiff_t>(k_ / 2) : 0;
+
+  Tensor grad_in({n, in_ch_, l_in});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      const float* grow = grad_out.data() + (i * out_ch_ + oc) * l_out;
+      for (std::size_t j = 0; j < l_out; ++j) gb_[oc] += grow[j];
+      for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+        const float* xrow = last_input_.data() + (i * in_ch_ + ic) * l_in;
+        float* gxrow = grad_in.data() + (i * in_ch_ + ic) * l_in;
+        const float* wrow = w_.data() + (oc * in_ch_ + ic) * k_;
+        float* gwrow = gw_.data() + (oc * in_ch_ + ic) * k_;
+        for (std::size_t j = 0; j < l_out; ++j) {
+          const float g = grow[j];
+          if (g == 0.0f) continue;
+          for (std::size_t t = 0; t < k_; ++t) {
+            const std::ptrdiff_t src =
+                static_cast<std::ptrdiff_t>(j) + base + static_cast<std::ptrdiff_t>(t);
+            if (src >= 0 && src < static_cast<std::ptrdiff_t>(l_in)) {
+              gwrow[t] += g * xrow[src];
+              gxrow[src] += g * wrow[t];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param> Conv1D::params() {
+  return {{&w_, &gw_, "conv1d.w"}, {&b_, &gb_, "conv1d.b"}};
+}
+
+std::string Conv1D::describe() const {
+  return "Conv1D(" + std::to_string(in_ch_) + "->" + std::to_string(out_ch_) +
+         ", k=" + std::to_string(k_) +
+         (padding_ == Padding::kSame ? ", same)" : ", valid)");
+}
+
+}  // namespace gea::ml

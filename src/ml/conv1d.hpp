@@ -1,0 +1,39 @@
+// 1D convolution over (N, C, L) batches with unit stride.
+//
+// Matches the paper's two padding modes: `kSame` (zero-pad so L_out == L_in,
+// used by Conv 1 and Conv 3) and `kValid` (no padding, L_out = L_in - k + 1,
+// used by Conv 2 and Conv 4).
+#pragma once
+
+#include "ml/layer.hpp"
+
+namespace gea::ml {
+
+enum class Padding { kSame, kValid };
+
+class Conv1D : public Layer {
+ public:
+  Conv1D(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel_size, Padding padding);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param> params() override;
+  std::string describe() const override;
+  void init(util::Rng& rng) override;
+
+  std::size_t output_length(std::size_t input_length) const;
+
+ private:
+  std::size_t in_ch_;
+  std::size_t out_ch_;
+  std::size_t k_;
+  Padding padding_;
+  std::vector<float> w_;   // (out_ch, in_ch, k)
+  std::vector<float> b_;   // (out_ch)
+  std::vector<float> gw_;
+  std::vector<float> gb_;
+  Tensor last_input_;
+};
+
+}  // namespace gea::ml

@@ -1,0 +1,81 @@
+#include "ml/dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gea::ml {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features)
+    : in_(in_features),
+      out_(out_features),
+      w_(in_features * out_features, 0.0f),
+      b_(out_features, 0.0f),
+      gw_(w_.size(), 0.0f),
+      gb_(b_.size(), 0.0f) {}
+
+void Dense::init(util::Rng& rng) {
+  // He initialization (ReLU follows every dense layer but the head; the
+  // head's logits tolerate it fine).
+  const double scale = std::sqrt(2.0 / static_cast<double>(in_));
+  for (auto& w : w_) w = static_cast<float>(rng.normal(0.0, scale));
+  for (auto& b : b_) b = 0.0f;
+}
+
+Tensor Dense::forward(const Tensor& x, bool /*training*/) {
+  if (x.rank() != 2 || x.dim(1) != in_) {
+    throw std::invalid_argument("Dense::forward: expected (N, " +
+                                std::to_string(in_) + "), got " +
+                                x.shape_string());
+  }
+  last_input_ = x;
+  const std::size_t n = x.dim(0);
+  Tensor y({n, out_});
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* xi = x.data() + i * in_;
+    float* yi = y.data() + i * out_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float* wrow = w_.data() + o * in_;
+      float acc = b_[o];
+      for (std::size_t k = 0; k < in_; ++k) acc += wrow[k] * xi[k];
+      yi[o] = acc;
+    }
+  }
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  if (grad_out.rank() != 2 || grad_out.dim(1) != out_ ||
+      grad_out.dim(0) != last_input_.dim(0)) {
+    throw std::invalid_argument("Dense::backward: bad gradient shape " +
+                                grad_out.shape_string());
+  }
+  const std::size_t n = grad_out.dim(0);
+  Tensor grad_in({n, in_});
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* gi = grad_out.data() + i * out_;
+    const float* xi = last_input_.data() + i * in_;
+    float* gx = grad_in.data() + i * in_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float g = gi[o];
+      if (g == 0.0f) continue;
+      gb_[o] += g;
+      float* gwrow = gw_.data() + o * in_;
+      const float* wrow = w_.data() + o * in_;
+      for (std::size_t k = 0; k < in_; ++k) {
+        gwrow[k] += g * xi[k];
+        gx[k] += g * wrow[k];
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param> Dense::params() {
+  return {{&w_, &gw_, "dense.w"}, {&b_, &gb_, "dense.b"}};
+}
+
+std::string Dense::describe() const {
+  return "Dense(" + std::to_string(in_) + "->" + std::to_string(out_) + ")";
+}
+
+}  // namespace gea::ml

@@ -1,0 +1,31 @@
+// Fully connected layer: y = W x + b over (N, in) batches.
+#pragma once
+
+#include "ml/layer.hpp"
+
+namespace gea::ml {
+
+class Dense : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param> params() override;
+  std::string describe() const override;
+  void init(util::Rng& rng) override;
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  std::vector<float> w_;   // (out, in) row-major
+  std::vector<float> b_;   // (out)
+  std::vector<float> gw_;
+  std::vector<float> gb_;
+  Tensor last_input_;
+};
+
+}  // namespace gea::ml

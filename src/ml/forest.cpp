@@ -1,0 +1,191 @@
+#include "ml/forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace gea::ml {
+
+namespace {
+
+double gini(std::size_t pos, std::size_t total) {
+  if (total == 0) return 0.0;
+  const double p = static_cast<double>(pos) / static_cast<double>(total);
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+std::uint32_t DecisionTree::build(const std::vector<std::vector<double>>& rows,
+                                  const std::vector<std::uint8_t>& labels,
+                                  std::vector<std::size_t>& indices,
+                                  std::size_t begin, std::size_t end,
+                                  std::size_t depth, const ForestConfig& cfg,
+                                  util::Rng& rng) {
+  const std::size_t n = end - begin;
+  std::size_t positives = 0;
+  for (std::size_t k = begin; k < end; ++k) positives += labels[indices[k]];
+
+  const auto make_leaf = [&]() {
+    Node leaf;
+    leaf.feature = -1;
+    leaf.value = n == 0 ? 0.5
+                        : static_cast<double>(positives) / static_cast<double>(n);
+    nodes_.push_back(leaf);
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+  };
+
+  if (depth >= cfg.max_depth || n < 2 * cfg.min_samples_leaf ||
+      positives == 0 || positives == n) {
+    return make_leaf();
+  }
+
+  const std::size_t dim = rows.front().size();
+  std::size_t mtry = cfg.features_per_split;
+  if (mtry == 0) {
+    mtry = static_cast<std::size_t>(
+        std::max(1.0, std::floor(std::sqrt(static_cast<double>(dim)))));
+  }
+  mtry = std::min(mtry, dim);
+
+  // Candidate features (sampled without replacement).
+  std::vector<std::size_t> feats(dim);
+  std::iota(feats.begin(), feats.end(), 0);
+  rng.shuffle(feats);
+  feats.resize(mtry);
+
+  double best_score = gini(positives, n);
+  std::int32_t best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, std::uint8_t>> column(n);
+  for (std::size_t f : feats) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t idx = indices[begin + k];
+      column[k] = {rows[idx][f], labels[idx]};
+    }
+    std::sort(column.begin(), column.end());
+    std::size_t left_pos = 0;
+    for (std::size_t k = 1; k < n; ++k) {
+      left_pos += column[k - 1].second;
+      if (column[k].first == column[k - 1].first) continue;  // no boundary
+      const std::size_t left_n = k, right_n = n - k;
+      if (left_n < cfg.min_samples_leaf || right_n < cfg.min_samples_leaf) {
+        continue;
+      }
+      const std::size_t right_pos = positives - left_pos;
+      const double score =
+          (static_cast<double>(left_n) * gini(left_pos, left_n) +
+           static_cast<double>(right_n) * gini(right_pos, right_n)) /
+          static_cast<double>(n);
+      if (score + 1e-12 < best_score) {
+        best_score = score;
+        best_feature = static_cast<std::int32_t>(f);
+        best_threshold = (column[k - 1].first + column[k].first) / 2.0;
+      }
+    }
+  }
+  if (best_feature < 0) return make_leaf();
+
+  // Partition indices in place.
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t idx) {
+        return rows[idx][static_cast<std::size_t>(best_feature)] <=
+               best_threshold;
+      });
+  const auto mid =
+      static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return make_leaf();  // degenerate split
+
+  const auto self = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back({});  // placeholder; children append after it
+  nodes_[self].feature = best_feature;
+  nodes_[self].threshold = best_threshold;
+  const auto left = build(rows, labels, indices, begin, mid, depth + 1, cfg, rng);
+  const auto right = build(rows, labels, indices, mid, end, depth + 1, cfg, rng);
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  return self;
+}
+
+void DecisionTree::fit(const std::vector<std::vector<double>>& rows,
+                       const std::vector<std::uint8_t>& labels,
+                       const std::vector<std::size_t>& sample_indices,
+                       const ForestConfig& cfg, util::Rng& rng) {
+  if (rows.empty() || rows.size() != labels.size()) {
+    throw std::invalid_argument("DecisionTree::fit: bad inputs");
+  }
+  nodes_.clear();
+  std::vector<std::size_t> indices = sample_indices;
+  build(rows, labels, indices, 0, indices.size(), 0, cfg, rng);
+}
+
+double DecisionTree::prob1(const std::vector<double>& x) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree: not fitted");
+  std::uint32_t cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    const auto f = static_cast<std::size_t>(nodes_[cur].feature);
+    cur = x[f] <= nodes_[cur].threshold ? nodes_[cur].left : nodes_[cur].right;
+  }
+  return nodes_[cur].value;
+}
+
+std::size_t DecisionTree::depth() const {
+  // Depth via iterative walk (nodes are in preorder; compute from links).
+  std::size_t max_depth = 0;
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack = {{0, 0}};
+  while (!stack.empty()) {
+    const auto [node, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    if (nodes_[node].feature >= 0) {
+      stack.push_back({nodes_[node].left, d + 1});
+      stack.push_back({nodes_[node].right, d + 1});
+    }
+  }
+  return max_depth;
+}
+
+void RandomForest::fit(const std::vector<std::vector<double>>& rows,
+                       const std::vector<std::uint8_t>& labels) {
+  if (rows.empty() || rows.size() != labels.size()) {
+    throw std::invalid_argument("RandomForest::fit: bad inputs");
+  }
+  trees_.clear();
+  util::Rng rng(cfg_.seed);
+  const auto n_boot = static_cast<std::size_t>(
+      cfg_.subsample * static_cast<double>(rows.size()));
+  for (std::size_t t = 0; t < cfg_.num_trees; ++t) {
+    std::vector<std::size_t> boot(std::max<std::size_t>(n_boot, 1));
+    for (auto& idx : boot) {
+      idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(rows.size()) - 1));
+    }
+    DecisionTree tree;
+    tree.fit(rows, labels, boot, cfg_, rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::prob1(const std::vector<double>& x) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
+  double s = 0.0;
+  for (const auto& t : trees_) s += t.prob1(x);
+  return s / static_cast<double>(trees_.size());
+}
+
+std::uint8_t RandomForest::predict(const std::vector<double>& x) const {
+  return prob1(x) >= 0.5 ? 1 : 0;
+}
+
+std::vector<std::uint8_t> RandomForest::predict_all(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) out.push_back(predict(r));
+  return out;
+}
+
+}  // namespace gea::ml

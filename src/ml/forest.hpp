@@ -1,0 +1,84 @@
+// Random forest on feature vectors — a non-differentiable detector.
+//
+// White-box gradient attacks need the CNN; a real deployment could field a
+// tree ensemble instead. The forest exists to test the paper's central
+// claim at its strongest: if CFG *features* are the weakness, then AEs and
+// GEA splices must also beat a model family with no gradients to follow
+// (see bench/ablation_forest).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gea::ml {
+
+struct ForestConfig {
+  std::size_t num_trees = 50;
+  std::size_t max_depth = 12;
+  std::size_t min_samples_leaf = 2;
+  /// Features considered per split; 0 = floor(sqrt(dim)).
+  std::size_t features_per_split = 0;
+  /// Bootstrap sample fraction per tree.
+  double subsample = 1.0;
+  std::uint64_t seed = 1234;
+};
+
+/// One CART tree (Gini impurity, axis-aligned thresholds), grown on
+/// bootstrap data with feature subsampling — the standard Breiman recipe.
+class DecisionTree {
+ public:
+  void fit(const std::vector<std::vector<double>>& rows,
+           const std::vector<std::uint8_t>& labels,
+           const std::vector<std::size_t>& sample_indices,
+           const ForestConfig& cfg, util::Rng& rng);
+
+  /// P(class 1) at the leaf reached by x.
+  double prob1(const std::vector<double>& x) const;
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t depth() const;
+
+ private:
+  struct Node {
+    // Internal: feature/threshold and child links; leaf: value in [0,1].
+    std::int32_t feature = -1;        // -1 = leaf
+    double threshold = 0.0;
+    std::uint32_t left = 0;
+    std::uint32_t right = 0;
+    double value = 0.0;               // leaf: P(label==1)
+  };
+
+  std::uint32_t build(const std::vector<std::vector<double>>& rows,
+                      const std::vector<std::uint8_t>& labels,
+                      std::vector<std::size_t>& indices, std::size_t begin,
+                      std::size_t end, std::size_t depth,
+                      const ForestConfig& cfg, util::Rng& rng);
+
+  std::vector<Node> nodes_;
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(ForestConfig cfg = {}) : cfg_(cfg) {}
+
+  void fit(const std::vector<std::vector<double>>& rows,
+           const std::vector<std::uint8_t>& labels);
+
+  bool fitted() const { return !trees_.empty(); }
+  /// Mean of the trees' leaf probabilities.
+  double prob1(const std::vector<double>& x) const;
+  std::uint8_t predict(const std::vector<double>& x) const;
+  std::vector<std::uint8_t> predict_all(
+      const std::vector<std::vector<double>>& rows) const;
+
+  std::size_t num_trees() const { return trees_.size(); }
+
+ private:
+  ForestConfig cfg_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace gea::ml

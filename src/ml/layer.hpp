@@ -1,0 +1,49 @@
+// Layer abstraction.
+//
+// Layers are stateful: forward() caches whatever backward() needs, so a
+// backward call must follow the forward call whose gradient it computes.
+// backward() accumulates parameter gradients (callers zero them via
+// Model::zero_grad) and returns the gradient with respect to the layer
+// input — the chain every white-box attack rides to get input gradients.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace gea::ml {
+
+/// A learnable parameter: value and gradient, same length.
+struct Param {
+  std::vector<float>* value = nullptr;
+  std::vector<float>* grad = nullptr;
+  std::string name;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Compute the layer output. `training` toggles dropout et al.
+  virtual Tensor forward(const Tensor& x, bool training) = 0;
+
+  /// Propagate `grad_out` (dL/d output) to dL/d input, accumulating
+  /// parameter gradients along the way.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Learnable parameters (empty for stateless layers).
+  virtual std::vector<Param> params() { return {}; }
+
+  /// One-line description, e.g. "Conv1D(1->46, k=3, same)".
+  virtual std::string describe() const = 0;
+
+  /// Initialize weights (no-op for stateless layers).
+  virtual void init(util::Rng&) {}
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace gea::ml

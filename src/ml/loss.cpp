@@ -1,0 +1,77 @@
+#include "ml/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gea::ml {
+
+Tensor softmax(const Tensor& logits) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax: expected rank-2 logits");
+  }
+  const std::size_t n = logits.dim(0), k = logits.dim(1);
+  Tensor p({n, k});
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * k;
+    float* prow = p.data() + i * k;
+    float mx = row[0];
+    for (std::size_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (std::size_t j = 0; j < k; ++j) {
+      prow[j] = std::exp(row[j] - mx);
+      sum += prow[j];
+    }
+    for (std::size_t j = 0; j < k; ++j) prow[j] /= sum;
+  }
+  return p;
+}
+
+double cross_entropy(const Tensor& logits,
+                     const std::vector<std::uint8_t>& labels) {
+  if (logits.dim(0) != labels.size()) {
+    throw std::invalid_argument("cross_entropy: label count mismatch");
+  }
+  const Tensor p = softmax(logits);
+  const std::size_t n = p.dim(0), k = p.dim(1);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (labels[i] >= k) throw std::invalid_argument("cross_entropy: bad label");
+    const double pi = std::max(1e-12, static_cast<double>(p.at2(i, labels[i])));
+    loss -= std::log(pi);
+  }
+  return loss / static_cast<double>(n);
+}
+
+Tensor cross_entropy_grad(const Tensor& logits,
+                          const std::vector<std::uint8_t>& labels) {
+  if (logits.dim(0) != labels.size()) {
+    throw std::invalid_argument("cross_entropy_grad: label count mismatch");
+  }
+  Tensor g = softmax(logits);
+  const std::size_t n = g.dim(0), k = g.dim(1);
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.at2(i, labels[i]) -= 1.0f;
+    for (std::size_t j = 0; j < k; ++j) g.at2(i, j) *= inv_n;
+  }
+  return g;
+}
+
+std::vector<std::uint8_t> argmax_rows(const Tensor& scores) {
+  if (scores.rank() != 2) {
+    throw std::invalid_argument("argmax_rows: expected rank-2");
+  }
+  const std::size_t n = scores.dim(0), k = scores.dim(1);
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < k; ++j) {
+      if (scores.at2(i, j) > scores.at2(i, best)) best = j;
+    }
+    out[i] = static_cast<std::uint8_t>(best);
+  }
+  return out;
+}
+
+}  // namespace gea::ml

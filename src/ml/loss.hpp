@@ -1,0 +1,24 @@
+// Softmax and cross-entropy with logits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/tensor.hpp"
+
+namespace gea::ml {
+
+/// Row-wise softmax of a (N, K) logits tensor (numerically stabilized).
+Tensor softmax(const Tensor& logits);
+
+/// Mean cross-entropy of (N, K) logits against integer labels.
+double cross_entropy(const Tensor& logits, const std::vector<std::uint8_t>& labels);
+
+/// Gradient of mean cross-entropy w.r.t. logits: (softmax - onehot) / N.
+Tensor cross_entropy_grad(const Tensor& logits,
+                          const std::vector<std::uint8_t>& labels);
+
+/// argmax per row of a (N, K) tensor.
+std::vector<std::uint8_t> argmax_rows(const Tensor& scores);
+
+}  // namespace gea::ml

@@ -1,0 +1,61 @@
+#include "ml/metrics.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace gea::ml {
+
+double ConfusionMatrix::accuracy() const {
+  const auto t = total();
+  return t == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(t);
+}
+
+double ConfusionMatrix::fnr() const {
+  const auto pos = fn + tp;
+  return pos == 0 ? 0.0 : static_cast<double>(fn) / static_cast<double>(pos);
+}
+
+double ConfusionMatrix::fpr() const {
+  const auto neg = fp + tn;
+  return neg == 0 ? 0.0 : static_cast<double>(fp) / static_cast<double>(neg);
+}
+
+double ConfusionMatrix::precision() const {
+  const auto den = tp + fp;
+  return den == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(den);
+}
+
+double ConfusionMatrix::recall() const {
+  const auto den = tp + fn;
+  return den == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(den);
+}
+
+double ConfusionMatrix::f1() const {
+  const double p = precision(), r = recall();
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream ss;
+  ss << "TP=" << tp << " TN=" << tn << " FP=" << fp << " FN=" << fn;
+  return ss.str();
+}
+
+ConfusionMatrix confusion(const std::vector<std::uint8_t>& predicted,
+                          const std::vector<std::uint8_t>& actual) {
+  if (predicted.size() != actual.size()) {
+    throw std::invalid_argument("confusion: size mismatch");
+  }
+  ConfusionMatrix m;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const bool pred_mal = predicted[i] == 1;
+    const bool is_mal = actual[i] == 1;
+    if (pred_mal && is_mal) ++m.tp;
+    else if (!pred_mal && !is_mal) ++m.tn;
+    else if (pred_mal && !is_mal) ++m.fp;
+    else ++m.fn;
+  }
+  return m;
+}
+
+}  // namespace gea::ml

@@ -1,0 +1,34 @@
+// Binary-classification metrics matching the paper's reporting
+// (accuracy rate, false-negative rate, false-positive rate), with the
+// paper's label convention: 1 = malicious (positive), 0 = benign.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gea::ml {
+
+struct ConfusionMatrix {
+  std::size_t tp = 0;  // malicious predicted malicious
+  std::size_t tn = 0;  // benign predicted benign
+  std::size_t fp = 0;  // benign predicted malicious
+  std::size_t fn = 0;  // malicious predicted benign
+
+  std::size_t total() const { return tp + tn + fp + fn; }
+  double accuracy() const;
+  /// FNR = FN / (FN + TP): malware that slipped through.
+  double fnr() const;
+  /// FPR = FP / (FP + TN): benign flagged as malware.
+  double fpr() const;
+  double precision() const;
+  double recall() const;
+  double f1() const;
+
+  std::string to_string() const;
+};
+
+ConfusionMatrix confusion(const std::vector<std::uint8_t>& predicted,
+                          const std::vector<std::uint8_t>& actual);
+
+}  // namespace gea::ml

@@ -1,0 +1,208 @@
+#include "ml/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "ml/loss.hpp"
+
+namespace gea::ml {
+
+Model& Model::add(LayerPtr layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+void Model::init(util::Rng& rng) {
+  for (auto& l : layers_) l->init(rng);
+}
+
+Tensor Model::forward(const Tensor& x, bool training) {
+  Tensor cur = x;
+  for (auto& l : layers_) cur = l->forward(cur, training);
+  return cur;
+}
+
+Tensor Model::backward(const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    cur = (*it)->backward(cur);
+  }
+  return cur;
+}
+
+std::vector<Param> Model::params() {
+  std::vector<Param> all;
+  for (auto& l : layers_) {
+    for (auto& p : l->params()) all.push_back(p);
+  }
+  return all;
+}
+
+void Model::zero_grad() {
+  for (auto& p : params()) {
+    std::fill(p.grad->begin(), p.grad->end(), 0.0f);
+  }
+}
+
+std::size_t Model::num_parameters() {
+  std::size_t n = 0;
+  for (auto& p : params()) n += p.value->size();
+  return n;
+}
+
+std::string Model::summary() {
+  std::ostringstream ss;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    ss << "  [" << i << "] " << layers_[i]->describe() << '\n';
+  }
+  ss << "  total parameters: " << num_parameters() << '\n';
+  return ss.str();
+}
+
+namespace {
+constexpr char kMagic[4] = {'G', 'E', 'A', 'M'};
+}
+
+void Model::save(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("Model::save: cannot open " + path);
+  out.write(kMagic, 4);
+  const auto ps = params();
+  const std::uint64_t n = ps.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const auto& p : ps) {
+    const std::uint64_t len = p.value->size();
+    out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    out.write(reinterpret_cast<const char*>(p.value->data()),
+              static_cast<std::streamsize>(len * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("Model::save: write failed for " + path);
+}
+
+void Model::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("Model::load: cannot open " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("Model::load: bad magic in " + path);
+  }
+  auto ps = params();
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in || n != ps.size()) {
+    throw std::runtime_error("Model::load: parameter count mismatch in " + path);
+  }
+  for (auto& p : ps) {
+    std::uint64_t len = 0;
+    in.read(reinterpret_cast<char*>(&len), sizeof(len));
+    if (!in || len != p.value->size()) {
+      throw std::runtime_error("Model::load: parameter size mismatch in " + path);
+    }
+    in.read(reinterpret_cast<char*>(p.value->data()),
+            static_cast<std::streamsize>(len * sizeof(float)));
+    if (!in) throw std::runtime_error("Model::load: truncated file " + path);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DifferentiableClassifier
+
+std::vector<double> DifferentiableClassifier::probabilities(
+    const std::vector<double>& x) {
+  const auto z = logits(x);
+  double mx = z[0];
+  for (double v : z) mx = std::max(mx, v);
+  std::vector<double> p(z.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    p[i] = std::exp(z[i] - mx);
+    sum += p[i];
+  }
+  for (auto& v : p) v /= sum;
+  return p;
+}
+
+std::size_t DifferentiableClassifier::predict(const std::vector<double>& x) {
+  const auto z = logits(x);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < z.size(); ++i) {
+    if (z[i] > z[best]) best = i;
+  }
+  return best;
+}
+
+std::vector<double> DifferentiableClassifier::grad_weighted(
+    const std::vector<double>& x, const std::vector<double>& weights) {
+  std::vector<double> g(input_dim(), 0.0);
+  for (std::size_t k = 0; k < num_classes(); ++k) {
+    if (std::abs(weights[k]) < 1e-15) continue;
+    const auto gk = grad_logit(x, k);
+    for (std::size_t i = 0; i < g.size(); ++i) g[i] += weights[k] * gk[i];
+  }
+  return g;
+}
+
+std::vector<double> DifferentiableClassifier::grad_loss(
+    const std::vector<double>& x, std::size_t label) {
+  // d/dx [-log softmax_label] = sum_k (p_k - [k==label]) * d logit_k / dx.
+  auto weights = probabilities(x);
+  weights[label] -= 1.0;
+  return grad_weighted(x, weights);
+}
+
+// ---------------------------------------------------------------------------
+// ModelClassifier
+
+Tensor ModelClassifier::to_input(const std::vector<double>& x) const {
+  if (x.size() != dim_) {
+    throw std::invalid_argument("ModelClassifier: expected dim " +
+                                std::to_string(dim_));
+  }
+  Tensor t({1, 1, dim_});
+  for (std::size_t i = 0; i < dim_; ++i) t[i] = static_cast<float>(x[i]);
+  return t;
+}
+
+std::vector<double> ModelClassifier::logits(const std::vector<double>& x) {
+  const Tensor out = model_->forward(to_input(x), /*training=*/false);
+  if (out.rank() != 2 || out.dim(0) != 1 || out.dim(1) != classes_) {
+    throw std::logic_error("ModelClassifier: unexpected output shape " +
+                           out.shape_string());
+  }
+  std::vector<double> z(classes_);
+  for (std::size_t i = 0; i < classes_; ++i) z[i] = out[i];
+  return z;
+}
+
+std::vector<double> ModelClassifier::grad_logit(const std::vector<double>& x,
+                                                std::size_t k) {
+  if (k >= classes_) throw std::invalid_argument("grad_logit: bad class");
+  std::vector<double> weights(classes_, 0.0);
+  weights[k] = 1.0;
+  return grad_weighted(x, weights);
+}
+
+std::vector<double> ModelClassifier::grad_weighted(
+    const std::vector<double>& x, const std::vector<double>& weights) {
+  if (weights.size() != classes_) {
+    throw std::invalid_argument("grad_weighted: weight count mismatch");
+  }
+  (void)model_->forward(to_input(x), /*training=*/false);
+  Tensor seed({1, classes_});
+  for (std::size_t k = 0; k < classes_; ++k) {
+    seed.at2(0, k) = static_cast<float>(weights[k]);
+  }
+  // Parameter gradients accumulate as a side effect; training never
+  // interleaves with attacks, and trainers zero grads each step anyway.
+  const Tensor gin = model_->backward(seed);
+  std::vector<double> g(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) g[i] = gin[i];
+  return g;
+}
+
+}  // namespace gea::ml

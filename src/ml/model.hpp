@@ -1,0 +1,106 @@
+// Sequential model container and the differentiable-classifier interface
+// the adversarial attacks consume.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/layer.hpp"
+#include "ml/tensor.hpp"
+
+namespace gea::ml {
+
+/// A sequential stack of layers.
+class Model {
+ public:
+  Model() = default;
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+
+  /// Append a layer (builder style).
+  Model& add(LayerPtr layer);
+
+  /// Initialize all layer parameters.
+  void init(util::Rng& rng);
+
+  /// Forward pass. `training` enables dropout.
+  Tensor forward(const Tensor& x, bool training = false);
+
+  /// Backward pass from dL/d logits; must follow the matching forward().
+  /// Returns dL/d input; parameter gradients are accumulated.
+  Tensor backward(const Tensor& grad_out);
+
+  std::vector<Param> params();
+  void zero_grad();
+  std::size_t num_parameters();
+
+  /// Layer-by-layer architecture listing (the Fig. 5 text rendering).
+  std::string summary();
+
+  /// Save/load all parameter values (architecture must match at load).
+  void save(const std::string& path);
+  void load(const std::string& path);
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+/// What an attack needs from a model: logits and input gradients over flat
+/// feature vectors. Implementations adapt shape conventions internally.
+class DifferentiableClassifier {
+ public:
+  virtual ~DifferentiableClassifier() = default;
+
+  virtual std::size_t input_dim() const = 0;
+  virtual std::size_t num_classes() const = 0;
+
+  /// Logits for one input vector.
+  virtual std::vector<double> logits(const std::vector<double>& x) = 0;
+
+  /// Gradient of logit `k` with respect to the input.
+  virtual std::vector<double> grad_logit(const std::vector<double>& x,
+                                         std::size_t k) = 0;
+
+  /// Gradient of sum_k weights[k] * logit_k(x) with respect to the input.
+  /// The default composes grad_logit calls; implementations backed by
+  /// reverse-mode autodiff override it with a single backward pass, which
+  /// is what makes the iterative attacks cheap.
+  virtual std::vector<double> grad_weighted(const std::vector<double>& x,
+                                            const std::vector<double>& weights);
+
+  // Derived conveniences.
+  std::vector<double> probabilities(const std::vector<double>& x);
+  std::size_t predict(const std::vector<double>& x);
+  /// Gradient of cross-entropy(label) w.r.t. the input.
+  std::vector<double> grad_loss(const std::vector<double>& x,
+                                std::size_t label);
+};
+
+/// Adapter: a Model whose input is (1, 1, D) and whose output is (1, K).
+class ModelClassifier : public DifferentiableClassifier {
+ public:
+  ModelClassifier(Model& model, std::size_t input_dim, std::size_t num_classes)
+      : model_(&model), dim_(input_dim), classes_(num_classes) {}
+
+  std::size_t input_dim() const override { return dim_; }
+  std::size_t num_classes() const override { return classes_; }
+  std::vector<double> logits(const std::vector<double>& x) override;
+  std::vector<double> grad_logit(const std::vector<double>& x,
+                                 std::size_t k) override;
+  std::vector<double> grad_weighted(
+      const std::vector<double>& x,
+      const std::vector<double>& weights) override;
+
+  Model& model() { return *model_; }
+
+ private:
+  Tensor to_input(const std::vector<double>& x) const;
+
+  Model* model_;
+  std::size_t dim_;
+  std::size_t classes_;
+};
+
+}  // namespace gea::ml

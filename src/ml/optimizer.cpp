@@ -1,0 +1,60 @@
+#include "ml/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gea::ml {
+
+Sgd::Sgd(double lr, double momentum) : lr_(lr), momentum_(momentum) {}
+
+void Sgd::step(const std::vector<Param>& params) {
+  if (velocity_.empty()) {
+    for (const auto& p : params) velocity_.emplace_back(p.value->size(), 0.0f);
+  }
+  if (velocity_.size() != params.size()) {
+    throw std::logic_error("Sgd::step: parameter set changed");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto& value = *params[i].value;
+    const auto& grad = *params[i].grad;
+    auto& vel = velocity_[i];
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      vel[j] = static_cast<float>(momentum_ * vel[j] - lr_ * grad[j]);
+      value[j] += vel[j];
+    }
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+void Adam::step(const std::vector<Param>& params) {
+  if (m_.empty()) {
+    for (const auto& p : params) {
+      m_.emplace_back(p.value->size(), 0.0f);
+      v_.emplace_back(p.value->size(), 0.0f);
+    }
+  }
+  if (m_.size() != params.size()) {
+    throw std::logic_error("Adam::step: parameter set changed");
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto& value = *params[i].value;
+    const auto& grad = *params[i].grad;
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      const double g = grad[j];
+      m[j] = static_cast<float>(beta1_ * m[j] + (1.0 - beta1_) * g);
+      v[j] = static_cast<float>(beta2_ * v[j] + (1.0 - beta2_) * g * g);
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      value[j] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+}  // namespace gea::ml

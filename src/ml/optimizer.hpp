@@ -1,0 +1,41 @@
+// Gradient-descent optimizers over Model parameters.
+#pragma once
+
+#include <vector>
+
+#include "ml/layer.hpp"
+
+namespace gea::ml {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Apply one update step using the parameters' accumulated gradients.
+  virtual void step(const std::vector<Param>& params) = 0;
+};
+
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0);
+  void step(const std::vector<Param>& params) override;
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8);
+  void step(const std::vector<Param>& params) override;
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace gea::ml

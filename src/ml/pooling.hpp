@@ -1,0 +1,24 @@
+// Max pooling over the length axis of (N, C, L) tensors.
+#pragma once
+
+#include "ml/layer.hpp"
+
+namespace gea::ml {
+
+/// MaxPool1D with equal window and stride (the paper uses 2/2). Trailing
+/// positions that do not fill a full window are dropped (floor semantics).
+class MaxPool1D : public Layer {
+ public:
+  explicit MaxPool1D(std::size_t window);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string describe() const override;
+
+ private:
+  std::size_t window_;
+  std::vector<std::size_t> argmax_;  // flat input index per output element
+  std::vector<std::size_t> in_shape_;
+};
+
+}  // namespace gea::ml

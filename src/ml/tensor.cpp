@@ -1,0 +1,90 @@
+#include "ml/tensor.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace gea::ml {
+
+namespace {
+std::size_t total_size(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(total_size(shape_), 0.0f) {}
+
+Tensor Tensor::from_values(std::vector<std::size_t> shape,
+                           std::vector<float> values) {
+  if (total_size(shape) != values.size()) {
+    throw std::invalid_argument("Tensor::from_values: size mismatch");
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(values);
+  return t;
+}
+
+void Tensor::fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+void Tensor::reshape(std::vector<std::size_t> shape) {
+  if (total_size(shape) != data_.size()) {
+    throw std::invalid_argument("Tensor::reshape: size mismatch (" +
+                                shape_string() + ")");
+  }
+  shape_ = std::move(shape);
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  if (!same_shape(other)) throw std::invalid_argument("Tensor +=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  if (!same_shape(other)) throw std::invalid_argument("Tensor -=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+double Tensor::l1_norm() const {
+  double s = 0.0;
+  for (float x : data_) s += std::abs(static_cast<double>(x));
+  return s;
+}
+
+double Tensor::l2_norm() const {
+  double s = 0.0;
+  for (float x : data_) s += static_cast<double>(x) * static_cast<double>(x);
+  return std::sqrt(s);
+}
+
+double Tensor::linf_norm() const {
+  double m = 0.0;
+  for (float x : data_) m = std::max(m, std::abs(static_cast<double>(x)));
+  return m;
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream ss;
+  ss << '(';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) ss << ", ";
+    ss << shape_[i];
+  }
+  ss << ')';
+  return ss.str();
+}
+
+}  // namespace gea::ml

@@ -1,0 +1,78 @@
+// Dense float32 tensor with row-major layout.
+//
+// The networks here are small (a 23-long input through four tiny conv
+// layers), so the tensor is a shape header over a flat vector — no views,
+// no broadcasting, no BLAS. Layers index it directly.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace gea::ml {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::initializer_list<std::size_t> shape)
+      : Tensor(std::vector<std::size_t>(shape)) {}
+
+  static Tensor from_values(std::vector<std::size_t> shape,
+                            std::vector<float> values);
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t dim(std::size_t i) const { return shape_.at(i); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& values() { return data_; }
+  const std::vector<float>& values() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 2D indexing (rank must be 2).
+  float& at2(std::size_t i, std::size_t j) {
+    return data_[i * shape_[1] + j];
+  }
+  float at2(std::size_t i, std::size_t j) const {
+    return data_[i * shape_[1] + j];
+  }
+  /// 3D indexing (rank must be 3).
+  float& at3(std::size_t i, std::size_t j, std::size_t k) {
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+  }
+  float at3(std::size_t i, std::size_t j, std::size_t k) const {
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+  }
+
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  /// Reshape in place; total size must be preserved.
+  void reshape(std::vector<std::size_t> shape);
+
+  /// Elementwise helpers used by optimizers and attacks.
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float s);
+
+  double l1_norm() const;
+  double l2_norm() const;
+  double linf_norm() const;
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+  std::string shape_string() const;
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace gea::ml

@@ -1,0 +1,86 @@
+#include "ml/trainer.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "ml/loss.hpp"
+
+namespace gea::ml {
+
+Tensor LabeledData::batch_tensor(const std::vector<std::size_t>& indices,
+                                 std::size_t begin, std::size_t end) const {
+  if (begin >= end || end > indices.size()) {
+    throw std::invalid_argument("batch_tensor: bad range");
+  }
+  const std::size_t n = end - begin;
+  const std::size_t d = rows.front().size();
+  Tensor t({n, 1, d});
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& row = rows[indices[begin + i]];
+    if (row.size() != d) throw std::invalid_argument("batch_tensor: ragged rows");
+    for (std::size_t j = 0; j < d; ++j) {
+      t[i * d + j] = static_cast<float>(row[j]);
+    }
+  }
+  return t;
+}
+
+TrainStats train(Model& model, const LabeledData& data, const TrainConfig& cfg) {
+  if (data.rows.empty()) throw std::invalid_argument("train: empty dataset");
+  if (data.rows.size() != data.labels.size()) {
+    throw std::invalid_argument("train: label count mismatch");
+  }
+  util::Rng rng(cfg.seed);
+  Adam opt(cfg.learning_rate);
+  TrainStats stats;
+
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    rng.shuffle(order);
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t begin = 0; begin < order.size(); begin += cfg.batch_size) {
+      const std::size_t end = std::min(begin + cfg.batch_size, order.size());
+      const Tensor x = data.batch_tensor(order, begin, end);
+      std::vector<std::uint8_t> y(end - begin);
+      for (std::size_t i = 0; i < y.size(); ++i) y[i] = data.labels[order[begin + i]];
+
+      model.zero_grad();
+      const Tensor logits = model.forward(x, /*training=*/true);
+      loss_sum += cross_entropy(logits, y);
+      ++batches;
+      const Tensor grad = cross_entropy_grad(logits, y);
+      model.backward(grad);
+      opt.step(model.params());
+    }
+    const double mean_loss = loss_sum / static_cast<double>(batches);
+    stats.epoch_losses.push_back(mean_loss);
+    if (cfg.on_epoch) cfg.on_epoch(epoch, mean_loss);
+    if (cfg.early_stop_loss > 0.0 && mean_loss < cfg.early_stop_loss) break;
+  }
+  stats.final_loss = stats.epoch_losses.empty() ? 0.0 : stats.epoch_losses.back();
+  return stats;
+}
+
+std::vector<std::uint8_t> predict_all(Model& model, const LabeledData& data,
+                                      std::size_t batch_size) {
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<std::uint8_t> out;
+  out.reserve(data.size());
+  for (std::size_t begin = 0; begin < order.size(); begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, order.size());
+    const Tensor logits =
+        model.forward(data.batch_tensor(order, begin, end), /*training=*/false);
+    for (auto label : argmax_rows(logits)) out.push_back(label);
+  }
+  return out;
+}
+
+ConfusionMatrix evaluate(Model& model, const LabeledData& data) {
+  return confusion(predict_all(model, data), data.labels);
+}
+
+}  // namespace gea::ml

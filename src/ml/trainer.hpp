@@ -1,0 +1,52 @@
+// Minibatch training loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ml/metrics.hpp"
+#include "ml/model.hpp"
+#include "ml/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace gea::ml {
+
+/// A labeled dataset of flat feature vectors (rows of equal length).
+struct LabeledData {
+  std::vector<std::vector<double>> rows;
+  std::vector<std::uint8_t> labels;
+
+  std::size_t size() const { return rows.size(); }
+  /// Pack rows [begin, end) into a (n, 1, D) tensor.
+  Tensor batch_tensor(const std::vector<std::size_t>& indices,
+                      std::size_t begin, std::size_t end) const;
+};
+
+struct TrainConfig {
+  std::size_t epochs = 200;      // paper: 200 epochs
+  std::size_t batch_size = 100;  // paper: batch size 100
+  double learning_rate = 1e-3;
+  std::uint64_t seed = 42;
+  /// Stop once the epoch's mean training loss drops below this (0 = off).
+  double early_stop_loss = 0.0;
+  /// Invoked after each epoch with (epoch, mean training loss).
+  std::function<void(std::size_t, double)> on_epoch;
+};
+
+struct TrainStats {
+  std::vector<double> epoch_losses;
+  double final_loss = 0.0;
+};
+
+/// Train `model` in place with Adam + softmax cross-entropy.
+TrainStats train(Model& model, const LabeledData& data, const TrainConfig& cfg);
+
+/// Predicted labels for every row (inference mode, batched).
+std::vector<std::uint8_t> predict_all(Model& model, const LabeledData& data,
+                                      std::size_t batch_size = 256);
+
+/// Convenience: train-set/test-set evaluation.
+ConfusionMatrix evaluate(Model& model, const LabeledData& data);
+
+}  // namespace gea::ml

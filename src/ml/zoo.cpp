@@ -1,0 +1,57 @@
+#include "ml/zoo.hpp"
+
+#include <memory>
+
+#include "ml/activations.hpp"
+#include "ml/conv1d.hpp"
+#include "ml/dense.hpp"
+#include "ml/pooling.hpp"
+
+namespace gea::ml {
+
+Model make_paper_cnn(std::size_t input_dim, std::size_t num_classes,
+                     util::Rng& dropout_rng) {
+  // Flattened size after the two conv blocks for L=23:
+  // 23 -(same)-> 23 -(valid)-> 21 -(pool2)-> 10 -(same)-> 10 -(valid)-> 8
+  // -(pool2)-> 4; 92 channels * 4 = 368, matching the paper.
+  const std::size_t l1 = input_dim;          // conv1 same
+  const std::size_t l2 = l1 - 2;             // conv2 valid
+  const std::size_t l3 = l2 / 2;             // pool
+  const std::size_t l4 = l3;                 // conv3 same
+  const std::size_t l5 = l4 - 2;             // conv4 valid
+  const std::size_t l6 = l5 / 2;             // pool
+  const std::size_t flat = 92 * l6;
+
+  Model m;
+  m.add(std::make_unique<Conv1D>(1, 46, 3, Padding::kSame))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Conv1D>(46, 46, 3, Padding::kValid))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<MaxPool1D>(2))
+      .add(std::make_unique<Dropout>(0.25, dropout_rng))
+      .add(std::make_unique<Conv1D>(46, 92, 3, Padding::kSame))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Conv1D>(92, 92, 3, Padding::kValid))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<MaxPool1D>(2))
+      .add(std::make_unique<Dropout>(0.25, dropout_rng))
+      .add(std::make_unique<Flatten>())
+      .add(std::make_unique<Dense>(flat, 512))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Dropout>(0.5, dropout_rng))
+      .add(std::make_unique<Dense>(512, num_classes));
+  return m;
+}
+
+Model make_mlp_baseline(std::size_t input_dim, std::size_t num_classes) {
+  Model m;
+  m.add(std::make_unique<Flatten>())
+      .add(std::make_unique<Dense>(input_dim, 64))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Dense>(64, 32))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Dense>(32, num_classes));
+  return m;
+}
+
+}  // namespace gea::ml

@@ -1,0 +1,25 @@
+// Model zoo: the paper's CNN (Fig. 5) and a small MLP baseline used by the
+// detector-capacity ablation.
+#pragma once
+
+#include "ml/model.hpp"
+
+namespace gea::ml {
+
+/// The exact Fig. 5 architecture for a 1x`input_dim` feature vector:
+///   ConvB1: Conv1D(1->46, k=3, same) - ReLU - Conv1D(46->46, k=3, valid) -
+///           ReLU - MaxPool(2) - Dropout(0.25)
+///   ConvB2: Conv1D(46->92, k=3, same) - ReLU - Conv1D(92->92, k=3, valid) -
+///           ReLU - MaxPool(2) - Dropout(0.25)
+///   CB:     Flatten - Dense(512) - ReLU - Dropout(0.5) - Dense(num_classes)
+/// The softmax lives in the loss / probability helpers, so `forward`
+/// returns logits (what the attacks differentiate).
+///
+/// `dropout_rng` must outlive the model.
+Model make_paper_cnn(std::size_t input_dim, std::size_t num_classes,
+                     util::Rng& dropout_rng);
+
+/// Baseline: Flatten - Dense(64) - ReLU - Dense(32) - ReLU - Dense(K).
+Model make_mlp_baseline(std::size_t input_dim, std::size_t num_classes);
+
+}  // namespace gea::ml

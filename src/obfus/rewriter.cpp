@@ -1,0 +1,88 @@
+#include "obfus/rewriter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gea::obfus {
+
+using isa::Instruction;
+using isa::Program;
+
+isa::Program insert_instructions(const Program& program,
+                                 std::vector<Insertion> insertions) {
+  if (auto err = program.validate()) {
+    throw std::invalid_argument("insert_instructions: invalid input: " + *err);
+  }
+  const std::size_t old_size = program.size();
+  for (const auto& ins : insertions) {
+    if (ins.position >= old_size) {
+      throw std::invalid_argument("insert_instructions: position out of range");
+    }
+    for (std::size_t rel : ins.relative_targets) {
+      if (rel >= ins.instructions.size()) {
+        throw std::invalid_argument("insert_instructions: bad relative index");
+      }
+    }
+  }
+  std::sort(insertions.begin(), insertions.end(),
+            [](const Insertion& a, const Insertion& b) {
+              return a.position < b.position;
+            });
+  for (std::size_t i = 1; i < insertions.size(); ++i) {
+    if (insertions[i].position == insertions[i - 1].position) {
+      throw std::invalid_argument("insert_instructions: duplicate position");
+    }
+  }
+
+  // shift_before(x): total inserted instructions at positions < x.
+  // Remapping rules (all derived from "inserted code runs whenever control
+  // reaches the instruction it precedes"):
+  //  - existing instruction i lands at i + shift_at_or_before(i)
+  //  - a control-flow target t lands at the *start* of code inserted at t
+  //    (t + shift_before(t)), so inserted blocks stay on every path into t
+  //  - a function boundary b maps like a target (inserted-at-b code belongs
+  //    to the function starting at b)
+  auto shift_before = [&](std::uint32_t x) {
+    std::uint32_t s = 0;
+    for (const auto& ins : insertions) {
+      if (ins.position < x) s += static_cast<std::uint32_t>(ins.instructions.size());
+    }
+    return s;
+  };
+  auto map_target = [&](std::uint32_t t) { return t + shift_before(t); };
+
+  Program out;
+  out.code().reserve(old_size + 16);
+  std::size_t next_insertion = 0;
+  for (std::uint32_t i = 0; i < old_size; ++i) {
+    if (next_insertion < insertions.size() &&
+        insertions[next_insertion].position == i) {
+      const auto& ins = insertions[next_insertion];
+      const auto base = static_cast<std::uint32_t>(out.code().size());
+      for (std::size_t k = 0; k < ins.instructions.size(); ++k) {
+        Instruction instr = ins.instructions[k];
+        if (std::find(ins.relative_targets.begin(), ins.relative_targets.end(),
+                      k) != ins.relative_targets.end()) {
+          instr.target += base;
+        }
+        out.code().push_back(instr);
+      }
+      ++next_insertion;
+    }
+    Instruction instr = program.code()[i];
+    if (isa::has_target(instr.op)) instr.target = map_target(instr.target);
+    out.code().push_back(instr);
+  }
+
+  for (const auto& f : program.functions()) {
+    out.functions().push_back({f.name, map_target(f.begin),
+                               f.end + shift_before(f.end)});
+  }
+  if (auto err = out.validate()) {
+    throw std::logic_error("insert_instructions: produced invalid program: " +
+                           *err);
+  }
+  return out;
+}
+
+}  // namespace gea::obfus

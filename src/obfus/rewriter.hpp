@@ -1,0 +1,39 @@
+// Program rewriting primitive: insert instruction sequences at arbitrary
+// positions while keeping every jump, branch and call target correct.
+//
+// All obfuscation transforms (and anything else that edits programs in
+// place) are built on this, so target remapping is implemented — and
+// tested — exactly once.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace gea::obfus {
+
+/// One insertion: the new instructions go in *before* the instruction
+/// currently at `position` (so they execute whenever control would reach
+/// it). Inserted jump targets must be expressed in *new-image* coordinates
+/// relative to the insertion start via `target_offset_from_self`:
+/// the rewriter resolves instruction i's target as
+/// (position of inserted instruction) + target.
+struct Insertion {
+  std::uint32_t position = 0;
+  std::vector<isa::Instruction> instructions;
+  /// Indices (into `instructions`) whose `target` field is relative to the
+  /// first inserted instruction and must be shifted to absolute form.
+  std::vector<std::size_t> relative_targets;
+};
+
+/// Apply all insertions at once. Existing control-flow targets are
+/// remapped so the original behaviour is preserved whenever the inserted
+/// code is itself behaviour-neutral. Insertions must target distinct
+/// positions within the code (position == program size is allowed only if
+/// nothing follows to re-target). Throws std::invalid_argument on invalid
+/// positions and std::logic_error if the result fails validation.
+isa::Program insert_instructions(const isa::Program& program,
+                                 std::vector<Insertion> insertions);
+
+}  // namespace gea::obfus

@@ -1,0 +1,117 @@
+#include "obfus/transforms.hpp"
+
+#include <algorithm>
+
+#include "obfus/rewriter.hpp"
+
+namespace gea::obfus {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Program;
+
+namespace {
+
+constexpr std::uint8_t kObfusReg = 14;  // reserved for obfuscation
+
+/// Positions where inserting flag-clobbering code is safe: not at a
+/// conditional branch (it may read flags set by the instruction before it)
+/// and not right after a compare.
+std::vector<std::uint32_t> flag_safe_positions(const Program& p) {
+  std::vector<std::uint32_t> positions;
+  for (const auto& f : p.functions()) {
+    for (std::uint32_t i = f.begin; i < f.end; ++i) {
+      if (isa::is_conditional(p.code()[i].op)) continue;
+      if (i > f.begin) {
+        const Opcode prev = p.code()[i - 1].op;
+        if (prev == Opcode::kCmp || prev == Opcode::kCmpImm) continue;
+      }
+      positions.push_back(i);
+    }
+  }
+  return positions;
+}
+
+/// Positions safe for flag-neutral insertions (anywhere in a function).
+std::vector<std::uint32_t> all_positions(const Program& p) {
+  std::vector<std::uint32_t> positions;
+  for (const auto& f : p.functions()) {
+    for (std::uint32_t i = f.begin; i < f.end; ++i) positions.push_back(i);
+  }
+  return positions;
+}
+
+std::vector<std::uint32_t> pick_positions(std::vector<std::uint32_t> candidates,
+                                          util::Rng& rng, int count) {
+  rng.shuffle(candidates);
+  if (static_cast<int>(candidates.size()) > count) {
+    candidates.resize(static_cast<std::size_t>(count));
+  }
+  return candidates;
+}
+
+}  // namespace
+
+isa::Program add_opaque_predicates(const Program& program, util::Rng& rng,
+                                   int count) {
+  std::vector<Insertion> insertions;
+  for (std::uint32_t pos : pick_positions(flag_safe_positions(program), rng, count)) {
+    const auto c = rng.uniform_int(0, 1000);
+    Insertion ins;
+    ins.position = pos;
+    // 0: movi r14, c
+    // 1: cmpi r14, c+1        (never equal)
+    // 2: je  +4               (never taken -> dead block)
+    // 3: jmp +6               (skip the dead block)
+    // 4:   addi r14, 1        (dead)
+    // 5:   jmp +6             (dead block rejoins)
+    // +6 == first instruction after the insertion (the original one).
+    ins.instructions = {
+        {Opcode::kMovImm, kObfusReg, 0, c, 0},
+        {Opcode::kCmpImm, kObfusReg, 0, c + 1, 0},
+        {Opcode::kJe, 0, 0, 0, 4},
+        {Opcode::kJmp, 0, 0, 0, 6},
+        {Opcode::kAddImm, kObfusReg, 0, 1, 0},
+        {Opcode::kJmp, 0, 0, 0, 6},
+    };
+    ins.relative_targets = {2, 3, 5};
+    insertions.push_back(std::move(ins));
+  }
+  if (insertions.empty()) return program;
+  return insert_instructions(program, std::move(insertions));
+}
+
+isa::Program split_blocks(const Program& program, util::Rng& rng, int count) {
+  std::vector<Insertion> insertions;
+  for (std::uint32_t pos : pick_positions(all_positions(program), rng, count)) {
+    Insertion ins;
+    ins.position = pos;
+    ins.instructions = {{Opcode::kJmp, 0, 0, 0, 1}};  // jump over nothing
+    ins.relative_targets = {0};
+    insertions.push_back(std::move(ins));
+  }
+  if (insertions.empty()) return program;
+  return insert_instructions(program, std::move(insertions));
+}
+
+isa::Program pack_static_view(const Program& program, util::Rng& rng) {
+  // Stub length loosely tracks payload size, as real packers' loaders do.
+  const int len = 6 + static_cast<int>(
+                          std::min<std::size_t>(program.size() / 16, 24));
+  isa::ProgramBuilder b;
+  b.begin_function("main");
+  for (int i = 0; i < len; ++i) {
+    const int r = 1 + static_cast<int>(rng.uniform_int(0, 11));
+    switch (rng.uniform_int(0, 2)) {
+      case 0: b.movi(r, rng.uniform_int(0, 0xffff)); break;
+      case 1: b.alui(Opcode::kAddImm, r, rng.uniform_int(1, 255)); break;
+      default: b.alu(Opcode::kXor, r, 1 + static_cast<int>(rng.uniform_int(0, 11)));
+    }
+  }
+  b.syscall(isa::Syscall::kExec, 1);  // tail-jump into the unpacked image
+  b.halt();
+  b.end_function();
+  return b.build();
+}
+
+}  // namespace gea::obfus

@@ -1,0 +1,45 @@
+// CFG obfuscation transforms (paper SVI: "malware authors often use
+// different packing techniques ... to obfuscate different parts of the
+// malware code base").
+//
+// Two behaviour-preserving transforms (verified by execution in the test
+// suite) and the static view of packing:
+//
+//  - add_opaque_predicates: insert never-taken branches guarding junk
+//    blocks. Adds nodes and edges without changing behaviour — the
+//    "manual" counterpart of what GEA does wholesale, and the building
+//    block a JSMA-guided graph editor would use.
+//  - split_blocks: insert jumps to the next instruction, cutting basic
+//    blocks in two. Adds nodes/edges, preserves behaviour.
+//  - pack_static_view: what a UPX-style packer leaves for the static
+//    analyst — a single unpack-stub block. NOT behaviour-preserving in
+//    this simulator (the stub stands in for the on-disk image only).
+//
+// Register discipline: transforms scribble only on r14 (reserved for
+// obfuscation; r15 belongs to GEA), and never insert between a compare and
+// its dependent branch, so the flags an original branch reads are intact.
+#pragma once
+
+#include "isa/program.hpp"
+#include "util/rng.hpp"
+
+namespace gea::obfus {
+
+/// Insert up to `count` opaque predicates at random flag-safe positions
+/// (fewer if the program is too small to host them). Each adds 6
+/// instructions: guard (movi/cmpi/je), skip jump, and a 2-instruction dead
+/// block — i.e. +2 CFG nodes and +3 edges per predicate.
+isa::Program add_opaque_predicates(const isa::Program& program, util::Rng& rng,
+                                   int count);
+
+/// Insert up to `count` block splits (a jump to the following instruction)
+/// at random positions: +1 node, +1 edge each.
+isa::Program split_blocks(const isa::Program& program, util::Rng& rng,
+                          int count);
+
+/// The packed (on-disk) view of a program: a single straight-line unpack
+/// stub. Behaviour is NOT preserved — this models what static analysis
+/// sees, which is the point of packing.
+isa::Program pack_static_view(const isa::Program& program, util::Rng& rng);
+
+}  // namespace gea::obfus

@@ -1,0 +1,37 @@
+// Minimal CSV reading/writing for persisting feature matrices and
+// experiment outputs. Handles quoting of fields containing commas, quotes
+// or newlines; does not attempt full RFC 4180 edge cases beyond that.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace gea::util {
+
+/// Streams rows to a CSV file. Throws std::runtime_error if the file cannot
+/// be opened. Flushes on destruction.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& fields);
+  /// Convenience: numeric row with fixed precision.
+  void write_row(const std::vector<double>& values, int precision = 6);
+
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+};
+
+/// Loads a whole CSV file into memory. Supports quoted fields (including
+/// embedded commas/newlines/escaped quotes).
+class CsvReader {
+ public:
+  static std::vector<std::vector<std::string>> read_file(const std::string& path);
+  /// Parse one CSV document from a string.
+  static std::vector<std::vector<std::string>> parse(const std::string& text);
+};
+
+}  // namespace gea::util

@@ -1,0 +1,40 @@
+#include "util/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace gea::util {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const auto since_midnight = now.time_since_epoch() % hours(24);
+  const auto h = duration_cast<hours>(since_midnight).count();
+  const auto m = duration_cast<minutes>(since_midnight % hours(1)).count();
+  const auto s = duration_cast<seconds>(since_midnight % minutes(1)).count();
+  const auto ms = duration_cast<milliseconds>(since_midnight % seconds(1)).count();
+  std::fprintf(stderr, "[%02lld:%02lld:%02lld.%03lld] %s %s\n",
+               static_cast<long long>(h), static_cast<long long>(m),
+               static_cast<long long>(s), static_cast<long long>(ms),
+               level_name(level), msg.c_str());
+}
+
+}  // namespace gea::util

@@ -1,0 +1,47 @@
+// Leveled stderr logging. Kept deliberately small: the library is a
+// research artifact, not a service, so structured sinks are unnecessary —
+// but benches and examples want progress lines with timestamps.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gea::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level (default Info). Not thread-safe to mutate while
+/// logging from other threads; set it once at startup.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line to stderr as "[HH:MM:SS.mmm] LEVEL msg" if level passes.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream ss;
+  (ss << ... << std::forward<Args>(args));
+  return ss.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  log_line(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  log_line(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  log_line(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  log_line(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace gea::util

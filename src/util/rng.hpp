@@ -1,0 +1,79 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library (program generation, weight
+// initialization, dropout, train/test splitting, attack restarts) draws from
+// an explicitly seeded Rng so that experiments are reproducible end to end.
+// The engine is xoshiro256**, seeded via SplitMix64 so that small seed
+// integers still produce well-mixed state.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace gea::util {
+
+/// Deterministic pseudo-random generator (xoshiro256**).
+///
+/// Not thread-safe; give each thread (or each pipeline stage) its own
+/// instance, typically via `split()`.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  // UniformRandomBitGenerator interface (usable with <random> adapters).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box-Muller.
+  double normal();
+  /// Normal with given mean and stddev.
+  double normal(double mean, double stddev);
+  /// Bernoulli trial.
+  bool chance(double p);
+  /// Geometric-ish positive count: 1 + floor(Exp(rate)). Always >= 1.
+  int positive_geometric(double mean);
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& choice(const std::vector<T>& v) {
+    if (v.empty()) throw std::invalid_argument("Rng::choice on empty vector");
+    return v[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(v.size()) - 1))];
+  }
+
+  /// Fisher-Yates in-place shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for parallel or per-sample use).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace gea::util

@@ -1,0 +1,43 @@
+// Descriptive statistics over small vectors of doubles.
+//
+// The paper summarizes per-node / per-pair graph quantities with
+// {min, max, median, mean, stddev}; `summary5()` computes exactly that
+// 5-tuple and is the workhorse of feature extraction (Table II).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gea::util {
+
+/// min, max, median, mean, population standard deviation — in this order,
+/// matching the feature layout used throughout the library.
+struct Summary5 {
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+
+  std::array<double, 5> as_array() const { return {min, max, median, mean, stddev}; }
+};
+
+double mean(std::span<const double> xs);
+/// Population standard deviation (divides by N, not N-1).
+double stddev(std::span<const double> xs);
+/// Median with the usual midpoint rule for even sizes. Copies its input.
+double median(std::span<const double> xs);
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// All five summary statistics in one pass (plus one sort for the median).
+/// An empty input yields all zeros, mirroring how degenerate CFGs (single
+/// block, no edges) are featurized.
+Summary5 summary5(std::span<const double> xs);
+
+/// Linear-interpolated p-th percentile, p in [0,100]. Copies its input.
+double percentile(std::span<const double> xs, double p);
+
+}  // namespace gea::util

@@ -1,0 +1,30 @@
+// Fixed-width ASCII table rendering. The benchmark binaries use this to
+// print rows in the same layout as the paper's Tables I-VII so that
+// paper-vs-measured comparison is a visual diff.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gea::util {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render with column separators and a header rule.
+  std::string to_string() const;
+
+  /// Format helpers.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+  static std::string fmt_pct(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gea::util

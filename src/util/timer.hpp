@@ -1,0 +1,28 @@
+// Wall-clock stopwatch used to report crafting time (CT) columns.
+#pragma once
+
+#include <chrono>
+
+namespace gea::util {
+
+/// Monotonic stopwatch; starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_).count();
+  }
+
+  double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace gea::util

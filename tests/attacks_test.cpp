@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "attacks/harness.hpp"
+#include "ml/trainer.hpp"
+#include "ml/zoo.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gea;
+using namespace gea::attacks;
+using gea::util::Rng;
+
+constexpr std::size_t kDim = 23;
+
+/// Shared fixture: a CNN trained on a separable 23-dim toy task, mimicking
+/// the scaled CFG-feature space. Built once for the whole suite.
+class TrainedModel {
+ public:
+  TrainedModel() : dropout_rng_(1), model_(ml::make_paper_cnn(kDim, 2, dropout_rng_)) {
+    Rng rng(11);
+    for (int i = 0; i < 300; ++i) {
+      std::vector<double> row(kDim);
+      const bool positive = rng.chance(0.5);
+      for (auto& v : row) {
+        v = positive ? rng.uniform(0.52, 1.0) : rng.uniform(0.0, 0.48);
+      }
+      data_.rows.push_back(std::move(row));
+      data_.labels.push_back(positive ? 1 : 0);
+    }
+    Rng wrng(2);
+    model_.init(wrng);
+    ml::TrainConfig cfg;
+    cfg.epochs = 40;
+    cfg.batch_size = 50;
+    cfg.early_stop_loss = 0.03;
+    ml::train(model_, data_, cfg);
+    clf_ = std::make_unique<ml::ModelClassifier>(model_, kDim, 2);
+  }
+
+  ml::ModelClassifier& clf() { return *clf_; }
+  const ml::LabeledData& data() const { return data_; }
+
+  /// First `n` correctly classified samples (rows + labels).
+  std::pair<std::vector<std::vector<double>>, std::vector<std::uint8_t>>
+  correct_samples(std::size_t n) {
+    std::vector<std::vector<double>> rows;
+    std::vector<std::uint8_t> labels;
+    for (std::size_t i = 0; i < data_.rows.size() && rows.size() < n; ++i) {
+      if (clf_->predict(data_.rows[i]) == data_.labels[i]) {
+        rows.push_back(data_.rows[i]);
+        labels.push_back(data_.labels[i]);
+      }
+    }
+    return {rows, labels};
+  }
+
+ private:
+  Rng dropout_rng_;
+  ml::Model model_;
+  ml::LabeledData data_;
+  std::unique_ptr<ml::ModelClassifier> clf_;
+};
+
+TrainedModel& shared_model() {
+  static TrainedModel* m = new TrainedModel();
+  return *m;
+}
+
+TEST(Setup, ModelIsAccurate) {
+  auto& tm = shared_model();
+  const auto cm = ml::evaluate(tm.clf().model(), tm.data());
+  EXPECT_GT(cm.accuracy(), 0.95);
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+double linf(const std::vector<double>& a, const std::vector<double>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+std::size_t l0(const std::vector<double>& a, const std::vector<double>& b,
+               double tol = 1e-9) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > tol) ++n;
+  }
+  return n;
+}
+
+bool in_unit_box(const std::vector<double>& x) {
+  for (double v : x) {
+    if (v < -1e-12 || v > 1.0 + 1e-12) return false;
+  }
+  return true;
+}
+
+double flip_rate(Attack& attack, std::size_t n = 20) {
+  auto& tm = shared_model();
+  const auto [rows, labels] = tm.correct_samples(n);
+  std::size_t flips = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::size_t target = labels[i] == 0 ? 1 : 0;
+    const auto adv = attack.craft(tm.clf(), rows[i], target);
+    if (tm.clf().predict(adv) != labels[i]) ++flips;
+  }
+  return static_cast<double>(flips) / static_cast<double>(rows.size());
+}
+
+// ---------------------------------------------------------------------------
+// Per-attack behaviour
+
+TEST(Fgsm, PerturbationBoundedByEpsilon) {
+  auto& tm = shared_model();
+  const auto [rows, labels] = tm.correct_samples(10);
+  Fgsm attack(FgsmConfig{.epsilon = 0.2});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto adv = attack.craft(tm.clf(), rows[i], 1 - labels[i]);
+    EXPECT_LE(linf(adv, rows[i]), 0.2 + 1e-9);
+    EXPECT_TRUE(in_unit_box(adv));
+  }
+}
+
+TEST(Fgsm, LargerEpsilonFlipsMore) {
+  Fgsm weak(FgsmConfig{.epsilon = 0.01});
+  Fgsm strong(FgsmConfig{.epsilon = 0.5});
+  EXPECT_LE(flip_rate(weak), flip_rate(strong) + 1e-9);
+}
+
+TEST(Pgd, RespectsEpsilonBall) {
+  auto& tm = shared_model();
+  const auto [rows, labels] = tm.correct_samples(10);
+  Pgd attack(PgdConfig{.epsilon = 0.15, .iterations = 20});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto adv = attack.craft(tm.clf(), rows[i], 1 - labels[i]);
+    EXPECT_LE(linf(adv, rows[i]), 0.15 + 1e-9);
+    EXPECT_TRUE(in_unit_box(adv));
+  }
+}
+
+TEST(Pgd, HighMisclassificationAtPaperEpsilon) {
+  Pgd attack(PgdConfig{.epsilon = 0.3, .iterations = 40});
+  EXPECT_GE(flip_rate(attack), 0.9);
+}
+
+TEST(Mim, RespectsEpsilonBall) {
+  auto& tm = shared_model();
+  const auto [rows, labels] = tm.correct_samples(10);
+  Mim attack(MimConfig{.epsilon = 0.25, .iterations = 10});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto adv = attack.craft(tm.clf(), rows[i], 1 - labels[i]);
+    EXPECT_LE(linf(adv, rows[i]), 0.25 + 1e-9);
+    EXPECT_TRUE(in_unit_box(adv));
+  }
+}
+
+TEST(Mim, HighMisclassificationAtPaperConfig) {
+  Mim attack;
+  EXPECT_GE(flip_rate(attack), 0.9);
+}
+
+TEST(DeepFool, FindsSmallPerturbations) {
+  auto& tm = shared_model();
+  const auto [rows, labels] = tm.correct_samples(15);
+  DeepFool attack;
+  std::size_t flips = 0;
+  double total_l2 = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto adv = attack.craft(tm.clf(), rows[i], 1 - labels[i]);
+    EXPECT_TRUE(in_unit_box(adv));
+    if (tm.clf().predict(adv) != labels[i]) {
+      ++flips;
+      double l2 = 0.0;
+      for (std::size_t j = 0; j < adv.size(); ++j) {
+        l2 += (adv[j] - rows[i][j]) * (adv[j] - rows[i][j]);
+      }
+      total_l2 += std::sqrt(l2);
+    }
+  }
+  EXPECT_GE(flips, rows.size() / 2);
+  if (flips > 0) {
+    // DeepFool's point is minimality: distortion well under the 0.3-ball
+    // diameter the Linf attacks use.
+    EXPECT_LT(total_l2 / static_cast<double>(flips), 1.0);
+  }
+}
+
+TEST(Jsma, RespectsGammaFeatureBudget) {
+  auto& tm = shared_model();
+  const auto [rows, labels] = tm.correct_samples(10);
+  Jsma attack(JsmaConfig{.theta = 0.3, .gamma = 0.6});
+  const auto max_changed = static_cast<std::size_t>(0.6 * kDim);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto adv = attack.craft(tm.clf(), rows[i], 1 - labels[i]);
+    EXPECT_LE(l0(adv, rows[i]), max_changed + 1);
+    EXPECT_TRUE(in_unit_box(adv));
+  }
+}
+
+TEST(Jsma, ChangesFewFeatures) {
+  auto& tm = shared_model();
+  const auto [rows, labels] = tm.correct_samples(15);
+  Jsma attack;
+  double total_changed = 0.0;
+  std::size_t flips = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto adv = attack.craft(tm.clf(), rows[i], 1 - labels[i]);
+    if (tm.clf().predict(adv) != labels[i]) {
+      ++flips;
+      total_changed += static_cast<double>(l0(adv, rows[i]));
+    }
+  }
+  ASSERT_GT(flips, 0u);
+  // The paper's signature JSMA result: ~4 features changed out of 23.
+  EXPECT_LT(total_changed / static_cast<double>(flips), 12.0);
+}
+
+TEST(CarliniWagner, FlipsWithSmallL2) {
+  auto& tm = shared_model();
+  const auto [rows, labels] = tm.correct_samples(8);
+  CarliniWagnerL2 attack(CwConfig{.iterations = 100, .search_steps = 2});
+  std::size_t flips = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto adv = attack.craft(tm.clf(), rows[i], 1 - labels[i]);
+    EXPECT_TRUE(in_unit_box(adv));
+    if (tm.clf().predict(adv) != labels[i]) ++flips;
+  }
+  EXPECT_GE(flips, rows.size() - 1);  // near-100% MR, as in Table III
+}
+
+TEST(CarliniWagner, ReturnsOriginalOnHopelessTarget) {
+  // A constant classifier cannot be flipped; craft must not corrupt x.
+  class Constant : public ml::DifferentiableClassifier {
+   public:
+    std::size_t input_dim() const override { return 3; }
+    std::size_t num_classes() const override { return 2; }
+    std::vector<double> logits(const std::vector<double>&) override {
+      return {10.0, -10.0};
+    }
+    std::vector<double> grad_logit(const std::vector<double>&,
+                                   std::size_t) override {
+      return {0.0, 0.0, 0.0};
+    }
+  };
+  Constant clf;
+  CarliniWagnerL2 attack(CwConfig{.iterations = 10, .search_steps = 1});
+  const std::vector<double> x = {0.2, 0.5, 0.8};
+  const auto adv = attack.craft(clf, x, 1);
+  EXPECT_EQ(adv, x);
+}
+
+TEST(ElasticNet, FlipsWithSparsePerturbation) {
+  auto& tm = shared_model();
+  const auto [rows, labels] = tm.correct_samples(8);
+  ElasticNet attack(ElasticNetConfig{.iterations = 150});
+  std::size_t flips = 0;
+  double total_l0 = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto adv = attack.craft(tm.clf(), rows[i], 1 - labels[i]);
+    EXPECT_TRUE(in_unit_box(adv));
+    if (tm.clf().predict(adv) != labels[i]) {
+      ++flips;
+      total_l0 += static_cast<double>(l0(adv, rows[i], 1e-4));
+    }
+  }
+  EXPECT_GE(flips, rows.size() - 1);
+  // The L1 regularizer keeps the change sparse relative to the Linf family
+  // (which touches essentially every feature).
+  EXPECT_LT(total_l0 / static_cast<double>(flips), 20.0);
+}
+
+TEST(Vam, BoundedPerturbation) {
+  auto& tm = shared_model();
+  const auto [rows, labels] = tm.correct_samples(8);
+  Vam attack(VamConfig{.epsilon = 0.3, .power_iterations = 10});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto adv = attack.craft(tm.clf(), rows[i], 1 - labels[i]);
+    EXPECT_TRUE(in_unit_box(adv));
+    double l2 = 0.0;
+    for (std::size_t j = 0; j < adv.size(); ++j) {
+      l2 += (adv[j] - rows[i][j]) * (adv[j] - rows[i][j]);
+    }
+    // ||eps * unit-vector||_2 <= eps (clamping only shrinks it).
+    EXPECT_LE(std::sqrt(l2), 0.3 + 1e-6);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Harness
+
+TEST(Harness, PaperAttackSetHasEightMethods) {
+  const auto attacks = make_paper_attacks();
+  ASSERT_EQ(attacks.size(), 8u);
+  std::set<std::string> names;
+  for (const auto& a : attacks) names.insert(a->name());
+  EXPECT_TRUE(names.count("C&W"));
+  EXPECT_TRUE(names.count("DeepFool"));
+  EXPECT_TRUE(names.count("ElasticNet"));
+  EXPECT_TRUE(names.count("FGSM"));
+  EXPECT_TRUE(names.count("JSMA"));
+  EXPECT_TRUE(names.count("MIM"));
+  EXPECT_TRUE(names.count("PGD"));
+  EXPECT_TRUE(names.count("VAM"));
+}
+
+TEST(Harness, ComputesRates) {
+  auto& tm = shared_model();
+  const auto [rows, labels] = tm.correct_samples(12);
+  Pgd attack(PgdConfig{.epsilon = 0.3, .iterations = 20});
+  HarnessOptions opts;
+  const auto row = run_attack(attack, tm.clf(), rows, labels, nullptr, opts);
+  EXPECT_EQ(row.attack, "PGD");
+  EXPECT_EQ(row.samples, rows.size());
+  EXPECT_GE(row.mr(), 0.8);
+  EXPECT_GT(row.avg_features_changed, 0.0);
+  EXPECT_GE(row.craft_ms_per_sample, 0.0);
+  EXPECT_GT(row.mean_l2, 0.0);
+}
+
+TEST(Harness, MaxSamplesCapRespected) {
+  auto& tm = shared_model();
+  const auto [rows, labels] = tm.correct_samples(12);
+  Fgsm attack;
+  HarnessOptions opts;
+  opts.max_samples = 5;
+  const auto row = run_attack(attack, tm.clf(), rows, labels, nullptr, opts);
+  EXPECT_EQ(row.samples, 5u);
+}
+
+TEST(Harness, SkipsAlreadyMisclassified) {
+  auto& tm = shared_model();
+  // Feed deliberately mislabeled data: every sample "already misclassified".
+  const auto [rows, labels] = tm.correct_samples(5);
+  std::vector<std::uint8_t> wrong;
+  for (auto l : labels) wrong.push_back(1 - l);
+  Fgsm attack;
+  const auto row = run_attack(attack, tm.clf(), rows, wrong, nullptr, {});
+  EXPECT_EQ(row.samples, 0u);
+  EXPECT_EQ(row.mr(), 0.0);
+}
+
+TEST(Harness, MismatchedLabelsThrow) {
+  auto& tm = shared_model();
+  Fgsm attack;
+  EXPECT_THROW(
+      run_attack(attack, tm.clf(), {{0.1, 0.2}}, {0, 1}, nullptr, {}),
+      std::invalid_argument);
+}
+
+}  // namespace

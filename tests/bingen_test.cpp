@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bingen/codegen.hpp"
+#include "bingen/families.hpp"
+#include "cfg/cfg.hpp"
+#include "graph/algorithms.hpp"
+#include "isa/interpreter.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace gea;
+using bingen::Family;
+using gea::util::Rng;
+
+TEST(Families, LabelsAndNames) {
+  EXPECT_FALSE(bingen::is_malicious(Family::kBenignUtility));
+  EXPECT_FALSE(bingen::is_malicious(Family::kBenignDaemon));
+  EXPECT_FALSE(bingen::is_malicious(Family::kBenignNetTool));
+  EXPECT_TRUE(bingen::is_malicious(Family::kMiraiLike));
+  EXPECT_TRUE(bingen::is_malicious(Family::kGafgytLike));
+  EXPECT_TRUE(bingen::is_malicious(Family::kTsunamiLike));
+  EXPECT_STREQ(bingen::family_name(Family::kMiraiLike), "mirai-like");
+  EXPECT_EQ(bingen::benign_families().size(), 3u);
+  EXPECT_EQ(bingen::malicious_families().size(), 3u);
+}
+
+// Every family, several seeds: generated programs validate, their CFGs are
+// structurally sound, and execution terminates without trapping.
+class FamilyGenTest
+    : public ::testing::TestWithParam<std::tuple<Family, int>> {};
+
+TEST_P(FamilyGenTest, ProgramValidates) {
+  const auto [family, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const auto p = bingen::generate_program(family, rng);
+  EXPECT_FALSE(p.validate().has_value());
+  EXPECT_EQ(p.functions().front().name, "main");
+}
+
+TEST_P(FamilyGenTest, CfgExtractsAndMainIsReachable) {
+  const auto [family, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) + 100);
+  const auto p = bingen::generate_program(family, rng);
+  const auto c = cfg::extract_cfg(p);
+  EXPECT_GE(c.num_nodes(), 1u);
+  EXPECT_FALSE(c.graph.validate().has_value());
+  EXPECT_FALSE(c.exit_nodes.empty());
+  // All blocks of main are reachable from the entry.
+  const auto reach = graph::reachable_from(c.graph, c.entry);
+  for (std::size_t b = 0; b < c.blocks.size(); ++b) {
+    if (c.blocks[b].function == 0) {
+      EXPECT_TRUE(reach[b]) << "unreachable main block " << b;
+    }
+  }
+}
+
+TEST_P(FamilyGenTest, ExecutionTerminatesNormally) {
+  const auto [family, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) + 200);
+  const auto p = bingen::generate_program(family, rng);
+  const auto r = isa::execute(p);
+  EXPECT_TRUE(isa::ExecResult::is_normal(r.reason))
+      << "reason=" << static_cast<int>(r.reason) << " trap=" << r.trap_message;
+}
+
+TEST_P(FamilyGenTest, DeterministicGivenSeed) {
+  const auto [family, seed] = GetParam();
+  Rng a(static_cast<std::uint64_t>(seed) + 300);
+  Rng b(static_cast<std::uint64_t>(seed) + 300);
+  EXPECT_EQ(bingen::generate_program(family, a),
+            bingen::generate_program(family, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, FamilyGenTest,
+    ::testing::Combine(
+        ::testing::Values(Family::kBenignUtility, Family::kBenignDaemon,
+                          Family::kBenignNetTool, Family::kMiraiLike,
+                          Family::kGafgytLike, Family::kTsunamiLike),
+        ::testing::Range(0, 8)));
+
+TEST(Families, PackedStubIsSingleBlock) {
+  Rng rng(1);
+  bingen::GenOptions opts;
+  opts.packed_prob = 1.0;  // force the stub path
+  const auto p = bingen::generate_program(Family::kMiraiLike, rng, opts);
+  const auto c = cfg::extract_cfg(p);
+  EXPECT_EQ(c.num_nodes(), 1u);
+  EXPECT_EQ(c.num_edges(), 0u);
+  EXPECT_TRUE(isa::ExecResult::is_normal(isa::execute(p).reason));
+}
+
+TEST(Families, PackedStubNeverForBenign) {
+  Rng rng(2);
+  bingen::GenOptions opts;
+  opts.packed_prob = 1.0;
+  // Benign generation ignores packed_prob entirely.
+  const auto p = bingen::generate_program(Family::kBenignDaemon, rng, opts);
+  const auto c = cfg::extract_cfg(p);
+  EXPECT_GE(c.num_nodes(), 2u);
+}
+
+TEST(Families, SizeCalibrationTracksTargets) {
+  // Medians over a few dozen draws should land near the family envelopes
+  // (the paper's anchors: benign median ~24, malicious median ~64).
+  Rng rng(42);
+  auto median_nodes = [&](Family f, int n) {
+    std::vector<double> sizes;
+    for (int i = 0; i < n; ++i) {
+      const auto p = bingen::generate_program(f, rng);
+      sizes.push_back(static_cast<double>(cfg::extract_cfg(p).num_nodes()));
+    }
+    return util::median(sizes);
+  };
+  const double mal = median_nodes(Family::kMiraiLike, 40);
+  EXPECT_GT(mal, 50.0);
+  EXPECT_LT(mal, 180.0);
+  const double ben = median_nodes(Family::kBenignUtility, 40);
+  EXPECT_GT(ben, 6.0);
+  EXPECT_LT(ben, 45.0);
+  EXPECT_LT(ben, mal);  // class separation in size
+}
+
+TEST(Families, SizeScaleOptionGrowsPrograms) {
+  Rng a(5), b(5);
+  bingen::GenOptions small, large;
+  small.size_scale = 0.5;
+  large.size_scale = 2.0;
+  double small_sum = 0, large_sum = 0;
+  for (int i = 0; i < 10; ++i) {
+    small_sum += static_cast<double>(
+        cfg::extract_cfg(bingen::generate_program(Family::kGafgytLike, a, small))
+            .num_nodes());
+    large_sum += static_cast<double>(
+        cfg::extract_cfg(bingen::generate_program(Family::kGafgytLike, b, large))
+            .num_nodes());
+  }
+  EXPECT_LT(small_sum, large_sum);
+}
+
+TEST(Families, DrawTargetNodesRespectsEnvelope) {
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const int n = bingen::draw_target_nodes(Family::kMiraiLike, rng);
+    EXPECT_GE(n, 24);
+    EXPECT_LE(n, 367);
+  }
+  for (int i = 0; i < 500; ++i) {
+    const int n = bingen::draw_target_nodes(Family::kBenignDaemon, rng);
+    EXPECT_GE(n, 6);
+    EXPECT_LE(n, 455);
+  }
+}
+
+TEST(Families, GuardRegisterNeverTouched) {
+  // r13-r15 are reserved for instrumentation; the generator must not
+  // write them (GEA's correctness relies on r15 in particular).
+  Rng rng(11);
+  for (Family f : {Family::kBenignDaemon, Family::kMiraiLike,
+                   Family::kTsunamiLike, Family::kBenignUtility}) {
+    const auto p = bingen::generate_program(f, rng);
+    for (const auto& ins : p.code()) {
+      const bool writes_rd =
+          ins.op != isa::Opcode::kStore && ins.op != isa::Opcode::kPush &&
+          ins.op != isa::Opcode::kCmp && ins.op != isa::Opcode::kCmpImm;
+      if (writes_rd) {
+        EXPECT_LT(ins.rd, 13) << isa::to_string(ins);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CodeGen building blocks
+
+TEST(CodeGen, FreshRegCyclesThroughScratch) {
+  isa::ProgramBuilder b;
+  Rng rng(1);
+  bingen::CodeGen cg(b, rng);
+  for (int i = 0; i < 30; ++i) {
+    const int r = cg.fresh_reg();
+    EXPECT_GE(r, 1);
+    EXPECT_LE(r, 12);
+  }
+}
+
+TEST(CodeGen, CountedLoopExecutesExactly) {
+  isa::ProgramBuilder b;
+  Rng rng(1);
+  bingen::CodeGen cg(b, rng);
+  b.begin_function("main");
+  b.movi(0, 0);
+  cg.counted_loop(5, 0, [&](int) {
+    b.alui(isa::Opcode::kAddImm, 0, 10);
+  });
+  b.halt();
+  b.end_function();
+  const auto r = isa::execute(b.build());
+  EXPECT_EQ(r.result, 50);
+}
+
+TEST(CodeGen, InputLoopTerminatesOnZero) {
+  isa::ProgramBuilder b;
+  Rng rng(1);
+  bingen::CodeGen cg(b, rng);
+  b.begin_function("main");
+  cg.input_loop(isa::Syscall::kRecv, 0, [&](int) {});
+  b.halt();
+  b.end_function();
+  isa::ExecOptions opts;
+  opts.input_stream = {1, 2, 0};
+  const auto r = isa::execute(b.build(), opts);
+  EXPECT_TRUE(isa::ExecResult::is_normal(r.reason));
+  EXPECT_EQ(r.trace.size(), 3u);  // recv x3, last returns 0
+}
+
+TEST(CodeGen, DispatchSwitchSelectsCase) {
+  isa::ProgramBuilder b;
+  Rng rng(1);
+  bingen::CodeGen cg(b, rng);
+  b.begin_function("main");
+  cg.dispatch_switch(isa::Syscall::kRecv, 3, 0, [&](int c, int) {
+    b.movi(5, 100 + c);
+  });
+  b.mov(0, 5);
+  b.halt();
+  b.end_function();
+  isa::ExecOptions opts;
+  opts.input_stream = {2};  // selects case index 1 (matches c+1 == 2)
+  const auto r = isa::execute(b.build(), opts);
+  EXPECT_EQ(r.result, 101);
+}
+
+TEST(CodeGen, IfElseBothArmsTerminate) {
+  for (int seed = 0; seed < 6; ++seed) {
+    isa::ProgramBuilder b;
+    Rng rng(static_cast<std::uint64_t>(seed));
+    bingen::CodeGen cg(b, rng);
+    b.begin_function("main");
+    cg.if_else(0, [&](int) { cg.straight_run(2); });
+    b.halt();
+    b.end_function();
+    const auto r = isa::execute(b.build());
+    EXPECT_TRUE(isa::ExecResult::is_normal(r.reason));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "core/pipeline.hpp"
+
+namespace {
+
+using namespace gea;
+using namespace gea::core;
+
+PipelineConfig tiny_config() {
+  PipelineConfig cfg;
+  cfg.corpus.num_malicious = 150;
+  cfg.corpus.num_benign = 40;
+  cfg.corpus.seed = 5;
+  cfg.train.epochs = 25;
+  cfg.train.batch_size = 32;
+  cfg.train.early_stop_loss = 0.08;
+  return cfg;
+}
+
+DetectionPipeline& shared_pipeline() {
+  static DetectionPipeline* p =
+      new DetectionPipeline(DetectionPipeline::run(tiny_config()));
+  return *p;
+}
+
+TEST(Pipeline, TrainsToReasonableAccuracy) {
+  auto& p = shared_pipeline();
+  EXPECT_GT(p.train_metrics().accuracy(), 0.9);
+  EXPECT_GT(p.test_metrics().accuracy(), 0.8);
+  EXPECT_FALSE(p.train_stats().epoch_losses.empty());
+}
+
+TEST(Pipeline, SplitSizesConsistent) {
+  auto& p = shared_pipeline();
+  EXPECT_EQ(p.split().train.size() + p.split().test.size(), p.corpus().size());
+  EXPECT_NEAR(static_cast<double>(p.split().test.size()),
+              0.2 * static_cast<double>(p.corpus().size()), 3.0);
+}
+
+TEST(Pipeline, ScaledDataInUnitRange) {
+  auto& p = shared_pipeline();
+  const auto data = p.scaled_data(p.split().train);
+  for (const auto& row : data.rows) {
+    for (double v : row) {
+      EXPECT_GE(v, -1e-9);
+      EXPECT_LE(v, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(Pipeline, ClassifierAgreesWithModel) {
+  auto& p = shared_pipeline();
+  const auto data = p.scaled_data(p.split().test);
+  const auto preds = ml::predict_all(p.model(), data);
+  for (std::size_t i = 0; i < 10 && i < data.size(); ++i) {
+    EXPECT_EQ(p.classifier().predict(data.rows[i]), preds[i]);
+  }
+}
+
+TEST(Pipeline, ValidatorAcceptsRealSamples) {
+  auto& p = shared_pipeline();
+  const auto data = p.scaled_data(p.split().test);
+  std::size_t admissible = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    features::FeatureVector fv{};
+    for (std::size_t j = 0; j < fv.size(); ++j) fv[j] = data.rows[i][j];
+    admissible += p.validator().validate(fv).admissible();
+  }
+  // Real (test) samples can poke slightly outside the train-fitted ranges,
+  // but the overwhelming majority must validate.
+  EXPECT_GT(static_cast<double>(admissible) / static_cast<double>(data.size()),
+            0.9);
+}
+
+TEST(Pipeline, MlpBaselineRuns) {
+  auto cfg = tiny_config();
+  cfg.detector = DetectorKind::kMlpBaseline;
+  cfg.corpus.num_malicious = 80;
+  cfg.corpus.num_benign = 30;
+  auto p = DetectionPipeline::run(cfg);
+  EXPECT_GT(p.train_metrics().accuracy(), 0.8);
+}
+
+TEST(Evaluator, GenericAttacksProduceEightRows) {
+  auto& p = shared_pipeline();
+  AdversarialEvaluator eval(p);
+  EvaluationOptions opts;
+  opts.max_samples = 4;  // keep the slow attacks quick
+  const auto rows = eval.run_generic_attacks(opts);
+  ASSERT_EQ(rows.size(), 8u);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.samples, 0u) << r.attack;
+    EXPECT_GE(r.mr(), 0.0);
+    EXPECT_LE(r.mr(), 1.0);
+  }
+  // The strong iterative attacks must dominate the one-shot FGSM,
+  // reproducing Table III's ordering.
+  double pgd_mr = 0, fgsm_mr = 0;
+  for (const auto& r : rows) {
+    if (r.attack == "PGD") pgd_mr = r.mr();
+    if (r.attack == "FGSM") fgsm_mr = r.mr();
+  }
+  EXPECT_GE(pgd_mr, fgsm_mr);
+}
+
+TEST(Evaluator, GeaSizeSweepRowsOrdered) {
+  auto& p = shared_pipeline();
+  AdversarialEvaluator eval(p);
+  EvaluationOptions opts;
+  opts.max_samples = 15;
+  opts.gea.verify_every = 5;
+  const auto rows = eval.run_gea_size_sweep(dataset::kMalicious, opts);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].label, "Minimum");
+  EXPECT_EQ(rows[2].label, "Maximum");
+  EXPECT_LE(rows[0].target_nodes, rows[1].target_nodes);
+  EXPECT_LE(rows[1].target_nodes, rows[2].target_nodes);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.samples, 0u);
+    // Functionality preservation is the GEA guarantee.
+    EXPECT_DOUBLE_EQ(r.equivalence_rate, 1.0);
+  }
+}
+
+TEST(Evaluator, GeaDensitySweepRuns) {
+  auto& p = shared_pipeline();
+  AdversarialEvaluator eval(p);
+  EvaluationOptions opts;
+  opts.max_samples = 8;
+  opts.gea.verify_every = 0;
+  const auto rows = eval.run_gea_density_sweep(dataset::kMalicious, opts);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.target_nodes, 0u);
+    EXPECT_GT(r.target_edges, 0u);
+    EXPECT_GT(r.samples, 0u);
+  }
+}
+
+TEST(GeaHarness, RejectsSameClassTarget) {
+  auto& p = shared_pipeline();
+  aug::GeaHarness harness(p.corpus(), p.scaler(), p.classifier());
+  const auto mal_idx = p.corpus().indices_of(dataset::kMalicious);
+  EXPECT_THROW(harness.attack_with_target(dataset::kMalicious, mal_idx[0]),
+               std::invalid_argument);
+}
+
+TEST(GeaHarness, BenignToMalwareDirectionWorks) {
+  auto& p = shared_pipeline();
+  aug::GeaHarness harness(p.corpus(), p.scaler(), p.classifier());
+  aug::GeaHarnessOptions opts;
+  opts.max_samples = 10;
+  opts.verify_every = 5;
+  const auto mal_idx = p.corpus().indices_of(dataset::kMalicious);
+  const auto row = harness.attack_with_target(dataset::kBenign, mal_idx[0], opts);
+  EXPECT_GT(row.samples, 0u);
+  EXPECT_DOUBLE_EQ(row.equivalence_rate, 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "attacks/deepfool.hpp"
+#include "attacks/fgsm.hpp"
+#include "attacks/pgd.hpp"
+#include "defense/adversarial_training.hpp"
+#include "defense/gea_augmentation.hpp"
+#include "defense/squeeze.hpp"
+#include "dataset/split.hpp"
+#include "features/scaler.hpp"
+#include "ml/zoo.hpp"
+
+namespace {
+
+using namespace gea;
+using gea::util::Rng;
+
+constexpr std::size_t kDim = 23;
+
+ml::LabeledData toy_data(std::size_t n, Rng& rng) {
+  ml::LabeledData d;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(kDim);
+    const bool positive = rng.chance(0.5);
+    for (auto& v : row) {
+      v = positive ? rng.uniform(0.55, 1.0) : rng.uniform(0.0, 0.45);
+    }
+    d.rows.push_back(std::move(row));
+    d.labels.push_back(positive ? 1 : 0);
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// squeeze
+
+TEST(Squeeze, QuantizesToLevels) {
+  const auto q = defense::squeeze({0.0, 0.49, 0.51, 1.0}, 2);
+  EXPECT_DOUBLE_EQ(q[0], 0.0);
+  EXPECT_DOUBLE_EQ(q[1], 0.0);
+  EXPECT_DOUBLE_EQ(q[2], 1.0);
+  EXPECT_DOUBLE_EQ(q[3], 1.0);
+}
+
+TEST(Squeeze, ManyLevelsNearIdentity) {
+  const std::vector<double> x = {0.123, 0.456, 0.789};
+  const auto q = defense::squeeze(x, 1001);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(q[i], x[i], 1e-3);
+}
+
+TEST(Squeeze, IdempotentAtGridPoints) {
+  const auto q1 = defense::squeeze({0.3, 0.7}, 11);
+  const auto q2 = defense::squeeze(q1, 11);
+  EXPECT_EQ(q1, q2);
+}
+
+TEST(Squeeze, RejectsBadLevels) {
+  EXPECT_THROW(defense::squeeze({0.5}, 1), std::invalid_argument);
+}
+
+TEST(SqueezedClassifier, AgreesOnCleanInputs) {
+  Rng rng(7);
+  auto data = toy_data(150, rng);
+  ml::Model model = ml::make_mlp_baseline(kDim, 2);
+  Rng wrng(8);
+  model.init(wrng);
+  ml::TrainConfig cfg;
+  cfg.epochs = 40;
+  ml::train(model, data, cfg);
+  ml::ModelClassifier clf(model, kDim, 2);
+  defense::SqueezedClassifier squeezed(clf, 16);
+
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    agree += clf.predict(data.rows[i]) == squeezed.predict(data.rows[i]);
+  }
+  EXPECT_GE(agree, 36u);  // quantization rarely flips clean predictions
+}
+
+TEST(SqueezeDetect, FlagsLargePerturbationsMoreThanClean) {
+  Rng rng(9);
+  auto data = toy_data(200, rng);
+  ml::Model model = ml::make_mlp_baseline(kDim, 2);
+  Rng wrng(10);
+  model.init(wrng);
+  ml::TrainConfig cfg;
+  cfg.epochs = 50;
+  ml::train(model, data, cfg);
+  ml::ModelClassifier clf(model, kDim, 2);
+
+  // Squeezing catches *minimal* perturbations — boundary-hugging points
+  // that quantization snaps back across the boundary — so probe it with
+  // DeepFool, the minimal-distortion attack.
+  attacks::DeepFool deepfool;
+  std::size_t clean_flags = 0, adv_flags = 0, advs = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    if (defense::squeeze_detects_adversarial(clf, data.rows[i], 6, 0.45)) {
+      ++clean_flags;
+    }
+    if (clf.predict(data.rows[i]) != data.labels[i]) continue;
+    const auto adv = deepfool.craft(clf, data.rows[i], 1 - data.labels[i]);
+    if (clf.predict(adv) == data.labels[i]) continue;  // attack failed
+    ++advs;
+    if (defense::squeeze_detects_adversarial(clf, adv, 6, 0.45)) ++adv_flags;
+  }
+  ASSERT_GT(advs, 10u);
+  // The detector must flag adversarial points at a higher rate than clean.
+  EXPECT_GT(static_cast<double>(adv_flags) / static_cast<double>(advs),
+            static_cast<double>(clean_flags) / 50.0);
+}
+
+// ---------------------------------------------------------------------------
+// adversarial training
+
+TEST(AdversarialTraining, ImprovesRobustAccuracy) {
+  Rng rng(21);
+  auto data = toy_data(250, rng);
+
+  auto train_and_measure = [&](bool robust) {
+    ml::Model model = ml::make_mlp_baseline(kDim, 2);
+    Rng wrng(22);
+    model.init(wrng);
+    if (robust) {
+      defense::AdvTrainConfig cfg;
+      cfg.base.epochs = 30;
+      cfg.base.batch_size = 50;
+      cfg.adversarial_fraction = 0.5;
+      cfg.pgd.iterations = 5;
+      defense::adversarial_train(model, data, cfg);
+    } else {
+      ml::TrainConfig cfg;
+      cfg.epochs = 30;
+      cfg.batch_size = 50;
+      ml::train(model, data, cfg);
+    }
+    ml::ModelClassifier clf(model, kDim, 2);
+    attacks::Pgd pgd(attacks::PgdConfig{.epsilon = 0.2, .iterations = 10});
+    std::size_t attacked = 0, flipped = 0;
+    for (std::size_t i = 0; i < 60; ++i) {
+      if (clf.predict(data.rows[i]) != data.labels[i]) continue;
+      ++attacked;
+      const auto adv = pgd.craft(clf, data.rows[i], 1 - data.labels[i]);
+      if (clf.predict(adv) != data.labels[i]) ++flipped;
+    }
+    return attacked == 0 ? 1.0
+                         : static_cast<double>(flipped) /
+                               static_cast<double>(attacked);
+  };
+
+  const double mr_plain = train_and_measure(false);
+  const double mr_robust = train_and_measure(true);
+  EXPECT_LT(mr_robust, mr_plain);  // hardening must reduce PGD success
+}
+
+TEST(AdversarialTraining, EmptyDataThrows) {
+  ml::Model model = ml::make_mlp_baseline(kDim, 2);
+  EXPECT_THROW(defense::adversarial_train(model, {}, {}),
+               std::invalid_argument);
+}
+
+TEST(AdversarialTraining, KeepsCleanAccuracyReasonable) {
+  Rng rng(31);
+  auto data = toy_data(200, rng);
+  ml::Model model = ml::make_mlp_baseline(kDim, 2);
+  Rng wrng(32);
+  model.init(wrng);
+  defense::AdvTrainConfig cfg;
+  cfg.base.epochs = 45;
+  cfg.adversarial_fraction = 0.3;
+  cfg.pgd.iterations = 4;
+  defense::adversarial_train(model, data, cfg);
+  // Robust training trades some clean accuracy; it must stay usable.
+  EXPECT_GT(ml::evaluate(model, data).accuracy(), 0.85);
+}
+
+// ---------------------------------------------------------------------------
+// GEA augmentation
+
+TEST(GeaAugmentation, ProducesExpectedCounts) {
+  dataset::CorpusConfig ccfg;
+  ccfg.num_malicious = 60;
+  ccfg.num_benign = 25;
+  ccfg.seed = 77;
+  const auto corpus = dataset::Corpus::generate(ccfg);
+  Rng srng(1);
+  const auto split = dataset::stratified_split(corpus, 0.2, srng);
+
+  features::FeatureScaler scaler;
+  {
+    std::vector<features::FeatureVector> rows;
+    for (std::size_t i : split.train) rows.push_back(corpus.samples()[i].features);
+    scaler.fit(rows);
+  }
+
+  defense::GeaAugmentConfig gcfg;
+  gcfg.num_augmented = 40;
+  Rng rng(5);
+  const auto data =
+      defense::augment_with_gea(corpus, split.train, scaler, gcfg, rng);
+  EXPECT_EQ(data.size(), split.train.size() + 40);
+  // Augmented rows alternate labels: malicious sources at even offsets.
+  const std::size_t base = split.train.size();
+  EXPECT_EQ(data.labels[base], dataset::kMalicious);
+  EXPECT_EQ(data.labels[base + 1], dataset::kBenign);
+  // All rows bounded after scaling (augmented rows may exceed 1 slightly
+  // since merged graphs can outgrow the train range — clamp is the
+  // trainer's job; here just sanity-check non-negativity).
+  for (const auto& row : data.rows) {
+    EXPECT_EQ(row.size(), features::kNumFeatures);
+  }
+}
+
+TEST(GeaAugmentation, RequiresBothClasses) {
+  dataset::Corpus corpus;  // empty
+  features::FeatureScaler scaler;
+  features::FeatureVector z{};
+  scaler.fit({z});
+  Rng rng(5);
+  EXPECT_THROW(defense::augment_with_gea(corpus, {}, scaler, {}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace

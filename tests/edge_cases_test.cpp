@@ -1,0 +1,208 @@
+// Edge cases and determinism guarantees cutting across modules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "attacks/harness.hpp"
+#include "isa/assembler.hpp"
+#include "isa/interpreter.hpp"
+#include "ml/trainer.hpp"
+#include "ml/zoo.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gea;
+using gea::util::Rng;
+
+// ---------------------------------------------------------------------------
+// Interpreter arithmetic edges
+
+TEST(InterpreterEdge, ShiftCountsMaskedTo63) {
+  const auto r = isa::execute(isa::assemble(R"(
+    func main
+      movi r1, 1
+      movi r2, 64
+      shl r1, r2
+      mov r0, r1
+      halt
+    endfunc
+  )"));
+  EXPECT_EQ(r.result, 1);  // 64 & 63 == 0: no shift
+}
+
+TEST(InterpreterEdge, NegativeImmediatesAndMemoryOffsets) {
+  const auto r = isa::execute(isa::assemble(R"(
+    func main
+      movi r1, 100
+      movi r2, -42
+      store [r1-8], r2
+      load r0, [r1-8]
+      halt
+    endfunc
+  )"));
+  EXPECT_EQ(r.result, -42);
+}
+
+TEST(InterpreterEdge, SignedDivisionTruncatesTowardZero) {
+  const auto r = isa::execute(isa::assemble(R"(
+    func main
+      movi r1, -7
+      movi r2, 2
+      div r1, r2
+      mov r0, r1
+      halt
+    endfunc
+  )"));
+  EXPECT_EQ(r.result, -3);
+}
+
+TEST(InterpreterEdge, RecursionHitsCallStackGuard) {
+  const auto r = isa::execute(isa::assemble(R"(
+    func main
+      call f
+      halt
+    endfunc
+    func f
+      call f
+      ret
+    endfunc
+  )"));
+  EXPECT_EQ(r.reason, isa::ExitReason::kTrap);
+  EXPECT_NE(r.trap_message.find("call stack"), std::string::npos);
+}
+
+TEST(InterpreterEdge, DeterministicTraceUnderCustomInput) {
+  isa::ExecOptions opts;
+  opts.input_stream = {42, 0};
+  const auto p = isa::assemble(R"(
+    func main
+    top:
+      syscall 7, r0
+      cmpi r0, 0
+      jne top
+      halt
+    endfunc
+  )");
+  const auto a = isa::execute(p, opts);
+  const auto b = isa::execute(p, opts);
+  EXPECT_EQ(a.trace.size(), 2u);
+  EXPECT_TRUE(a.equivalent(b));
+}
+
+// ---------------------------------------------------------------------------
+// Attack determinism: same model + same input => identical AE, for every
+// paper attack (the Table III rows are reproducible numbers, not averages
+// over hidden randomness).
+
+class AttackDeterminismTest : public ::testing::TestWithParam<int> {
+ protected:
+  static ml::ModelClassifier& clf() {
+    static auto* holder = [] {
+      struct Holder {
+        Rng drng{1};
+        ml::Model model;
+        std::unique_ptr<ml::ModelClassifier> clf;
+        Holder() : model(ml::make_paper_cnn(23, 2, drng)) {
+          ml::LabeledData data;
+          Rng rng(5);
+          for (int i = 0; i < 150; ++i) {
+            std::vector<double> row(23);
+            const bool pos = rng.chance(0.5);
+            for (auto& v : row) {
+              v = pos ? rng.uniform(0.55, 1.0) : rng.uniform(0.0, 0.45);
+            }
+            data.rows.push_back(std::move(row));
+            data.labels.push_back(pos ? 1 : 0);
+          }
+          Rng wrng(2);
+          model.init(wrng);
+          ml::TrainConfig cfg;
+          cfg.epochs = 25;
+          cfg.early_stop_loss = 0.05;
+          ml::train(model, data, cfg);
+          clf = std::make_unique<ml::ModelClassifier>(model, 23, 2);
+        }
+      };
+      return new Holder();
+    }();
+    return *holder->clf;
+  }
+};
+
+TEST_P(AttackDeterminismTest, SameInputSameAdversarialExample) {
+  const std::size_t which = static_cast<std::size_t>(GetParam());
+  // Fresh attack objects each time: internal RNG state must not leak
+  // between crafts in a way that changes a single-sample result.
+  auto make = [&]() {
+    return std::move(attacks::make_paper_attacks()[which]);
+  };
+  Rng rng(99);
+  std::vector<double> x(23);
+  for (auto& v : x) v = rng.uniform(0.4, 0.6);
+
+  const auto a = make()->craft(clf(), x, 0);
+  const auto b = make()->craft(clf(), x, 0);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i], b[i]) << make()->name() << " feature " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEight, AttackDeterminismTest,
+                         ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Training robustness
+
+TEST(TrainerEdge, SingleSampleBatchAndDataset) {
+  ml::LabeledData data;
+  data.rows = {{0.9, 0.9, 0.9, 0.9}};
+  data.labels = {1};
+  ml::Model m = ml::make_mlp_baseline(4, 2);
+  Rng wrng(1);
+  m.init(wrng);
+  ml::TrainConfig cfg;
+  cfg.epochs = 10;
+  cfg.batch_size = 1;
+  EXPECT_NO_THROW(ml::train(m, data, cfg));
+  EXPECT_EQ(ml::evaluate(m, data).total(), 1u);
+}
+
+TEST(TrainerEdge, BatchLargerThanDataset) {
+  Rng rng(2);
+  ml::LabeledData data;
+  for (int i = 0; i < 7; ++i) {
+    std::vector<double> row(4);
+    for (auto& v : row) v = rng.uniform();
+    data.rows.push_back(std::move(row));
+    data.labels.push_back(static_cast<std::uint8_t>(i % 2));
+  }
+  ml::Model m = ml::make_mlp_baseline(4, 2);
+  Rng wrng(3);
+  m.init(wrng);
+  ml::TrainConfig cfg;
+  cfg.epochs = 5;
+  cfg.batch_size = 100;  // bigger than the dataset
+  const auto stats = ml::train(m, data, cfg);
+  EXPECT_EQ(stats.epoch_losses.size(), 5u);
+  for (double loss : stats.epoch_losses) EXPECT_TRUE(std::isfinite(loss));
+}
+
+TEST(TrainerEdge, ExtremeInputsStayFinite) {
+  // Very large (unscaled) features must not blow up the forward pass into
+  // NaNs — softmax is max-stabilized and He init keeps scales sane.
+  Rng drng(1);
+  ml::Model m = ml::make_paper_cnn(23, 2, drng);
+  Rng wrng(4);
+  m.init(wrng);
+  ml::Tensor x({1, 1, 23});
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 1e6f;
+  const auto out = m.forward(x, false);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_FALSE(std::isnan(out[i]));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "features/extended.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gea;
+using namespace gea::features;
+using gea::util::Rng;
+
+TEST(Extended, DimensionAndPrefix) {
+  const auto f = extract_extended_features(graph::path_graph(4));
+  ASSERT_EQ(f.size(), kNumExtendedFeatures);
+  // First 23 must equal the base extractor.
+  const auto base = extract_features(graph::path_graph(4));
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    EXPECT_DOUBLE_EQ(f[i], base[i]) << i;
+  }
+}
+
+TEST(Extended, NamesUniqueAndTotal) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kNumExtendedFeatures; ++i) {
+    names.insert(extended_feature_name(i));
+  }
+  EXPECT_EQ(names.size(), kNumExtendedFeatures);
+  EXPECT_EQ(extended_feature_name(38), "diameter");
+  EXPECT_THROW(extended_feature_name(kNumExtendedFeatures), std::out_of_range);
+}
+
+TEST(Extended, KnownValuesOnPath) {
+  const auto f = extract_extended_features(graph::path_graph(4));
+  EXPECT_DOUBLE_EQ(f[38], 3.0);  // diameter
+  EXPECT_DOUBLE_EQ(f[39], 1.0);  // one WCC
+  EXPECT_DOUBLE_EQ(f[40], 4.0);  // all-singleton SCCs
+  // Clustering on a path is zero everywhere.
+  for (std::size_t i = 33; i < 38; ++i) EXPECT_DOUBLE_EQ(f[i], 0.0);
+}
+
+TEST(Extended, CycleCollapsesScc) {
+  const auto f = extract_extended_features(graph::cycle_graph(6));
+  EXPECT_DOUBLE_EQ(f[40], 1.0);
+}
+
+class ExtendedPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExtendedPropertyTest, TupleOrderingInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 19 + 5);
+  const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 40));
+  const auto g = graph::random_cfg_shape(n, 0.4, 0.2, rng);
+  const auto f = extract_extended_features(g);
+  for (std::size_t base : {23u, 28u, 33u}) {  // the three added 5-tuples
+    EXPECT_LE(f[base + 0], f[base + 2] + 1e-9);
+    EXPECT_LE(f[base + 2], f[base + 1] + 1e-9);
+    EXPECT_LE(f[base + 0], f[base + 3] + 1e-9);
+    EXPECT_LE(f[base + 3], f[base + 1] + 1e-9);
+    EXPECT_GE(f[base + 4], 0.0);
+  }
+  EXPECT_GE(f[38], 0.0);
+  EXPECT_GE(f[39], 1.0);
+  EXPECT_GE(f[40], 1.0);
+  EXPECT_LE(f[40], static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExtendedPropertyTest, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// DynScaler
+
+TEST(DynScaler, TransformsToUnitRange) {
+  DynScaler s;
+  s.fit({{0.0, 10.0}, {2.0, 30.0}});
+  const auto lo = s.transform({0.0, 10.0});
+  const auto hi = s.transform({2.0, 30.0});
+  EXPECT_DOUBLE_EQ(lo[0], 0.0);
+  EXPECT_DOUBLE_EQ(hi[1], 1.0);
+  EXPECT_EQ(s.dim(), 2u);
+}
+
+TEST(DynScaler, ZeroRangeMapsToZero) {
+  DynScaler s;
+  s.fit({{5.0}, {5.0}});
+  EXPECT_DOUBLE_EQ(s.transform({5.0})[0], 0.0);
+}
+
+TEST(DynScaler, ErrorPaths) {
+  DynScaler s;
+  EXPECT_THROW(s.fit({}), std::invalid_argument);
+  EXPECT_THROW(s.transform({1.0}), std::logic_error);
+  s.fit({{1.0, 2.0}});
+  EXPECT_THROW(s.transform({1.0}), std::invalid_argument);
+  EXPECT_THROW(s.fit({{1.0}, {1.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(DynScaler, TransformAll) {
+  DynScaler s;
+  s.fit({{0.0}, {4.0}});
+  const auto rows = s.transform_all({{1.0}, {3.0}});
+  EXPECT_DOUBLE_EQ(rows[0][0], 0.25);
+  EXPECT_DOUBLE_EQ(rows[1][0], 0.75);
+}
+
+}  // namespace

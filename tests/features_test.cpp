@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "features/features.hpp"
+#include "features/scaler.hpp"
+#include "features/validator.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gea;
+using namespace gea::features;
+using gea::util::Rng;
+
+// ---------------------------------------------------------------------------
+// Metadata (Table II)
+
+TEST(FeatureMeta, TwentyThreeFeaturesInSevenCategories) {
+  EXPECT_EQ(kNumFeatures, 23u);
+  std::size_t total = 0;
+  for (Category c : {Category::kBetweenness, Category::kCloseness,
+                     Category::kDegree, Category::kShortestPath,
+                     Category::kDensity, Category::kEdges, Category::kNodes}) {
+    total += category_size(c);
+  }
+  EXPECT_EQ(total, 23u);  // Table II's total row
+}
+
+TEST(FeatureMeta, CategoryAssignment) {
+  EXPECT_EQ(feature_category(kBetweennessMin), Category::kBetweenness);
+  EXPECT_EQ(feature_category(kClosenessStd), Category::kCloseness);
+  EXPECT_EQ(feature_category(kDegreeMedian), Category::kDegree);
+  EXPECT_EQ(feature_category(kShortestPathMax), Category::kShortestPath);
+  EXPECT_EQ(feature_category(kDensity), Category::kDensity);
+  EXPECT_EQ(feature_category(kNumEdges), Category::kEdges);
+  EXPECT_EQ(feature_category(kNumNodes), Category::kNodes);
+}
+
+TEST(FeatureMeta, NamesAreUniqueAndBounded) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    names.insert(feature_name(i));
+  }
+  EXPECT_EQ(names.size(), kNumFeatures);
+  EXPECT_THROW(feature_name(23), std::out_of_range);
+  EXPECT_THROW(feature_category(23), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// Extraction on known graphs
+
+TEST(Extract, SingleNodeGraph) {
+  const auto f = extract_features(graph::path_graph(1));
+  EXPECT_EQ(f[kNumNodes], 1.0);
+  EXPECT_EQ(f[kNumEdges], 0.0);
+  EXPECT_EQ(f[kDensity], 0.0);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(f[i], 0.0);
+}
+
+TEST(Extract, PathGraphKnownValues) {
+  const auto f = extract_features(graph::path_graph(3));
+  EXPECT_EQ(f[kNumNodes], 3.0);
+  EXPECT_EQ(f[kNumEdges], 2.0);
+  EXPECT_NEAR(f[kDensity], 2.0 / 6.0, 1e-12);
+  // Shortest paths {1,1,2}.
+  EXPECT_EQ(f[kShortestPathMin], 1.0);
+  EXPECT_EQ(f[kShortestPathMax], 2.0);
+  EXPECT_NEAR(f[kShortestPathMean], 4.0 / 3.0, 1e-12);
+  // Betweenness: only the middle node carries paths: 1/((n-1)(n-2)) = 0.5.
+  EXPECT_NEAR(f[kBetweennessMax], 0.5, 1e-12);
+  EXPECT_EQ(f[kBetweennessMin], 0.0);
+  // Closeness per the path test in graph_test: {0, 0.5, 2/3}.
+  EXPECT_NEAR(f[kClosenessMax], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(f[kClosenessMedian], 0.5, 1e-12);
+  // Degree centrality: {0.5, 1.0, 0.5}.
+  EXPECT_NEAR(f[kDegreeMax], 1.0, 1e-12);
+  EXPECT_NEAR(f[kDegreeMin], 0.5, 1e-12);
+}
+
+TEST(Extract, CompleteGraphValues) {
+  const auto f = extract_features(graph::complete_digraph(4));
+  EXPECT_EQ(f[kDensity], 1.0);
+  EXPECT_EQ(f[kShortestPathMax], 1.0);
+  EXPECT_EQ(f[kBetweennessMax], 0.0);
+  EXPECT_NEAR(f[kDegreeMean], 2.0, 1e-12);  // 2*3/3
+}
+
+TEST(Extract, ChangedFeaturesDetectsDiffs) {
+  FeatureVector a{}, b{};
+  b[3] = 0.5;
+  b[20] = 1e-12;  // below tolerance
+  const auto idx = changed_features(a, b);
+  ASSERT_EQ(idx.size(), 1u);
+  EXPECT_EQ(idx[0], 3u);
+}
+
+TEST(Extract, MonotoneInGraphGrowth) {
+  // Adding nodes/edges must strictly grow the counting features.
+  auto g = graph::path_graph(5);
+  const auto f1 = extract_features(g);
+  g.add_node();
+  g.add_edge(4, 5);
+  const auto f2 = extract_features(g);
+  EXPECT_GT(f2[kNumNodes], f1[kNumNodes]);
+  EXPECT_GT(f2[kNumEdges], f1[kNumEdges]);
+}
+
+// Property: invariants on random CFG-shaped graphs.
+class FeaturePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FeaturePropertyTest, ExtractInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 1);
+  const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 50));
+  const auto g = graph::random_cfg_shape(n, 0.4, 0.2, rng);
+  const auto f = extract_features(g);
+  EXPECT_EQ(f[kNumNodes], static_cast<double>(g.num_nodes()));
+  EXPECT_EQ(f[kNumEdges], static_cast<double>(g.num_edges()));
+  EXPECT_NEAR(f[kDensity],
+              f[kNumEdges] / (f[kNumNodes] * (f[kNumNodes] - 1.0)), 1e-9);
+  for (std::size_t base : {kBetweennessMin, kClosenessMin, kDegreeMin,
+                           kShortestPathMin}) {
+    EXPECT_LE(f[base + 0], f[base + 2] + 1e-9);  // min <= median
+    EXPECT_LE(f[base + 2], f[base + 1] + 1e-9);  // median <= max
+    EXPECT_LE(f[base + 0], f[base + 3] + 1e-9);  // min <= mean
+    EXPECT_LE(f[base + 3], f[base + 1] + 1e-9);  // mean <= max
+    EXPECT_GE(f[base + 4], 0.0);                 // stddev
+  }
+  EXPECT_GE(f[kShortestPathMin], 1.0);  // all finite paths have length >= 1
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FeaturePropertyTest, ::testing::Range(0, 20));
+
+// ---------------------------------------------------------------------------
+// Scaler
+
+TEST(Scaler, TransformsToUnitRange) {
+  FeatureScaler s;
+  FeatureVector lo{}, hi{};
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    lo[i] = static_cast<double>(i);
+    hi[i] = static_cast<double>(i) + 10.0;
+  }
+  s.fit({lo, hi});
+  const auto t_lo = s.transform(lo);
+  const auto t_hi = s.transform(hi);
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    EXPECT_DOUBLE_EQ(t_lo[i], 0.0);
+    EXPECT_DOUBLE_EQ(t_hi[i], 1.0);
+  }
+}
+
+TEST(Scaler, InverseRoundTrips) {
+  FeatureScaler s;
+  Rng rng(3);
+  std::vector<FeatureVector> rows(10);
+  for (auto& r : rows) {
+    for (auto& v : r) v = rng.uniform(-5.0, 5.0);
+  }
+  s.fit(rows);
+  for (const auto& r : rows) {
+    const auto back = s.inverse(s.transform(r));
+    for (std::size_t i = 0; i < kNumFeatures; ++i) {
+      EXPECT_NEAR(back[i], r[i], 1e-9);
+    }
+  }
+}
+
+TEST(Scaler, ConstantFeatureMapsToZero) {
+  FeatureScaler s;
+  FeatureVector a{}, b{};
+  a[0] = b[0] = 7.0;  // zero range
+  a[1] = 0.0;
+  b[1] = 1.0;
+  s.fit({a, b});
+  EXPECT_DOUBLE_EQ(s.transform(a)[0], 0.0);
+  EXPECT_DOUBLE_EQ(s.transform(b)[0], 0.0);
+}
+
+TEST(Scaler, UnfittedThrows) {
+  FeatureScaler s;
+  EXPECT_THROW(s.transform(FeatureVector{}), std::logic_error);
+  EXPECT_THROW(s.inverse(FeatureVector{}), std::logic_error);
+}
+
+TEST(Scaler, FitEmptyThrows) {
+  FeatureScaler s;
+  EXPECT_THROW(s.fit({}), std::invalid_argument);
+}
+
+TEST(Scaler, TransformAll) {
+  FeatureScaler s;
+  FeatureVector a{}, b{};
+  b.fill(2.0);
+  s.fit({a, b});
+  const auto rows = s.transform_all({a, b});
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[1][5], 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// DistortionValidator
+
+class ValidatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Fit a scaler over a small corpus of real graphs so raw ranges are
+    // plausible.
+    Rng rng(5);
+    std::vector<FeatureVector> rows;
+    for (int i = 0; i < 40; ++i) {
+      const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 60));
+      rows.push_back(extract_features(graph::random_cfg_shape(n, 0.4, 0.2, rng)));
+    }
+    scaler_.fit(rows);
+    real_scaled_ = scaler_.transform(rows.front());
+  }
+
+  FeatureScaler scaler_;
+  FeatureVector real_scaled_{};
+};
+
+TEST_F(ValidatorTest, RealSampleIsAdmissible) {
+  DistortionValidator v(scaler_);
+  const auto rep = v.validate(real_scaled_);
+  EXPECT_TRUE(rep.admissible()) << (rep.violations.empty() ? "" : rep.violations[0]);
+}
+
+TEST_F(ValidatorTest, OutOfRangeFlagged) {
+  DistortionValidator v(scaler_);
+  auto bad = real_scaled_;
+  bad[0] = 1.7;
+  const auto rep = v.validate(bad);
+  EXPECT_FALSE(rep.in_range);
+  EXPECT_FALSE(rep.admissible());
+  EXPECT_FALSE(rep.violations.empty());
+}
+
+TEST_F(ValidatorTest, OrderingViolationFlagged) {
+  DistortionValidator v(scaler_);
+  auto bad = real_scaled_;
+  // Force min above max within the betweenness tuple.
+  bad[kBetweennessMin] = 1.0;
+  bad[kBetweennessMax] = 0.0;
+  const auto rep = v.validate(bad);
+  EXPECT_FALSE(rep.consistent);
+}
+
+TEST_F(ValidatorTest, DensityInconsistencyFlagged) {
+  DistortionValidator v(scaler_);
+  auto bad = real_scaled_;
+  bad[kDensity] = 1.0;   // max scaled density
+  bad[kNumEdges] = 0.0;  // but no edges
+  bad[kNumNodes] = 1.0;  // many nodes
+  const auto rep = v.validate(bad);
+  EXPECT_FALSE(rep.consistent);
+}
+
+TEST_F(ValidatorTest, Clamp01) {
+  FeatureVector x{};
+  x[0] = -0.5;
+  x[1] = 1.5;
+  x[2] = 0.25;
+  const auto c = DistortionValidator::clamp01(x);
+  EXPECT_EQ(c[0], 0.0);
+  EXPECT_EQ(c[1], 1.0);
+  EXPECT_EQ(c[2], 0.25);
+}
+
+}  // namespace

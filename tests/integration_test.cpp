@@ -1,0 +1,145 @@
+// Cross-module integration and determinism tests: the guarantees the
+// benches rely on when comparing numbers across processes and runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bingen/families.hpp"
+#include "cfg/cfg.hpp"
+#include "core/evaluator.hpp"
+#include "core/pipeline.hpp"
+#include "gea/embed.hpp"
+#include "graph/algorithms.hpp"
+#include "isa/interpreter.hpp"
+
+namespace {
+
+using namespace gea;
+
+core::PipelineConfig tiny_config(std::uint64_t seed = 5) {
+  core::PipelineConfig cfg;
+  cfg.corpus.num_malicious = 120;
+  cfg.corpus.num_benign = 35;
+  cfg.corpus.seed = seed;
+  cfg.train.epochs = 20;
+  cfg.train.batch_size = 32;
+  cfg.train.early_stop_loss = 0.1;
+  return cfg;
+}
+
+TEST(Integration, PipelineIsDeterministic) {
+  auto a = core::DetectionPipeline::run(tiny_config());
+  auto b = core::DetectionPipeline::run(tiny_config());
+  // Identical corpora, splits, and trained weights => identical metrics.
+  EXPECT_EQ(a.test_metrics().to_string(), b.test_metrics().to_string());
+  EXPECT_EQ(a.train_stats().epoch_losses, b.train_stats().epoch_losses);
+  const auto data = a.scaled_data(a.split().test);
+  for (std::size_t i = 0; i < 5 && i < data.size(); ++i) {
+    EXPECT_EQ(a.classifier().predict(data.rows[i]),
+              b.classifier().predict(data.rows[i]));
+  }
+}
+
+TEST(Integration, DifferentCorpusSeedChangesData) {
+  auto a = core::DetectionPipeline::run(tiny_config(5));
+  auto b = core::DetectionPipeline::run(tiny_config(6));
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.corpus().size(); ++i) {
+    any_diff =
+        any_diff || !(a.corpus().samples()[i].program == b.corpus().samples()[i].program);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Integration, GeaRowsAreReproducible) {
+  auto p = core::DetectionPipeline::run(tiny_config());
+  core::AdversarialEvaluator eval(p);
+  core::EvaluationOptions opts;
+  opts.max_samples = 10;
+  opts.gea.verify_every = 0;
+  const auto r1 = eval.run_gea_size_sweep(dataset::kMalicious, opts);
+  const auto r2 = eval.run_gea_size_sweep(dataset::kMalicious, opts);
+  ASSERT_EQ(r1.size(), r2.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].misclassified, r2[i].misclassified);
+    EXPECT_EQ(r1[i].target_nodes, r2[i].target_nodes);
+  }
+}
+
+// The whole-chain property the library is really for: for ANY generated
+// pair, splice -> re-disassemble -> the merged program still validates,
+// still executes like the original, and its main-only CFG contains both
+// mains behind one entry and one exit.
+class FullChainTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FullChainTest, SpliceChainInvariants) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 17);
+  const auto families_b = bingen::benign_families();
+  const auto families_m = bingen::malicious_families();
+  const auto mal = bingen::generate_program(
+      families_m[static_cast<std::size_t>(GetParam()) % families_m.size()], rng);
+  const auto ben = bingen::generate_program(
+      families_b[static_cast<std::size_t>(GetParam()) % families_b.size()], rng);
+
+  for (const auto* dir : {"m2b", "b2m"}) {
+    const auto& orig = dir == std::string("m2b") ? mal : ben;
+    const auto& sel = dir == std::string("m2b") ? ben : mal;
+    const auto merged = aug::embed_program(orig, sel);
+    EXPECT_FALSE(merged.validate().has_value());
+    EXPECT_TRUE(aug::functionally_equivalent(orig, merged));
+
+    const auto c = cfg::extract_cfg(merged, {.main_only = true});
+    const auto co = cfg::extract_cfg(orig, {.main_only = true});
+    const auto cs = cfg::extract_cfg(sel, {.main_only = true});
+    EXPECT_GE(c.num_nodes(), co.num_nodes() + cs.num_nodes());
+    EXPECT_EQ(c.graph.out_degree(c.entry), 2u);
+    ASSERT_EQ(c.exit_nodes.size(), 1u);
+    EXPECT_TRUE(graph::all_reachable_from(c.graph, c.entry));
+    // Features of the merged graph are well defined and finite.
+    const auto fv = features::extract_features(c.graph);
+    for (double v : fv) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FullChainTest, ::testing::Range(0, 10));
+
+// Failure injection: the embed must reject malformed inputs, and the
+// pipeline must reject nonsensical configurations.
+TEST(Integration, FailureInjection) {
+  isa::Program empty;
+  util::Rng rng(1);
+  const auto ok = bingen::generate_program(bingen::Family::kBenignUtility, rng);
+  EXPECT_THROW(aug::embed_program(empty, ok), std::invalid_argument);
+
+  auto cfg = tiny_config();
+  cfg.test_fraction = 1.5;
+  EXPECT_THROW(core::DetectionPipeline::run(cfg), std::invalid_argument);
+}
+
+TEST(Integration, MainOnlyCfgIsSubsetOfFullCfg) {
+  util::Rng rng(9);
+  const auto p = bingen::generate_program(bingen::Family::kMiraiLike, rng);
+  const auto full = cfg::extract_cfg(p);
+  const auto main_only = cfg::extract_cfg(p, {.main_only = true});
+  EXPECT_LE(main_only.num_nodes(), full.num_nodes());
+  EXPECT_LE(main_only.num_edges(), full.num_edges());
+  // Main blocks in both extractions cover the same instruction range.
+  const auto& main_fn = p.functions().front();
+  for (const auto& b : main_only.blocks) {
+    EXPECT_LT(b.begin, main_fn.end);
+    EXPECT_EQ(b.function, 0u);
+  }
+}
+
+TEST(Integration, InterpreterTraceStableAcrossRecompiles) {
+  // The same program always produces the same trace (the equivalence
+  // oracle's own determinism).
+  util::Rng rng(31);
+  const auto p = bingen::generate_program(bingen::Family::kTsunamiLike, rng);
+  const auto r1 = isa::execute(p);
+  const auto r2 = isa::execute(p);
+  EXPECT_TRUE(r1.equivalent(r2));
+  EXPECT_EQ(r1.steps, r2.steps);
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "cfg/cfg.hpp"
+#include <algorithm>
+#include "core/pipeline.hpp"
+#include "gea/minimize.hpp"
+
+namespace {
+
+using namespace gea;
+
+core::DetectionPipeline& pipeline() {
+  static core::DetectionPipeline* p = [] {
+    core::PipelineConfig cfg;
+    cfg.corpus.num_malicious = 160;
+    cfg.corpus.num_benign = 50;
+    cfg.corpus.seed = 9;
+    cfg.train.epochs = 30;
+    cfg.train.batch_size = 32;
+    cfg.train.early_stop_loss = 0.08;
+    return new core::DetectionPipeline(core::DetectionPipeline::run(cfg));
+  }();
+  return *p;
+}
+
+TEST(Minimize, BadVictimIndexThrows) {
+  auto& p = pipeline();
+  EXPECT_THROW(aug::find_minimal_target(p.corpus(), p.corpus().size(),
+                                        p.classifier(), p.scaler()),
+               std::invalid_argument);
+}
+
+TEST(Minimize, ResultIsConsistentWhenEvaded) {
+  auto& p = pipeline();
+  const auto malicious = p.corpus().indices_of(dataset::kMalicious);
+  std::size_t evasions = 0;
+  for (std::size_t k = 0; k < 12 && k < malicious.size(); ++k) {
+    const auto res = aug::find_minimal_target(p.corpus(), malicious[k],
+                                              p.classifier(), p.scaler());
+    EXPECT_GT(res.targets_tried, 0u);
+    if (!res.evaded) continue;
+    ++evasions;
+    EXPECT_EQ(p.corpus().samples()[res.target_index].label, dataset::kBenign);
+    EXPECT_EQ(p.corpus().samples()[res.target_index].num_nodes(),
+              res.target_nodes);
+    EXPECT_GT(res.merged_nodes, res.original_nodes);
+    EXPECT_GT(res.size_overhead, 1.0);
+  }
+  // With a full benign target list, most victims should find some target.
+  EXPECT_GT(evasions, 0u);
+}
+
+TEST(Minimize, MinimalityWithinScanOrder) {
+  // The chosen target must be the first (smallest) that works: every
+  // smaller benign target must fail to flip the same victim.
+  auto& p = pipeline();
+  const auto malicious = p.corpus().indices_of(dataset::kMalicious);
+  for (std::size_t k = 0; k < malicious.size(); ++k) {
+    const auto res = aug::find_minimal_target(p.corpus(), malicious[k],
+                                              p.classifier(), p.scaler());
+    if (!res.evaded || res.targets_tried < 2) continue;
+    // Re-check one strictly smaller target: it must not flip.
+    const auto& victim = p.corpus().samples()[malicious[k]];
+    auto smaller = p.corpus().indices_of(dataset::kBenign);
+    std::sort(smaller.begin(), smaller.end(), [&](std::size_t a, std::size_t b) {
+      return p.corpus().samples()[a].num_nodes() <
+             p.corpus().samples()[b].num_nodes();
+    });
+    const auto& first_target = p.corpus().samples()[smaller.front()];
+    const auto merged = aug::embed_program(victim.program, first_target.program);
+    const auto fv = features::extract_features(
+        cfg::extract_cfg(merged, {.main_only = true}).graph);
+    const auto scaled = p.scaler().transform(fv);
+    EXPECT_EQ(p.classifier().predict({scaled.begin(), scaled.end()}),
+              victim.label);
+    break;  // one witness is enough
+  }
+}
+
+TEST(Minimize, MaxTargetsCapRespected) {
+  auto& p = pipeline();
+  const auto malicious = p.corpus().indices_of(dataset::kMalicious);
+  aug::MinimizeOptions opts;
+  opts.max_targets = 3;
+  const auto res = aug::find_minimal_target(p.corpus(), malicious[0],
+                                            p.classifier(), p.scaler(), opts);
+  EXPECT_LE(res.targets_tried, 3u);
+}
+
+}  // namespace

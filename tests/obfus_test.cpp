@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "bingen/families.hpp"
+#include "cfg/cfg.hpp"
+#include "isa/assembler.hpp"
+#include "isa/interpreter.hpp"
+#include "obfus/rewriter.hpp"
+#include "obfus/transforms.hpp"
+
+namespace {
+
+using namespace gea;
+using gea::util::Rng;
+
+const char* kLoop = R"(
+  func main
+    movi r1, 0
+  loop:
+    addi r1, 1
+    cmpi r1, 5
+    jl loop
+    mov r0, r1
+    halt
+  endfunc
+)";
+
+// ---------------------------------------------------------------------------
+// rewriter
+
+TEST(Rewriter, InsertNopPreservesBehaviour) {
+  const auto p = isa::assemble(kLoop);
+  obfus::Insertion ins;
+  ins.position = 1;  // inside the loop
+  ins.instructions = {{isa::Opcode::kNop, 0, 0, 0, 0}};
+  const auto q = obfus::insert_instructions(p, {ins});
+  EXPECT_EQ(q.size(), p.size() + 1);
+  EXPECT_TRUE(isa::execute(p).equivalent(isa::execute(q)));
+}
+
+TEST(Rewriter, JumpTargetsRemapped) {
+  const auto p = isa::assemble(kLoop);
+  obfus::Insertion ins;
+  ins.position = 0;
+  ins.instructions = {{isa::Opcode::kNop, 0, 0, 0, 0},
+                      {isa::Opcode::kNop, 0, 0, 0, 0}};
+  const auto q = obfus::insert_instructions(p, {ins});
+  // The back edge (old target 1) must now point at old-1 + 2.
+  bool found = false;
+  for (const auto& instr : q.code()) {
+    if (instr.op == isa::Opcode::kJl) {
+      EXPECT_EQ(instr.target, 3u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(isa::execute(p).equivalent(isa::execute(q)));
+}
+
+TEST(Rewriter, InsertionAtJumpTargetStaysOnPath) {
+  // Code inserted at a jump target must execute on the jumping path too:
+  // count executions via memory.
+  const auto p = isa::assemble(kLoop);
+  obfus::Insertion ins;
+  ins.position = 1;  // the loop header (back-edge target)
+  ins.instructions = {
+      {isa::Opcode::kAddImm, 7, 0, 1, 0}};  // r7 counts header entries
+  const auto q = obfus::insert_instructions(p, {ins});
+  const auto r = isa::execute(q);
+  EXPECT_TRUE(isa::ExecResult::is_normal(r.reason));
+  EXPECT_EQ(r.result, 5);  // original behaviour intact
+}
+
+TEST(Rewriter, MultipleInsertions) {
+  const auto p = isa::assemble(kLoop);
+  std::vector<obfus::Insertion> all;
+  for (std::uint32_t pos : {0u, 2u, 4u}) {
+    obfus::Insertion ins;
+    ins.position = pos;
+    ins.instructions = {{isa::Opcode::kNop, 0, 0, 0, 0}};
+    all.push_back(std::move(ins));
+  }
+  const auto q = obfus::insert_instructions(p, all);
+  EXPECT_EQ(q.size(), p.size() + 3);
+  EXPECT_TRUE(isa::execute(p).equivalent(isa::execute(q)));
+}
+
+TEST(Rewriter, RelativeTargetsResolve) {
+  const auto p = isa::assemble(kLoop);
+  obfus::Insertion ins;
+  ins.position = 4;  // before "mov r0, r1"
+  // jmp +1 == jump to the instruction after this one (the original).
+  ins.instructions = {{isa::Opcode::kJmp, 0, 0, 0, 1}};
+  ins.relative_targets = {0};
+  const auto q = obfus::insert_instructions(p, {ins});
+  EXPECT_TRUE(isa::execute(p).equivalent(isa::execute(q)));
+}
+
+TEST(Rewriter, RejectsBadInputs) {
+  const auto p = isa::assemble(kLoop);
+  obfus::Insertion oob;
+  oob.position = 999;
+  oob.instructions = {{isa::Opcode::kNop, 0, 0, 0, 0}};
+  EXPECT_THROW(obfus::insert_instructions(p, {oob}), std::invalid_argument);
+
+  obfus::Insertion dup1, dup2;
+  dup1.position = dup2.position = 1;
+  dup1.instructions = dup2.instructions = {{isa::Opcode::kNop, 0, 0, 0, 0}};
+  EXPECT_THROW(obfus::insert_instructions(p, {dup1, dup2}),
+               std::invalid_argument);
+
+  isa::Program empty;
+  EXPECT_THROW(obfus::insert_instructions(empty, {}), std::invalid_argument);
+}
+
+TEST(Rewriter, FunctionBoundariesSurviveInsertionAtFunctionStart) {
+  const auto p = isa::assemble(R"(
+    func main
+      call f
+      halt
+    endfunc
+    func f
+      movi r0, 3
+      ret
+    endfunc
+  )");
+  obfus::Insertion ins;
+  ins.position = 2;  // first instruction of f
+  ins.instructions = {{isa::Opcode::kNop, 0, 0, 0, 0}};
+  const auto q = obfus::insert_instructions(p, {ins});
+  EXPECT_FALSE(q.validate().has_value());
+  EXPECT_EQ(q.function_named("f")->begin, 2u);
+  EXPECT_EQ(q.function_named("f")->end, 5u);
+  EXPECT_TRUE(isa::execute(p).equivalent(isa::execute(q)));
+}
+
+// ---------------------------------------------------------------------------
+// transforms
+
+class TransformPropertyTest
+    : public ::testing::TestWithParam<std::tuple<bingen::Family, int>> {};
+
+TEST_P(TransformPropertyTest, OpaquePredicatesPreserveBehaviourGrowCfg) {
+  const auto [family, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 53 + 11);
+  const auto p = bingen::generate_program(family, rng);
+  const auto q = obfus::add_opaque_predicates(p, rng, 8);
+  EXPECT_FALSE(q.validate().has_value());
+  EXPECT_TRUE(isa::execute(p).equivalent(isa::execute(q)))
+      << bingen::family_name(family);
+  const auto cp = cfg::extract_cfg(p);
+  const auto cq = cfg::extract_cfg(q);
+  EXPECT_GT(cq.num_nodes(), cp.num_nodes());
+  EXPECT_GT(cq.num_edges(), cp.num_edges());
+}
+
+TEST_P(TransformPropertyTest, SplitBlocksPreserveBehaviourGrowCfg) {
+  const auto [family, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 71 + 3);
+  const auto p = bingen::generate_program(family, rng);
+  const auto q = obfus::split_blocks(p, rng, 10);
+  EXPECT_FALSE(q.validate().has_value());
+  EXPECT_TRUE(isa::execute(p).equivalent(isa::execute(q)));
+  EXPECT_GE(cfg::extract_cfg(q).num_nodes(), cfg::extract_cfg(p).num_nodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, TransformPropertyTest,
+    ::testing::Combine(::testing::Values(bingen::Family::kMiraiLike,
+                                         bingen::Family::kBenignDaemon,
+                                         bingen::Family::kGafgytLike),
+                       ::testing::Range(0, 5)));
+
+TEST(Transforms, OpaquePredicateCountedGrowth) {
+  const auto p = isa::assemble(kLoop);
+  Rng rng(2);
+  const auto q = obfus::add_opaque_predicates(p, rng, 1);
+  // One predicate = +6 instructions; +2 blocks when inserted at an
+  // existing leader, +3 when it also splits the host block.
+  EXPECT_EQ(q.size(), p.size() + 6);
+  const auto grown = cfg::extract_cfg(q).num_nodes();
+  const auto base = cfg::extract_cfg(p).num_nodes();
+  EXPECT_GE(grown, base + 2);
+  EXPECT_LE(grown, base + 3);
+}
+
+TEST(Transforms, ZeroCountIsIdentity) {
+  const auto p = isa::assemble(kLoop);
+  Rng rng(3);
+  EXPECT_EQ(obfus::add_opaque_predicates(p, rng, 0), p);
+  EXPECT_EQ(obfus::split_blocks(p, rng, 0), p);
+}
+
+TEST(Transforms, PackStaticViewCollapsesCfg) {
+  Rng rng(4);
+  const auto p = bingen::generate_program(bingen::Family::kMiraiLike, rng);
+  const auto packed = obfus::pack_static_view(p, rng);
+  EXPECT_FALSE(packed.validate().has_value());
+  const auto c = cfg::extract_cfg(packed);
+  EXPECT_EQ(c.num_nodes(), 1u);
+  EXPECT_EQ(c.num_edges(), 0u);
+  EXPECT_TRUE(isa::ExecResult::is_normal(isa::execute(packed).reason));
+}
+
+TEST(Transforms, StackedTransformsCompose) {
+  Rng rng(5);
+  const auto p = bingen::generate_program(bingen::Family::kTsunamiLike, rng);
+  const auto q = obfus::split_blocks(
+      obfus::add_opaque_predicates(p, rng, 4), rng, 4);
+  EXPECT_TRUE(isa::execute(p).equivalent(isa::execute(q)));
+}
+
+}  // namespace

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/spectral.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gea::graph;
+using gea::util::Rng;
+
+// ---------------------------------------------------------------------------
+// Eigenvector centrality
+
+TEST(Eigenvector, UniformOnCycle) {
+  const auto c = eigenvector_centrality(cycle_graph(5));
+  for (double v : c) EXPECT_NEAR(v, 1.0 / std::sqrt(5.0), 1e-6);
+}
+
+TEST(Eigenvector, EdgelessGraphIsUniform) {
+  const auto c = eigenvector_centrality(DiGraph(4));
+  for (double v : c) EXPECT_NEAR(v, 0.5, 1e-12);
+}
+
+TEST(Eigenvector, EmptyGraph) {
+  EXPECT_TRUE(eigenvector_centrality(DiGraph()).empty());
+}
+
+TEST(Eigenvector, DagIsNilpotent) {
+  // A DAG's adjacency matrix is nilpotent: no principal eigenvector, the
+  // iteration collapses to zero.
+  DiGraph g(4);
+  for (NodeId u : {1u, 2u, 3u}) g.add_edge(u, 0);
+  for (double v : eigenvector_centrality(g)) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Eigenvector, CycleMembersDominateFeeder) {
+  // 0 <-> 1 recurrent core, 2 feeds in but receives nothing back.
+  DiGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 0);
+  const auto c = eigenvector_centrality(g);
+  EXPECT_GT(c[0], c[2]);
+  EXPECT_GT(c[1], c[2]);
+}
+
+TEST(Eigenvector, NonNegativeAndNormalized) {
+  Rng rng(1);
+  const auto g = erdos_renyi(25, 0.2, rng);
+  const auto c = eigenvector_centrality(g);
+  double norm = 0.0;
+  for (double v : c) {
+    EXPECT_GE(v, -1e-9);
+    norm += v * v;
+  }
+  EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// PageRank
+
+TEST(PageRank, SumsToOne) {
+  Rng rng(2);
+  const auto g = random_cfg_shape(30, 0.4, 0.2, rng);
+  const auto pr = pagerank(g);
+  double sum = 0.0;
+  for (double v : pr) {
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PageRank, UniformOnCycle) {
+  const auto pr = pagerank(cycle_graph(4));
+  for (double v : pr) EXPECT_NEAR(v, 0.25, 1e-9);
+}
+
+TEST(PageRank, HubGetsMoreRank) {
+  // 0->2, 1->2, 2->0 : node 2 has two in-edges.
+  DiGraph g(3);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  const auto pr = pagerank(g);
+  EXPECT_GT(pr[2], pr[1]);
+}
+
+TEST(PageRank, DanglingNodesHandled) {
+  DiGraph g(3);
+  g.add_edge(0, 1);  // 1 and 2 dangle
+  const auto pr = pagerank(g);
+  double sum = 0.0;
+  for (double v : pr) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Katz
+
+TEST(Katz, BetaFloorOnEdgeless) {
+  const auto k = katz_centrality(DiGraph(3), 0.05, 1.0);
+  for (double v : k) EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+TEST(Katz, DownstreamNodesScoreHigher) {
+  const auto k = katz_centrality(path_graph(4), 0.1, 1.0);
+  EXPECT_LT(k[0], k[1]);
+  EXPECT_LT(k[1], k[2]);
+  EXPECT_LT(k[2], k[3]);
+}
+
+// ---------------------------------------------------------------------------
+// Eccentricity / diameter
+
+TEST(Eccentricity, PathGraph) {
+  const auto e = eccentricity(path_graph(4));
+  EXPECT_EQ(e[0], 3.0);
+  EXPECT_EQ(e[1], 2.0);
+  EXPECT_EQ(e[3], 0.0);
+  EXPECT_EQ(diameter(path_graph(4)), 3.0);
+}
+
+TEST(Eccentricity, CycleDiameter) {
+  EXPECT_EQ(diameter(cycle_graph(5)), 4.0);
+}
+
+TEST(Eccentricity, EdgelessIsZero) {
+  EXPECT_EQ(diameter(DiGraph(5)), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Clustering
+
+TEST(Clustering, CompleteGraphIsOne) {
+  const auto cc = clustering_coefficient(complete_digraph(4));
+  for (double v : cc) EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+TEST(Clustering, PathGraphIsZero) {
+  const auto cc = clustering_coefficient(path_graph(5));
+  for (double v : cc) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Clustering, TriangleMiddle) {
+  // 0->1, 1->2, 0->2: every node's neighbourhood is the other two, which
+  // are connected by one directed edge out of two possible.
+  DiGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  const auto cc = clustering_coefficient(g);
+  for (double v : cc) EXPECT_NEAR(v, 0.5, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// SCC
+
+TEST(Scc, CycleIsOneComponent) {
+  EXPECT_EQ(num_strongly_connected_components(cycle_graph(6)), 1u);
+}
+
+TEST(Scc, PathIsAllSingletons) {
+  EXPECT_EQ(num_strongly_connected_components(path_graph(5)), 5u);
+}
+
+TEST(Scc, MixedGraph) {
+  // {0,1,2} cycle + 3 -> 0 and 2 -> 4.
+  DiGraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(3, 0);
+  g.add_edge(2, 4);
+  EXPECT_EQ(num_strongly_connected_components(g), 3u);
+  const auto comp = strongly_connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_NE(comp[3], comp[0]);
+  EXPECT_NE(comp[4], comp[0]);
+}
+
+TEST(Scc, EmptyGraph) {
+  EXPECT_EQ(num_strongly_connected_components(DiGraph()), 0u);
+}
+
+// Property: SCC count between 1 and n; every cycle collapses.
+class SpectralPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpectralPropertyTest, SccBounds) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 11 + 3);
+  const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 40));
+  const auto g = erdos_renyi(n, rng.uniform(0.02, 0.4), rng);
+  const auto k = num_strongly_connected_components(g);
+  EXPECT_GE(k, 1u);
+  EXPECT_LE(k, n);
+  // SCC count never exceeds WCC-based upper structure: each WCC >= 1 SCC.
+  EXPECT_GE(k, num_weakly_connected_components(g));
+}
+
+TEST_P(SpectralPropertyTest, PageRankIsDistribution) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 7);
+  const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 30));
+  const auto g = random_cfg_shape(n, 0.4, 0.2, rng);
+  const auto pr = pagerank(g);
+  double sum = 0.0;
+  for (double v : pr) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SpectralPropertyTest, ::testing::Range(0, 12));
+
+}  // namespace
