@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace gea::attacks {
@@ -23,15 +24,47 @@ AttackRow run_attack(Attack& attack, ml::DifferentiableClassifier& clf,
   double total_l2 = 0.0;
   std::size_t valid = 0;
 
+  auto row_finite = [](const std::vector<double>& v) {
+    for (double d : v) {
+      if (!std::isfinite(d)) return false;
+    }
+    return true;
+  };
+
   for (std::size_t s = 0; s < rows.size(); ++s) {
     if (opts.max_samples != 0 && out.samples >= opts.max_samples) break;
     const auto& x = rows[s];
     const std::size_t label = labels[s];
+
+    // Quarantine gate: a NaN/Inf row would poison gradients and every
+    // prediction downstream; a width mismatch would index out of bounds.
+    if (x.size() != clf.input_dim() || !row_finite(x)) {
+      if (opts.strict) {
+        throw std::invalid_argument("run_attack: malformed input row " +
+                                    std::to_string(s));
+      }
+      ++out.quarantined;
+      util::log_warn("attack harness: quarantined malformed input row ", s);
+      continue;
+    }
+
     if (opts.skip_already_misclassified && clf.predict(x) != label) continue;
     const std::size_t target = label == 0 ? 1 : 0;
 
     util::Stopwatch sw;
-    const auto adv = attack.craft(clf, x, target);
+    std::vector<double> adv;
+    try {
+      adv = attack.craft(clf, x, target);
+      if (adv.size() != x.size() || !row_finite(adv)) {
+        throw std::runtime_error("attack produced a malformed vector");
+      }
+    } catch (const std::exception& e) {
+      if (opts.strict) throw;
+      ++out.quarantined;
+      util::log_warn("attack harness: quarantined sample ", s, " (",
+                     attack.name(), "): ", e.what());
+      continue;
+    }
     total_ms += sw.elapsed_ms();
     ++out.samples;
 

@@ -39,6 +39,9 @@ struct AttackRow {
   double valid_fraction = 0.0;
   /// Mean L2 distortion of successful AEs (diagnostic).
   double mean_l2 = 0.0;
+  /// Inputs skipped by the quarantine gate (non-finite row, wrong width, or
+  /// a crafting exception); the run finishes on the rest.
+  std::size_t quarantined = 0;
 };
 
 struct HarnessOptions {
@@ -50,6 +53,8 @@ struct HarnessOptions {
   bool skip_already_misclassified = true;
   /// Optional cap on evaluated samples (0 = all).
   std::size_t max_samples = 0;
+  /// Strict: rethrow per-sample crafting failures instead of quarantining.
+  bool strict = false;
 };
 
 /// Run `attack` on every (row, label) pair; the target class is the

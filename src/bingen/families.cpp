@@ -38,6 +38,15 @@ const char* family_name(Family f) {
   return "?";
 }
 
+std::optional<Family> family_from_name(std::string_view name) {
+  for (Family f : {Family::kBenignUtility, Family::kBenignDaemon,
+                   Family::kBenignNetTool, Family::kMiraiLike,
+                   Family::kGafgytLike, Family::kTsunamiLike}) {
+    if (name == family_name(f)) return f;
+  }
+  return std::nullopt;
+}
+
 std::vector<Family> benign_families() {
   return {Family::kBenignUtility, Family::kBenignDaemon, Family::kBenignNetTool};
 }

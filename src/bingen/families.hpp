@@ -27,7 +27,9 @@
 // with median ≈24; malicious sizes spanning 1..367 with median ≈64.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "isa/program.hpp"
@@ -46,6 +48,8 @@ enum class Family {
 
 bool is_malicious(Family f);
 const char* family_name(Family f);
+/// Inverse of family_name; nullopt for unknown names (hostile CSV input).
+std::optional<Family> family_from_name(std::string_view name);
 std::vector<Family> benign_families();
 std::vector<Family> malicious_families();
 

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "graph/algorithms.hpp"
+
 namespace gea::cfg {
 
 using isa::Instruction;
@@ -35,6 +37,56 @@ std::string block_label(const isa::Program& p, const BasicBlock& b,
 }
 
 }  // namespace
+
+util::Status validate(const Cfg& cfg) {
+  using util::ErrorCode;
+  using util::Status;
+
+  const std::size_t n = cfg.graph.num_nodes();
+  if (n == 0) {
+    return Status::error(ErrorCode::kCorruptData, "zero-node CFG");
+  }
+  if (cfg.blocks.size() != n) {
+    return Status::error(ErrorCode::kCorruptData,
+                         "block list does not match graph: " +
+                             std::to_string(cfg.blocks.size()) + " blocks vs " +
+                             std::to_string(n) + " nodes");
+  }
+  for (std::size_t i = 0; i < cfg.blocks.size(); ++i) {
+    if (cfg.blocks[i].begin >= cfg.blocks[i].end) {
+      return Status::error(ErrorCode::kCorruptData,
+                           "empty or inverted block range at node " +
+                               std::to_string(i));
+    }
+  }
+  if (auto err = cfg.graph.validate()) {
+    return Status::error(ErrorCode::kCorruptData,
+                         "dangling edge or inconsistent adjacency: " + *err);
+  }
+  if (cfg.entry >= n) {
+    return Status::error(ErrorCode::kCorruptData,
+                         "dangling entry: node " + std::to_string(cfg.entry) +
+                             " out of bounds (" + std::to_string(n) + " nodes)");
+  }
+  if (cfg.exit_nodes.empty()) {
+    return Status::error(ErrorCode::kCorruptData, "CFG has no exit node");
+  }
+  const auto dist = graph::bfs_distances(cfg.graph, cfg.entry);
+  for (graph::NodeId e : cfg.exit_nodes) {
+    if (e >= n) {
+      return Status::error(ErrorCode::kCorruptData,
+                           "dangling exit: node " + std::to_string(e) +
+                               " out of bounds (" + std::to_string(n) +
+                               " nodes)");
+    }
+    if (dist[e] == graph::kUnreachable) {
+      return Status::error(ErrorCode::kCorruptData,
+                           "disconnected exit: node " + std::to_string(e) +
+                               " unreachable from entry");
+    }
+  }
+  return Status::ok();
+}
 
 Cfg extract_cfg(const isa::Program& program, const CfgOptions& opts) {
   if (auto err = program.validate()) {

@@ -14,6 +14,7 @@
 
 #include "graph/digraph.hpp"
 #include "isa/program.hpp"
+#include "util/status.hpp"
 
 namespace gea::cfg {
 
@@ -60,5 +61,16 @@ struct Cfg {
 /// Extract the CFG of a validated program.
 /// Throws std::invalid_argument if the program fails validation.
 Cfg extract_cfg(const isa::Program& program, const CfgOptions& opts = {});
+
+/// Invariant checker for an extracted (or spliced, or deserialized) CFG:
+///   - at least one node, and exactly one block per graph node
+///   - block ranges well-formed (begin < end)
+///   - internally consistent graph (edge endpoints in bounds, out/in
+///     adjacency mirrored) — catches dangling edges
+///   - entry and every exit id in bounds
+///   - at least one exit, each reachable from the entry
+/// Used as a quarantine gate by the pipeline and as a pre/post-condition of
+/// GEA splicing, so downstream feature extraction can assume a sane graph.
+util::Status validate(const Cfg& cfg);
 
 }  // namespace gea::cfg

@@ -1,8 +1,15 @@
 #include "core/pipeline.hpp"
 
+#include <cmath>
+#include <stdexcept>
+
 #include "ml/zoo.hpp"
+#include "util/log.hpp"
 
 namespace gea::core {
+
+using util::ErrorCode;
+using util::Status;
 
 PipelineConfig quick_config() {
   PipelineConfig cfg;
@@ -31,40 +38,172 @@ void DetectionPipeline::reevaluate() {
   test_metrics_ = ml::evaluate(model_, scaled_data(split_.test));
 }
 
-DetectionPipeline DetectionPipeline::run(const PipelineConfig& cfg) {
-  DetectionPipeline p;
-  p.cfg_ = cfg;
-  p.corpus_ = dataset::Corpus::generate(cfg.corpus);
+Status DetectionPipeline::assemble_corpus(const PipelineConfig& cfg) {
+  const bool strict = cfg.mode == RobustnessMode::kStrict;
+
+  if (!cfg.features_csv.empty()) {
+    auto loaded = dataset::read_features_csv_checked(cfg.features_csv,
+                                                     {.strict = strict});
+    if (!loaded.is_ok()) {
+      return Status(loaded.status()).with_context("pipeline");
+    }
+    const dataset::LoadedFeatures& lf = loaded.value();
+    report_.samples_requested = lf.report.rows_total;
+    for (const auto& diag : lf.report.diagnostics) {
+      report_.add("csv", "", diag);
+    }
+    // Counts are exact even when diagnostics were capped.
+    report_.quarantined = lf.report.rows_quarantined;
+    report_.by_stage["csv"] = lf.report.rows_quarantined;
+
+    for (std::size_t r = 0; r < lf.rows.size(); ++r) {
+      dataset::Sample s;
+      s.id = static_cast<std::uint32_t>(r);
+      s.label = lf.labels[r];
+      s.features = lf.rows[r];
+      if (auto fam = bingen::family_from_name(lf.families[r])) {
+        s.family = *fam;
+      } else {
+        const std::string diag = "row " + std::to_string(r) +
+                                 ": unknown family '" + lf.families[r] + "'";
+        if (strict) {
+          return Status::error(ErrorCode::kCorruptData, diag)
+              .with_context("pipeline");
+        }
+        report_.add("csv", lf.families[r], diag);
+        util::log_warn("pipeline: quarantined ", diag);
+        continue;
+      }
+      corpus_.samples().push_back(std::move(s));
+    }
+    return Status::ok();
+  }
+
+  dataset::SynthesisReport synth;
+  synth.max_diagnostics = report_.max_diagnostics;
+  auto generated =
+      dataset::Corpus::generate_checked(cfg.corpus, &synth, strict);
+  report_.samples_requested = synth.requested;
+  if (!generated.is_ok()) {
+    return Status(generated.status()).with_context("pipeline");
+  }
+  corpus_ = std::move(generated).value();
+  report_.quarantined = synth.quarantined;
+  if (synth.quarantined > 0) report_.by_stage["synthesis"] = synth.quarantined;
+  for (const auto& [family, n] : synth.quarantined_by_family) {
+    report_.by_family[family] += n;
+  }
+  for (const auto& diag : synth.diagnostics) {
+    if (report_.diagnostics.size() < report_.max_diagnostics) {
+      report_.diagnostics.push_back({"synthesis", "", diag});
+    }
+  }
+  return Status::ok();
+}
+
+util::Result<std::unique_ptr<DetectionPipeline>> DetectionPipeline::run_checked(
+    const PipelineConfig& cfg) {
+  const bool strict = cfg.mode == RobustnessMode::kStrict;
+  auto p = std::unique_ptr<DetectionPipeline>(new DetectionPipeline());
+  p->cfg_ = cfg;
+
+  if (auto st = p->assemble_corpus(cfg); !st.is_ok()) return st;
+  p->report_.samples_used = p->corpus_.size();
+
+  // A detector needs at least two samples of each class to split and train;
+  // heavy quarantining (or a hostile CSV) can starve a class entirely.
+  const std::size_t n_benign = p->corpus_.count_label(dataset::kBenign);
+  const std::size_t n_malicious = p->corpus_.count_label(dataset::kMalicious);
+  if (n_benign < 2 || n_malicious < 2) {
+    return Status::error(ErrorCode::kFailedPrecondition,
+                         "too few surviving samples to train (benign " +
+                             std::to_string(n_benign) + ", malicious " +
+                             std::to_string(n_malicious) + "); " +
+                             p->report_.summary())
+        .with_context("pipeline");
+  }
 
   util::Rng split_rng(cfg.split_seed);
-  p.split_ = dataset::stratified_split(p.corpus_, cfg.test_fraction, split_rng);
+  p->split_ = dataset::stratified_split(p->corpus_, cfg.test_fraction, split_rng);
 
-  // Fit scaling on training rows only.
-  {
-    std::vector<features::FeatureVector> train_rows;
-    train_rows.reserve(p.split_.train.size());
-    for (std::size_t i : p.split_.train) {
-      train_rows.push_back(p.corpus_.samples()[i].features);
+  // Scaler: load if requested, else fit on training rows only.
+  bool scaler_ready = false;
+  if (!cfg.scaler_in.empty()) {
+    auto loaded = features::FeatureScaler::load_from(cfg.scaler_in);
+    if (loaded.is_ok()) {
+      p->scaler_ = std::move(loaded).value();
+      scaler_ready = true;
+    } else if (strict) {
+      return Status(loaded.status()).with_context("pipeline");
+    } else {
+      const std::string note =
+          "scaler load failed, refitting: " + loaded.status().to_string();
+      p->report_.notes.push_back(note);
+      util::log_warn("pipeline: ", note);
     }
-    p.scaler_.fit(train_rows);
   }
-  p.validator_ = std::make_unique<features::DistortionValidator>(p.scaler_);
+  if (!scaler_ready) {
+    std::vector<features::FeatureVector> train_rows;
+    train_rows.reserve(p->split_.train.size());
+    for (std::size_t i : p->split_.train) {
+      train_rows.push_back(p->corpus_.samples()[i].features);
+    }
+    p->scaler_.fit(train_rows);
+  }
+  p->validator_ = std::make_unique<features::DistortionValidator>(p->scaler_);
 
-  p.dropout_rng_ = std::make_unique<util::Rng>(cfg.weight_seed + 1);
-  p.model_ = cfg.detector == DetectorKind::kPaperCnn
-                 ? ml::make_paper_cnn(features::kNumFeatures, 2, *p.dropout_rng_)
-                 : ml::make_mlp_baseline(features::kNumFeatures, 2);
+  p->dropout_rng_ = std::make_unique<util::Rng>(cfg.weight_seed + 1);
+  p->model_ = cfg.detector == DetectorKind::kPaperCnn
+                  ? ml::make_paper_cnn(features::kNumFeatures, 2, *p->dropout_rng_)
+                  : ml::make_mlp_baseline(features::kNumFeatures, 2);
   util::Rng weight_rng(cfg.weight_seed);
-  p.model_.init(weight_rng);
+  p->model_.init(weight_rng);
 
-  const ml::LabeledData train_data = p.scaled_data(p.split_.train);
-  p.train_stats_ = ml::train(p.model_, train_data, cfg.train);
+  // Weights: load if requested; a lenient run falls back to training.
+  bool need_training = true;
+  if (!cfg.weights_in.empty()) {
+    if (auto st = p->model_.load_checked(cfg.weights_in); st.is_ok()) {
+      need_training = false;
+    } else if (strict) {
+      return st.with_context("pipeline");
+    } else {
+      const std::string note =
+          "weights load failed, training from scratch: " + st.to_string();
+      p->report_.notes.push_back(note);
+      util::log_warn("pipeline: ", note);
+    }
+  }
 
-  p.train_metrics_ = ml::evaluate(p.model_, train_data);
-  p.test_metrics_ = ml::evaluate(p.model_, p.scaled_data(p.split_.test));
+  const ml::LabeledData train_data = p->scaled_data(p->split_.train);
+  if (need_training) {
+    p->train_stats_ = ml::train(p->model_, train_data, cfg.train);
+    if (!std::isfinite(p->train_stats_.final_loss)) {
+      return Status::error(ErrorCode::kInternal,
+                           "training diverged to a non-finite loss")
+          .with_context("pipeline");
+    }
+  }
 
+  p->train_metrics_ = ml::evaluate(p->model_, train_data);
+  p->test_metrics_ = ml::evaluate(p->model_, p->scaled_data(p->split_.test));
+
+  p->classifier_ = std::make_unique<ml::ModelClassifier>(
+      p->model_, features::kNumFeatures, 2);
+  if (!p->report_.clean()) {
+    util::log_info("pipeline: ", p->report_.summary());
+  }
+  return p;
+}
+
+DetectionPipeline DetectionPipeline::run(const PipelineConfig& cfg) {
+  auto res = run_checked(cfg);
+  if (!res.is_ok()) throw std::runtime_error(res.status().to_string());
+  DetectionPipeline p = std::move(*res.value());
+  // The classifier and validator capture references to the model and scaler
+  // members, which just moved; rebind them to this instance's members.
   p.classifier_ = std::make_unique<ml::ModelClassifier>(
       p.model_, features::kNumFeatures, 2);
+  p.validator_ = std::make_unique<features::DistortionValidator>(p.scaler_);
   return p;
 }
 

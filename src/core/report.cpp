@@ -1,0 +1,35 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+namespace gea::core {
+
+void PipelineReport::add(const std::string& stage, const std::string& family,
+                         const std::string& detail) {
+  ++quarantined;
+  ++by_stage[stage];
+  if (!family.empty()) ++by_family[family];
+  if (diagnostics.size() < max_diagnostics) {
+    diagnostics.push_back({stage, family, detail});
+  }
+}
+
+std::string PipelineReport::summary() const {
+  std::ostringstream ss;
+  ss << "pipeline report: " << samples_used << "/" << samples_requested
+     << " samples used, " << quarantined << " quarantined";
+  if (!by_stage.empty()) {
+    ss << " (";
+    bool first = true;
+    for (const auto& [stage, n] : by_stage) {
+      if (!first) ss << ", ";
+      ss << stage << ": " << n;
+      first = false;
+    }
+    ss << ")";
+  }
+  for (const auto& note : notes) ss << "; note: " << note;
+  return ss.str();
+}
+
+}  // namespace gea::core

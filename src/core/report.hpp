@@ -1,0 +1,50 @@
+// Quarantine accounting for one DetectionPipeline run.
+//
+// Lenient runs finish on the surviving samples and describe everything that
+// was dropped here: totals, per-stage and per-family counts, and the first
+// few full diagnostics. Strict runs never produce a partial report — the
+// first quarantined item escalates to an error Status instead.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gea::core {
+
+struct QuarantineRecord {
+  std::string stage;   // "synthesis", "csv", "scaler", "weights", ...
+  std::string family;  // originating family when known, "" otherwise
+  std::string detail;  // full diagnostic (Status::to_string form)
+};
+
+struct PipelineReport {
+  /// Samples the run was asked to produce (corpus config or CSV data rows).
+  std::size_t samples_requested = 0;
+  /// Samples that survived every quarantine gate and entered the split.
+  std::size_t samples_used = 0;
+  /// Everything dropped, summed over stages.
+  std::size_t quarantined = 0;
+
+  std::map<std::string, std::size_t> by_stage;
+  std::map<std::string, std::size_t> by_family;
+
+  /// First max_diagnostics quarantine records, in occurrence order.
+  std::vector<QuarantineRecord> diagnostics;
+  std::size_t max_diagnostics = 16;
+
+  /// Non-sample degradations (e.g. "weights file truncated; retrained") —
+  /// events a lenient run survived that an operator should still see.
+  std::vector<std::string> notes;
+
+  bool clean() const { return quarantined == 0 && notes.empty(); }
+
+  void add(const std::string& stage, const std::string& family,
+           const std::string& detail);
+
+  /// One-paragraph human rendering for logs and examples.
+  std::string summary() const;
+};
+
+}  // namespace gea::core

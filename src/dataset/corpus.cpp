@@ -1,8 +1,24 @@
 #include "dataset/corpus.hpp"
 
+#include <stdexcept>
+
+#include "util/faultinject.hpp"
+#include "util/log.hpp"
+
 namespace gea::dataset {
 
 Corpus Corpus::generate(const CorpusConfig& cfg) {
+  auto res = generate_checked(cfg);
+  if (!res.is_ok()) throw std::runtime_error(res.status().to_string());
+  return std::move(res).value();
+}
+
+util::Result<Corpus> Corpus::generate_checked(const CorpusConfig& cfg,
+                                              SynthesisReport* report,
+                                              bool strict) {
+  using util::ErrorCode;
+  using util::Status;
+
   util::Rng rng(cfg.seed);
   Corpus c;
   c.samples_.reserve(cfg.num_benign + cfg.num_malicious);
@@ -32,11 +48,54 @@ Corpus Corpus::generate(const CorpusConfig& cfg) {
         return mix.back().first;
       };
 
+  SynthesisReport local;
+  SynthesisReport& rep = report != nullptr ? *report : local;
+  rep.requested = cfg.num_benign + cfg.num_malicious;
+
+  // Upper bound on one synthetic program's instruction count; a generator
+  // gone haywire (or the alloc.oversize fault) must not OOM the corpus.
+  constexpr std::size_t kMaxProgramLen = 4'000'000;
+
+  // One sample: generate, guard, validate, then either keep or quarantine.
+  // The Rng is consumed identically either way, so quarantining sample k
+  // never perturbs samples k+1..n.
+  auto add_sample = [&](bingen::Family family) -> Status {
+    Status verdict;
+    Sample s;
+    try {
+      s = make_sample(next_id++, family, rng, cfg.gen);
+      verdict = util::check_allocation(s.program.size(), kMaxProgramLen,
+                                       "sample program");
+      if (verdict.is_ok()) verdict = validate_sample(s);
+    } catch (const std::exception& e) {
+      verdict = Status::error(ErrorCode::kInternal, e.what());
+    }
+    if (verdict.is_ok()) {
+      c.samples_.push_back(std::move(s));
+      ++rep.generated;
+      return Status::ok();
+    }
+    verdict.with_context(std::string("sample ") + std::to_string(next_id - 1) +
+                         " (" + bingen::family_name(family) + ")");
+    ++rep.quarantined;
+    ++rep.quarantined_by_family[bingen::family_name(family)];
+    if (rep.diagnostics.size() < rep.max_diagnostics) {
+      rep.diagnostics.push_back(verdict.to_string());
+    }
+    if (strict) return verdict;
+    util::log_warn("corpus synthesis: quarantined ", verdict.to_string());
+    return Status::ok();
+  };
+
   for (std::size_t i = 0; i < cfg.num_benign; ++i) {
-    c.samples_.push_back(make_sample(next_id++, draw_family(benign_mix), rng, cfg.gen));
+    if (auto st = add_sample(draw_family(benign_mix)); !st.is_ok()) {
+      return st.with_context("Corpus::generate");
+    }
   }
   for (std::size_t i = 0; i < cfg.num_malicious; ++i) {
-    c.samples_.push_back(make_sample(next_id++, draw_family(mal_mix), rng, cfg.gen));
+    if (auto st = add_sample(draw_family(mal_mix)); !st.is_ok()) {
+      return st.with_context("Corpus::generate");
+    }
   }
   return c;
 }

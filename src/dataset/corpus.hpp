@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "dataset/sample.hpp"
+#include "util/status.hpp"
 
 namespace gea::dataset {
 
@@ -17,12 +18,36 @@ struct CorpusConfig {
   bingen::GenOptions gen{};
 };
 
+/// Quarantine accounting for one synthesis run: how many samples were
+/// requested, how many survived validate_sample(), and what was dropped
+/// (counts per family plus the first few diagnostics).
+struct SynthesisReport {
+  std::size_t requested = 0;
+  std::size_t generated = 0;
+  std::size_t quarantined = 0;
+  std::map<std::string, std::size_t> quarantined_by_family;
+  std::vector<std::string> diagnostics;  // capped at max_diagnostics
+  std::size_t max_diagnostics = 8;
+};
+
 class Corpus {
  public:
   /// Generate a full corpus. Family mix within each class is drawn to
   /// roughly match the IoT landscape the source dataset covers
   /// (Gafgyt-heavy, then Mirai, then Tsunami).
+  /// Throws std::runtime_error if synthesis fails outright (never happens
+  /// without armed fault points; kept for back-compat).
   static Corpus generate(const CorpusConfig& cfg = {});
+
+  /// Hardened synthesis: every sample passes through validate_sample().
+  /// Lenient (strict=false): invalid samples are quarantined into `report`
+  /// and the corpus holds the survivors. Strict: the first invalid sample
+  /// aborts with a Status naming it. The Rng sequence is identical in both
+  /// modes and identical to generate(), so surviving samples match
+  /// bit-for-bit whether or not anything was quarantined.
+  static util::Result<Corpus> generate_checked(const CorpusConfig& cfg,
+                                               SynthesisReport* report = nullptr,
+                                               bool strict = false);
 
   const std::vector<Sample>& samples() const { return samples_; }
   std::vector<Sample>& samples() { return samples_; }

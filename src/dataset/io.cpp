@@ -1,10 +1,18 @@
 #include "dataset/io.hpp"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "util/csv.hpp"
+#include "util/faultinject.hpp"
+#include "util/log.hpp"
 
 namespace gea::dataset {
+
+using util::ErrorCode;
+using util::Status;
 
 void write_features_csv(const Corpus& corpus, const std::string& path) {
   util::CsvWriter w(path);
@@ -22,26 +30,134 @@ void write_features_csv(const Corpus& corpus, const std::string& path) {
   }
 }
 
-LoadedFeatures read_features_csv(const std::string& path) {
-  const auto rows = util::CsvReader::read_file(path);
-  if (rows.empty()) throw std::runtime_error("read_features_csv: empty file");
-  const std::size_t expected = 3 + features::kNumFeatures;
+namespace {
+
+/// Full-string double parse; rejects empty cells, trailing junk, hex floats
+/// left over from corruption, and out-of-range magnitudes.
+bool parse_double(const std::string& cell, double& out) {
+  if (cell.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  if (end != cell.c_str() + cell.size() || errno == ERANGE) return false;
+  out = v;
+  return true;
+}
+
+/// Per-row parse; returns a diagnostic on failure.
+std::optional<std::string> parse_row(const std::vector<std::string>& row,
+                                     std::size_t expected_cols,
+                                     features::FeatureVector& fv,
+                                     std::uint8_t& label) {
+  if (row.size() != expected_cols) {
+    return "wrong column count (" + std::to_string(row.size()) + " vs " +
+           std::to_string(expected_cols) + ")";
+  }
+  double raw_label = 0.0;
+  if (!parse_double(row[2], raw_label) ||
+      (raw_label != 0.0 && raw_label != 1.0)) {
+    return "bad label '" + row[2] + "'";
+  }
+  label = static_cast<std::uint8_t>(raw_label);
+  for (std::size_t i = 0; i < features::kNumFeatures; ++i) {
+    double v = 0.0;
+    if (!parse_double(row[3 + i], v)) {
+      return "non-numeric cell '" + row[3 + i] + "' in column " +
+             features::feature_name(i);
+    }
+    if (!std::isfinite(v)) {
+      return "non-finite value in column " + features::feature_name(i);
+    }
+    fv[i] = v;
+  }
+  return std::nullopt;
+}
+
+/// Inject read-time corruption on a copy of the row (fault points model a
+/// torn write / bit rot between producer and consumer).
+void maybe_corrupt(std::vector<std::string>& row) {
+  if (util::fault(util::faults::kCsvCorruptRow) && row.size() > 3) {
+    row[3] = "!fault:csv.corrupt_row!";
+  }
+  if (util::fault(util::faults::kCsvTruncateRow) && !row.empty()) {
+    row.pop_back();
+  }
+}
+
+}  // namespace
+
+util::Result<LoadedFeatures> read_features_csv_checked(
+    const std::string& path, const CsvReadOptions& opts) {
+  std::vector<std::vector<std::string>> rows;
+  try {
+    rows = util::CsvReader::read_file(path);
+  } catch (const std::exception& e) {
+    return Status::error(ErrorCode::kNotFound, e.what())
+        .with_context("read_features_csv");
+  }
+  if (rows.empty()) {
+    return Status::error(ErrorCode::kParseError, "empty file " + path)
+        .with_context("read_features_csv");
+  }
+
+  // Header must match the writer's schema exactly: a wrong header means the
+  // whole file is from a different producer, not a damaged row.
+  const std::size_t expected_cols = 3 + features::kNumFeatures;
+  {
+    const auto& header = rows.front();
+    std::vector<std::string> want = {"id", "family", "label"};
+    for (std::size_t i = 0; i < features::kNumFeatures; ++i) {
+      want.push_back(features::feature_name(i));
+    }
+    if (header != want) {
+      return Status::error(ErrorCode::kParseError,
+                           "missing or mismatched header in " + path)
+          .with_context("read_features_csv");
+    }
+  }
+
+  // Refuse absurdly sized inputs outright (and let the alloc.oversize fault
+  // point drive this path): a hostile file must not OOM the process.
+  constexpr std::size_t kMaxRows = 50'000'000;
+  if (auto st = util::check_allocation(rows.size() - 1, kMaxRows, "csv rows");
+      !st.is_ok()) {
+    return st.with_context("read_features_csv");
+  }
+
   LoadedFeatures out;
+  out.rows.reserve(rows.size() - 1);
   for (std::size_t r = 1; r < rows.size(); ++r) {
-    const auto& row = rows[r];
-    if (row.size() != expected) {
-      throw std::runtime_error("read_features_csv: bad column count at row " +
-                               std::to_string(r));
+    ++out.report.rows_total;
+    std::vector<std::string> row = rows[r];
+    maybe_corrupt(row);
+
+    features::FeatureVector fv{};
+    std::uint8_t label = 0;
+    if (auto problem = parse_row(row, expected_cols, fv, label)) {
+      const std::string diag = "row " + std::to_string(r) + ": " + *problem;
+      if (opts.strict) {
+        return Status::error(ErrorCode::kCorruptData, diag)
+            .with_context("read_features_csv");
+      }
+      ++out.report.rows_quarantined;
+      if (out.report.diagnostics.size() < opts.max_diagnostics) {
+        out.report.diagnostics.push_back(diag);
+      }
+      util::log_warn("read_features_csv: quarantined ", diag);
+      continue;
     }
     out.families.push_back(row[1]);
-    out.labels.push_back(static_cast<std::uint8_t>(std::stoi(row[2])));
-    features::FeatureVector fv{};
-    for (std::size_t i = 0; i < features::kNumFeatures; ++i) {
-      fv[i] = std::stod(row[3 + i]);
-    }
+    out.labels.push_back(label);
     out.rows.push_back(fv);
+    ++out.report.rows_loaded;
   }
   return out;
+}
+
+LoadedFeatures read_features_csv(const std::string& path) {
+  auto res = read_features_csv_checked(path, {.strict = true});
+  if (!res.is_ok()) throw std::runtime_error(res.status().to_string());
+  return std::move(res).value();
 }
 
 }  // namespace gea::dataset

@@ -1,15 +1,38 @@
 // Feature-matrix persistence (CSV with a header row), so experiments can be
 // rerun without regenerating the corpus.
+//
+// Reading is hardened against hostile or damaged files: the checked API
+// validates the header, column counts, numeric cells, label values, and
+// feature finiteness per row. Lenient mode quarantines bad rows into a
+// report and returns the survivors; strict mode fails fast with a Status
+// naming the first offending row. See ROBUSTNESS.md.
 #pragma once
 
 #include <string>
 
 #include "dataset/corpus.hpp"
+#include "util/status.hpp"
 
 namespace gea::dataset {
 
 /// Write id, family, label and the 23 features per sample.
 void write_features_csv(const Corpus& corpus, const std::string& path);
+
+struct CsvReadOptions {
+  /// Strict: first malformed row aborts the read with an error Status.
+  /// Lenient (default): malformed rows are skipped and reported.
+  bool strict = false;
+  /// Cap on retained per-row diagnostics (counts are always exact).
+  std::size_t max_diagnostics = 8;
+};
+
+/// Quarantine accounting for one read.
+struct CsvReadReport {
+  std::size_t rows_total = 0;        // data rows in the file
+  std::size_t rows_loaded = 0;
+  std::size_t rows_quarantined = 0;
+  std::vector<std::string> diagnostics;  // first max_diagnostics failures
+};
 
 /// Feature rows + labels loaded back from a CSV produced by
 /// write_features_csv. (Programs/CFGs are not persisted.)
@@ -17,8 +40,16 @@ struct LoadedFeatures {
   std::vector<features::FeatureVector> rows;
   std::vector<std::uint8_t> labels;
   std::vector<std::string> families;
+  CsvReadReport report;
 };
 
+/// Hardened reader. File-level problems (missing file, empty file, wrong
+/// header schema, refused oversized allocation) are errors in both modes;
+/// row-level problems quarantine or error according to `opts.strict`.
+util::Result<LoadedFeatures> read_features_csv_checked(
+    const std::string& path, const CsvReadOptions& opts = {});
+
+/// Back-compat strict wrapper: throws std::runtime_error on any problem.
 LoadedFeatures read_features_csv(const std::string& path);
 
 }  // namespace gea::dataset

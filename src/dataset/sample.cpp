@@ -1,6 +1,34 @@
 #include "dataset/sample.hpp"
 
+#include "util/faultinject.hpp"
+
 namespace gea::dataset {
+
+namespace {
+
+/// Fault-point corruption: degrade a freshly built sample the way a broken
+/// disassembler or a crafted binary would, so the quarantine layer has
+/// something real to catch. Only runs when a test armed the matching point.
+void maybe_corrupt(Sample& s) {
+  namespace f = util::faults;
+  if (util::fault(f::kCfgZeroNode)) {
+    // An unparsable binary: no blocks, no graph, all-zero features.
+    s.cfg = cfg::Cfg{};
+    s.features = features::FeatureVector{};
+  }
+  if (util::fault(f::kCfgDanglingEdge)) {
+    s.cfg.exit_nodes.push_back(
+        static_cast<graph::NodeId>(s.cfg.graph.num_nodes() + 7));
+  }
+  if (util::fault(f::kCfgDisconnectedExit)) {
+    // Replace the exits with an isolated node nothing flows into.
+    const auto orphan = s.cfg.graph.add_node("orphan exit");
+    s.cfg.blocks.push_back({0, 1, 0});
+    s.cfg.exit_nodes.assign(1, orphan);
+  }
+}
+
+}  // namespace
 
 Sample make_sample(std::uint32_t id, bingen::Family family, util::Rng& rng,
                    const bingen::GenOptions& opts) {
@@ -13,7 +41,21 @@ Sample make_sample(std::uint32_t id, bingen::Family family, util::Rng& rng,
   // entry function's graph (Figs. 2-4 are all `sym.main` graphs).
   s.cfg = cfg::extract_cfg(s.program, {.main_only = true});
   s.features = features::extract_features(s.cfg.graph);
+  maybe_corrupt(s);
   return s;
+}
+
+util::Status validate_sample(const Sample& s) {
+  if (auto st = cfg::validate(s.cfg); !st.is_ok()) {
+    return st.with_context("cfg");
+  }
+  if (std::size_t i = features::first_non_finite(s.features);
+      i != features::kNumFeatures) {
+    return util::Status::error(
+        util::ErrorCode::kCorruptData,
+        "non-finite feature " + features::feature_name(i));
+  }
+  return util::Status::ok();
 }
 
 }  // namespace gea::dataset

@@ -9,6 +9,7 @@
 #include "cfg/cfg.hpp"
 #include "features/features.hpp"
 #include "isa/program.hpp"
+#include "util/status.hpp"
 
 namespace gea::dataset {
 
@@ -31,5 +32,11 @@ struct Sample {
 /// Generate one fully-populated sample (program -> CFG -> features).
 Sample make_sample(std::uint32_t id, bingen::Family family, util::Rng& rng,
                    const bingen::GenOptions& opts = {});
+
+/// Quarantine gate over a populated sample: the CFG must satisfy
+/// cfg::validate() (non-empty, no dangling edges, reachable exit) and every
+/// feature must be finite. Real corpora contain unparsable and degenerate
+/// binaries; this is where they are caught instead of crashing training.
+util::Status validate_sample(const Sample& s);
 
 }  // namespace gea::dataset

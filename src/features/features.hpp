@@ -77,6 +77,13 @@ std::size_t category_size(Category c);
 /// Extract all 23 features from a CFG graph.
 FeatureVector extract_features(const graph::DiGraph& g);
 
+/// True iff every component is finite. Quarantine gate: degenerate or
+/// corrupted inputs must never leak NaN/Inf into scaling or training.
+bool all_finite(const FeatureVector& f);
+
+/// Index of the first non-finite component, or kNumFeatures if all finite.
+std::size_t first_non_finite(const FeatureVector& f);
+
 /// Indices whose value differs by more than `tol` between the two vectors.
 std::vector<std::size_t> changed_features(const FeatureVector& a,
                                           const FeatureVector& b,

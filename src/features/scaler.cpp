@@ -1,7 +1,13 @@
 #include "features/scaler.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
 #include <stdexcept>
+
+#include "util/faultinject.hpp"
 
 namespace gea::features {
 
@@ -39,6 +45,83 @@ FeatureVector FeatureScaler::inverse(const FeatureVector& scaled) const {
     out[i] = lo_[i] + scaled[i] * (hi_[i] - lo_[i]);
   }
   return out;
+}
+
+namespace {
+constexpr char kScalerMagic[4] = {'G', 'E', 'A', 'S'};
+}
+
+util::Status FeatureScaler::save(const std::string& path) const {
+  using util::ErrorCode;
+  using util::Status;
+  if (!fitted_) {
+    return Status::error(ErrorCode::kFailedPrecondition,
+                         "scaler not fitted").with_context("FeatureScaler::save");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::error(ErrorCode::kNotFound, "cannot open " + path)
+        .with_context("FeatureScaler::save");
+  }
+  out.write(kScalerMagic, 4);
+  const std::uint64_t n = kNumFeatures;
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  std::size_t to_write = kNumFeatures;
+  if (util::fault(util::faults::kScalerTruncate)) {
+    to_write = kNumFeatures / 2;  // simulate a torn write
+  }
+  out.write(reinterpret_cast<const char*>(lo_.data()),
+            static_cast<std::streamsize>(to_write * sizeof(double)));
+  out.write(reinterpret_cast<const char*>(hi_.data()),
+            static_cast<std::streamsize>(to_write * sizeof(double)));
+  if (!out) {
+    return Status::error(ErrorCode::kInternal, "write failed for " + path)
+        .with_context("FeatureScaler::save");
+  }
+  return Status::ok();
+}
+
+util::Result<FeatureScaler> FeatureScaler::load_from(const std::string& path) {
+  using util::ErrorCode;
+  using util::Status;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::error(ErrorCode::kNotFound, "cannot open " + path)
+        .with_context("FeatureScaler::load_from");
+  }
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kScalerMagic, 4) != 0) {
+    return Status::error(ErrorCode::kParseError, "bad magic in " + path)
+        .with_context("FeatureScaler::load_from");
+  }
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in || n != kNumFeatures) {
+    return Status::error(ErrorCode::kParseError,
+                         "feature count mismatch in " + path)
+        .with_context("FeatureScaler::load_from");
+  }
+  FeatureScaler s;
+  in.read(reinterpret_cast<char*>(s.lo_.data()),
+          static_cast<std::streamsize>(kNumFeatures * sizeof(double)));
+  in.read(reinterpret_cast<char*>(s.hi_.data()),
+          static_cast<std::streamsize>(kNumFeatures * sizeof(double)));
+  if (!in) {
+    return Status::error(ErrorCode::kCorruptData, "truncated scaler file " + path)
+        .with_context("FeatureScaler::load_from");
+  }
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    if (!std::isfinite(s.lo_[i]) || !std::isfinite(s.hi_[i]) ||
+        s.lo_[i] > s.hi_[i]) {
+      return Status::error(ErrorCode::kCorruptData,
+                           "non-finite or inverted range for feature " +
+                               std::to_string(i) + " in " + path)
+          .with_context("FeatureScaler::load_from");
+    }
+  }
+  s.fitted_ = true;
+  return s;
 }
 
 std::vector<FeatureVector> FeatureScaler::transform_all(

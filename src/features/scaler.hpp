@@ -6,9 +6,11 @@
 // feature units for the distortion validator.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "features/features.hpp"
+#include "util/status.hpp"
 
 namespace gea::features {
 
@@ -27,6 +29,14 @@ class FeatureScaler {
 
   double lo(std::size_t i) const { return lo_.at(i); }
   double hi(std::size_t i) const { return hi_.at(i); }
+
+  /// Persist the fitted ranges ("GEAS" magic + feature count + lo/hi pairs)
+  /// so a trained detector can be reloaded without refitting.
+  util::Status save(const std::string& path) const;
+
+  /// Load ranges written by save(). Rejects missing/truncated/corrupt files
+  /// and non-finite or inverted ranges with a descriptive Status.
+  static util::Result<FeatureScaler> load_from(const std::string& path);
 
  private:
   void require_fitted() const;

@@ -13,6 +13,14 @@ FeatureVector DistortionValidator::clamp01(const FeatureVector& scaled) {
 
 ValidationReport DistortionValidator::validate(const FeatureVector& scaled) const {
   ValidationReport rep;
+  // Finiteness gate first: NaN compares false against every bound below, so
+  // without this check a NaN-laden vector would sail through as admissible.
+  if (std::size_t i = first_non_finite(scaled); i != kNumFeatures) {
+    rep.in_range = false;
+    rep.consistent = false;
+    rep.violations.push_back(feature_name(i) + " is not finite");
+    return rep;
+  }
   for (std::size_t i = 0; i < kNumFeatures; ++i) {
     if (scaled[i] < -1e-9 || scaled[i] > 1.0 + 1e-9) {
       rep.in_range = false;

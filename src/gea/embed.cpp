@@ -137,12 +137,45 @@ isa::Program embed_program(const Program& original, const Program& selected,
   return merged;
 }
 
+EmbedResult embed_with_cfg(const Program& original, const Program& selected,
+                           const EmbedOptions& opts) {
+  EmbedResult result;
+  result.program = embed_program(original, selected, opts);
+  result.cfg = cfg::extract_cfg(result.program, {.main_only = true});
+  // Post-condition: splicing must never emit a malformed graph. A failure
+  // here is a bug in the embedder, not bad input — escalate loudly.
+  if (auto st = cfg::validate(result.cfg); !st.is_ok()) {
+    throw std::logic_error("embed_with_cfg: post-condition failed: " +
+                           st.to_string());
+  }
+  return result;
+}
+
 graph::DiGraph embed_graph(const graph::DiGraph& original,
                            graph::NodeId orig_entry,
                            const std::vector<graph::NodeId>& orig_exits,
                            const graph::DiGraph& selected,
                            graph::NodeId sel_entry,
                            const std::vector<graph::NodeId>& sel_exits) {
+  // Pre-conditions: every referenced node must exist in its source graph,
+  // or the merged graph would be built around dangling ids.
+  auto check_refs = [](const graph::DiGraph& g, graph::NodeId entry,
+                       const std::vector<graph::NodeId>& exits,
+                       const char* which) {
+    if (entry >= g.num_nodes()) {
+      throw std::invalid_argument(std::string("embed_graph: ") + which +
+                                  " entry out of bounds");
+    }
+    for (auto e : exits) {
+      if (e >= g.num_nodes()) {
+        throw std::invalid_argument(std::string("embed_graph: ") + which +
+                                    " exit out of bounds");
+      }
+    }
+  };
+  check_refs(original, orig_entry, orig_exits, "original");
+  check_refs(selected, sel_entry, sel_exits, "selected");
+
   graph::DiGraph merged;
   const auto entry = merged.add_node("entry (guard)");
   const auto off_orig = merged.merge_disjoint(original);
@@ -153,6 +186,10 @@ graph::DiGraph embed_graph(const graph::DiGraph& original,
   merged.add_edge(entry, off_sel + sel_entry);
   for (auto e : orig_exits) merged.add_edge(off_orig + e, exit);
   for (auto e : sel_exits) merged.add_edge(off_sel + e, exit);
+  // Post-condition: the union must still be internally consistent.
+  if (auto err = merged.validate()) {
+    throw std::logic_error("embed_graph: produced inconsistent graph: " + *err);
+  }
   return merged;
 }
 

@@ -49,6 +49,19 @@ isa::Program embed_program(const isa::Program& original,
                            const isa::Program& selected,
                            const EmbedOptions& opts = {});
 
+/// Splice result bundled with the merged program's main-function CFG, which
+/// is guaranteed to pass cfg::validate() — the splice's post-condition, so
+/// GEA can never hand feature extraction a malformed graph. Throws
+/// std::invalid_argument on invalid inputs, std::logic_error if the splice
+/// itself ever produced an invalid program or CFG.
+struct EmbedResult {
+  isa::Program program;
+  cfg::Cfg cfg;
+};
+EmbedResult embed_with_cfg(const isa::Program& original,
+                           const isa::Program& selected,
+                           const EmbedOptions& opts = {});
+
 /// Pure graph-level merge (used by tests and the graph-only sweeps):
 /// disjoint union of the two graphs plus a fresh entry node with edges to
 /// both entries and a fresh exit node fed by both exit sets.

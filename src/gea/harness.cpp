@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace gea::aug {
@@ -42,11 +43,33 @@ GeaRow GeaHarness::attack_with_target(std::uint8_t source_label,
     }
 
     // Craft: splice, re-disassemble, re-featurize (the timed pipeline).
+    // Per-sample failures (embed exception, invalid merged CFG, non-finite
+    // crafted features) are quarantined so one degenerate binary cannot
+    // abort a whole sweep.
     util::Stopwatch sw;
-    const isa::Program augmented =
-        embed_program(s.program, target.program, opts.embed);
-    const cfg::Cfg merged_cfg = cfg::extract_cfg(augmented, {.main_only = true});
-    const features::FeatureVector fv = features::extract_features(merged_cfg.graph);
+    isa::Program augmented;
+    features::FeatureVector fv{};
+    try {
+      EmbedResult crafted =
+          embed_with_cfg(s.program, target.program, opts.embed);
+      fv = features::extract_features(crafted.cfg.graph);
+      if (!features::all_finite(fv)) {
+        throw std::runtime_error(
+            "non-finite feature " +
+            features::feature_name(features::first_non_finite(fv)));
+      }
+      augmented = std::move(crafted.program);
+    } catch (const std::exception& e) {
+      if (opts.strict) throw;
+      const std::string diag =
+          "sample " + std::to_string(s.id) + ": " + e.what();
+      ++row.quarantined;
+      if (row.diagnostics.size() < opts.max_diagnostics) {
+        row.diagnostics.push_back(diag);
+      }
+      util::log_warn("gea harness: quarantined ", diag);
+      continue;
+    }
     total_ms += sw.elapsed_ms();
 
     const auto scaled = scaler_->transform(fv);

@@ -36,6 +36,10 @@ struct GeaRow {
   /// Fraction of augmented programs proved functionally equivalent to the
   /// original (should be 1.0).
   double equivalence_rate = 0.0;
+  /// Samples whose crafting failed (splice exception or non-finite crafted
+  /// features); the sweep finishes on the rest. First few diagnostics kept.
+  std::size_t quarantined = 0;
+  std::vector<std::string> diagnostics;
 };
 
 struct GeaHarnessOptions {
@@ -47,6 +51,11 @@ struct GeaHarnessOptions {
   bool skip_already_misclassified = true;
   /// Cap on attacked samples (0 = all).
   std::size_t max_samples = 0;
+  /// Strict: rethrow the first per-sample crafting failure instead of
+  /// quarantining it (see ROBUSTNESS.md).
+  bool strict = false;
+  /// Cap on retained per-sample failure diagnostics.
+  std::size_t max_diagnostics = 8;
 };
 
 class GeaHarness {

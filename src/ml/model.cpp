@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "ml/loss.hpp"
+#include "util/faultinject.hpp"
 
 namespace gea::ml {
 
@@ -68,10 +69,33 @@ constexpr char kMagic[4] = {'G', 'E', 'A', 'M'};
 }
 
 void Model::save(const std::string& path) {
+  if (auto st = save_checked(path); !st.is_ok()) {
+    throw std::runtime_error(st.to_string());
+  }
+}
+
+void Model::load(const std::string& path) {
+  if (auto st = load_checked(path); !st.is_ok()) {
+    throw std::runtime_error(st.to_string());
+  }
+}
+
+util::Status Model::save_checked(const std::string& path) {
+  using util::ErrorCode;
+  using util::Status;
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("Model::save: cannot open " + path);
+  if (!out) {
+    return Status::error(ErrorCode::kNotFound, "cannot open " + path)
+        .with_context("Model::save");
+  }
   out.write(kMagic, 4);
-  const auto ps = params();
+  auto ps = params();
+  // Torn-write fault: drop the tail of the parameter stream so the file
+  // passes the magic/count checks but fails mid-read, exactly like a crash
+  // or full disk during checkpointing.
+  if (util::fault(util::faults::kModelTruncate) && ps.size() > 1) {
+    ps.resize(ps.size() / 2);
+  }
   const std::uint64_t n = ps.size();
   out.write(reinterpret_cast<const char*>(&n), sizeof(n));
   for (const auto& p : ps) {
@@ -80,33 +104,60 @@ void Model::save(const std::string& path) {
     out.write(reinterpret_cast<const char*>(p.value->data()),
               static_cast<std::streamsize>(len * sizeof(float)));
   }
-  if (!out) throw std::runtime_error("Model::save: write failed for " + path);
+  if (!out) {
+    return Status::error(ErrorCode::kInternal, "write failed for " + path)
+        .with_context("Model::save");
+  }
+  return Status::ok();
 }
 
-void Model::load(const std::string& path) {
+util::Status Model::load_checked(const std::string& path) {
+  using util::ErrorCode;
+  using util::Status;
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("Model::load: cannot open " + path);
+  if (!in) {
+    return Status::error(ErrorCode::kNotFound, "cannot open " + path)
+        .with_context("Model::load");
+  }
   char magic[4];
   in.read(magic, 4);
   if (!in || std::memcmp(magic, kMagic, 4) != 0) {
-    throw std::runtime_error("Model::load: bad magic in " + path);
+    return Status::error(ErrorCode::kParseError, "bad magic in " + path)
+        .with_context("Model::load");
   }
   auto ps = params();
   std::uint64_t n = 0;
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   if (!in || n != ps.size()) {
-    throw std::runtime_error("Model::load: parameter count mismatch in " + path);
+    return Status::error(ErrorCode::kCorruptData,
+                         "parameter count mismatch in " + path + " (file has " +
+                             std::to_string(n) + ", model has " +
+                             std::to_string(ps.size()) + ")")
+        .with_context("Model::load");
   }
-  for (auto& p : ps) {
+  // Stage into scratch buffers so a truncated file cannot leave the model
+  // half-overwritten.
+  std::vector<std::vector<float>> staged(ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
     std::uint64_t len = 0;
     in.read(reinterpret_cast<char*>(&len), sizeof(len));
-    if (!in || len != p.value->size()) {
-      throw std::runtime_error("Model::load: parameter size mismatch in " + path);
+    if (!in || len != ps[i].value->size()) {
+      return Status::error(ErrorCode::kCorruptData,
+                           "parameter size mismatch in " + path)
+          .with_context("Model::load");
     }
-    in.read(reinterpret_cast<char*>(p.value->data()),
+    staged[i].resize(len);
+    in.read(reinterpret_cast<char*>(staged[i].data()),
             static_cast<std::streamsize>(len * sizeof(float)));
-    if (!in) throw std::runtime_error("Model::load: truncated file " + path);
+    if (!in) {
+      return Status::error(ErrorCode::kCorruptData, "truncated file " + path)
+          .with_context("Model::load");
+    }
   }
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    std::copy(staged[i].begin(), staged[i].end(), ps[i].value->begin());
+  }
+  return Status::ok();
 }
 
 // ---------------------------------------------------------------------------

@@ -9,6 +9,7 @@
 
 #include "ml/layer.hpp"
 #include "ml/tensor.hpp"
+#include "util/status.hpp"
 
 namespace gea::ml {
 
@@ -40,8 +41,16 @@ class Model {
   std::string summary();
 
   /// Save/load all parameter values (architecture must match at load).
+  /// Throwing wrappers around the checked variants below.
   void save(const std::string& path);
   void load(const std::string& path);
+
+  /// Status-returning serialization: missing files, bad magic, parameter
+  /// count/size mismatches, and truncation come back as a descriptive error
+  /// instead of an exception. load_checked leaves parameters untouched on
+  /// any error (it stages into a scratch buffer before committing).
+  util::Status save_checked(const std::string& path);
+  util::Status load_checked(const std::string& path);
 
  private:
   std::vector<LayerPtr> layers_;

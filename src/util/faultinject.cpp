@@ -1,0 +1,144 @@
+#include "util/faultinject.hpp"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "util/rng.hpp"
+
+namespace gea::util {
+
+namespace {
+// Number of currently-armed points; the hot path only reads this.
+std::atomic<int> g_armed_points{0};
+}  // namespace
+
+struct FaultInjector::Impl {
+  struct Point {
+    bool armed = false;
+    // Counted plan.
+    std::size_t skip = 0;
+    std::size_t count = 0;
+    // Probabilistic plan (active when probability > 0).
+    double probability = 0.0;
+    Rng rng{0};
+    // Lifetime counters (survive disarm, cleared by reset()).
+    std::size_t hits = 0;
+    std::size_t fires = 0;
+  };
+
+  mutable std::mutex mu;
+  std::map<std::string, Point> points;
+};
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultInjector::Impl& FaultInjector::impl() {
+  static Impl impl;
+  return impl;
+}
+
+bool FaultInjector::any_armed() {
+  return g_armed_points.load(std::memory_order_relaxed) > 0;
+}
+
+void FaultInjector::arm(const std::string& point, std::size_t skip,
+                        std::size_t count) {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  Impl::Point& p = im.points[point];
+  if (!p.armed) g_armed_points.fetch_add(1, std::memory_order_relaxed);
+  p.armed = true;
+  p.skip = skip;
+  p.count = count;
+  p.probability = 0.0;
+}
+
+void FaultInjector::arm_random(const std::string& point, double probability,
+                               std::uint64_t seed) {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  Impl::Point& p = im.points[point];
+  if (!p.armed) g_armed_points.fetch_add(1, std::memory_order_relaxed);
+  p.armed = true;
+  p.skip = 0;
+  p.count = 0;
+  p.probability = probability;
+  p.rng = Rng(seed);
+}
+
+void FaultInjector::disarm(const std::string& point) {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  auto it = im.points.find(point);
+  if (it != im.points.end() && it->second.armed) {
+    it->second.armed = false;
+    g_armed_points.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::reset() {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  for (auto& [name, p] : im.points) {
+    if (p.armed) g_armed_points.fetch_sub(1, std::memory_order_relaxed);
+  }
+  im.points.clear();
+}
+
+bool FaultInjector::should_fire(const char* point) {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  auto it = im.points.find(point);
+  if (it == im.points.end() || !it->second.armed) return false;
+  Impl::Point& p = it->second;
+  ++p.hits;
+  bool fire = false;
+  if (p.probability > 0.0) {
+    fire = p.rng.uniform() < p.probability;
+  } else if (p.skip > 0) {
+    --p.skip;
+  } else if (p.count > 0) {
+    if (p.count != kUnbounded) --p.count;
+    fire = true;
+  }
+  if (fire) ++p.fires;
+  return fire;
+}
+
+std::size_t FaultInjector::hit_count(const std::string& point) const {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  auto it = im.points.find(point);
+  return it == im.points.end() ? 0 : it->second.hits;
+}
+
+std::size_t FaultInjector::fire_count(const std::string& point) const {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  auto it = im.points.find(point);
+  return it == im.points.end() ? 0 : it->second.fires;
+}
+
+bool fault(const char* point) {
+  if (!FaultInjector::any_armed()) return false;
+  return FaultInjector::instance().should_fire(point);
+}
+
+Status check_allocation(std::size_t n, std::size_t limit, const char* what) {
+  if (fault(faults::kAllocOversize)) {
+    n = static_cast<std::size_t>(-1) / 2;  // simulate an absurd request
+  }
+  if (n > limit) {
+    return Status::error(
+        ErrorCode::kResourceExhausted,
+        std::string(what) + ": refused allocation of " + std::to_string(n) +
+            " elements (limit " + std::to_string(limit) + ")");
+  }
+  return Status::ok();
+}
+
+}  // namespace gea::util

@@ -1,0 +1,111 @@
+// Deterministic fault injection for robustness testing.
+//
+// Production code marks *fault points* — places where a real corpus or a
+// real deployment could hand the pipeline garbage (torn CSV rows, NaN
+// features, degenerate CFGs, truncated weight files, absurd allocation
+// requests) — with a call to `fault(point)`. Tests arm points on the global
+// injector; the instrumented site then *synthesizes* the corresponding
+// corruption, and the robustness layer under test must detect and
+// quarantine it. No #ifdefs: the instrumentation is always compiled in, and
+// the hot path is a single relaxed atomic load that is false in any process
+// that never arms a fault.
+//
+// Determinism: counted arming (skip N hits, then fire M times) is exact;
+// probabilistic arming draws from a dedicated seeded Rng, so a given
+// (seed, hit sequence) always fires identically. The injector is
+// process-global and mutex-protected; tests reset() it between cases.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace gea::util {
+
+/// Catalog of registered fault points. Call sites and tests share these
+/// constants; arming an unlisted name is allowed (the registry is open) but
+/// everything the test-suite drives end-to-end is listed here.
+namespace faults {
+inline constexpr const char* kCsvCorruptRow = "csv.corrupt_row";
+inline constexpr const char* kCsvTruncateRow = "csv.truncate_row";
+inline constexpr const char* kFeatureNaN = "features.nan";
+inline constexpr const char* kFeatureInf = "features.inf";
+inline constexpr const char* kCfgZeroNode = "cfg.zero_node";
+inline constexpr const char* kCfgDanglingEdge = "cfg.dangling_edge";
+inline constexpr const char* kCfgDisconnectedExit = "cfg.disconnected_exit";
+inline constexpr const char* kModelTruncate = "model.truncate";
+inline constexpr const char* kScalerTruncate = "scaler.truncate";
+inline constexpr const char* kAllocOversize = "alloc.oversize";
+}  // namespace faults
+
+class FaultInjector {
+ public:
+  static constexpr std::size_t kUnbounded = static_cast<std::size_t>(-1);
+
+  static FaultInjector& instance();
+
+  /// Counted arming: the point ignores its first `skip` hits, then fires on
+  /// the next `count` hits, then goes quiet again.
+  void arm(const std::string& point, std::size_t skip = 0,
+           std::size_t count = kUnbounded);
+
+  /// Probabilistic arming: each hit fires independently with `probability`,
+  /// drawn from a stream seeded with `seed` (deterministic across runs).
+  void arm_random(const std::string& point, double probability,
+                  std::uint64_t seed);
+
+  void disarm(const std::string& point);
+
+  /// Disarm everything and zero all hit/fire counters.
+  void reset();
+
+  /// Record a hit at `point`; true if the armed plan says to fire.
+  /// Only called via the free function `fault()` below.
+  bool should_fire(const char* point);
+
+  /// Observability for tests: how often a point was reached / fired.
+  std::size_t hit_count(const std::string& point) const;
+  std::size_t fire_count(const std::string& point) const;
+
+  /// True iff at least one point is currently armed (relaxed read; this is
+  /// the whole cost of a fault point in an un-instrumented process).
+  static bool any_armed();
+
+ private:
+  FaultInjector() = default;
+  struct Impl;
+  static Impl& impl();
+};
+
+/// Hot-path check used by instrumented call sites.
+bool fault(const char* point);
+
+/// Simulated-OOM guard: refuse a reservation of `n` elements above `limit`
+/// with RESOURCE_EXHAUSTED. The `alloc.oversize` fault point inflates `n`
+/// past any sane limit so tests can drive the refusal path.
+Status check_allocation(std::size_t n, std::size_t limit, const char* what);
+
+/// RAII arming for tests: arms a point on construction, disarms it on
+/// destruction. Counted form only (the common case in the suite).
+class ScopedFault {
+ public:
+  explicit ScopedFault(std::string point, std::size_t skip = 0,
+                       std::size_t count = FaultInjector::kUnbounded)
+      : point_(std::move(point)) {
+    FaultInjector::instance().arm(point_, skip, count);
+  }
+  ~ScopedFault() { FaultInjector::instance().disarm(point_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  std::size_t fired() const {
+    return FaultInjector::instance().fire_count(point_);
+  }
+
+ private:
+  std::string point_;
+};
+
+}  // namespace gea::util

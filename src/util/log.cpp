@@ -1,5 +1,6 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 
@@ -7,6 +8,14 @@ namespace gea::util {
 
 namespace {
 LogLevel g_level = LogLevel::kInfo;
+
+std::atomic<std::uint64_t> g_count_debug{0};
+std::atomic<std::uint64_t> g_count_info{0};
+std::atomic<std::uint64_t> g_count_warn{0};
+std::atomic<std::uint64_t> g_count_error{0};
+
+// Innermost active capture (single-threaded test usage, like g_level).
+LogCapture* g_capture = nullptr;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -17,13 +26,70 @@ const char* level_name(LogLevel l) {
   }
   return "?";
 }
+
+std::atomic<std::uint64_t>& counter(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return g_count_debug;
+    case LogLevel::kInfo: return g_count_info;
+    case LogLevel::kWarn: return g_count_warn;
+    case LogLevel::kError: return g_count_error;
+  }
+  return g_count_error;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level = level; }
 LogLevel log_level() { return g_level; }
 
+std::uint64_t LogCounts::at(LogLevel level) const {
+  switch (level) {
+    case LogLevel::kDebug: return debug;
+    case LogLevel::kInfo: return info;
+    case LogLevel::kWarn: return warn;
+    case LogLevel::kError: return error;
+  }
+  return 0;
+}
+
+LogCounts log_counts() {
+  return LogCounts{g_count_debug.load(), g_count_info.load(),
+                   g_count_warn.load(), g_count_error.load()};
+}
+
+void reset_log_counts() {
+  g_count_debug = 0;
+  g_count_info = 0;
+  g_count_warn = 0;
+  g_count_error = 0;
+}
+
+LogCapture::LogCapture() : previous_(g_capture) { g_capture = this; }
+
+LogCapture::~LogCapture() { g_capture = previous_; }
+
+std::size_t LogCapture::count(LogLevel level) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.level == level) ++n;
+  }
+  return n;
+}
+
+std::size_t LogCapture::count_containing(std::string_view substr) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.message.find(substr) != std::string::npos) ++n;
+  }
+  return n;
+}
+
 void log_line(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  counter(level).fetch_add(1, std::memory_order_relaxed);
+  if (g_capture != nullptr) {
+    g_capture->records_.push_back({level, msg});
+    return;
+  }
   using namespace std::chrono;
   const auto now = system_clock::now();
   const auto since_midnight = now.time_since_epoch() % hours(24);

@@ -1,10 +1,15 @@
 // Leveled stderr logging. Kept deliberately small: the library is a
 // research artifact, not a service, so structured sinks are unnecessary —
-// but benches and examples want progress lines with timestamps.
+// but benches and examples want progress lines with timestamps, and the
+// robustness suite wants to *assert* on emissions (per-level counters plus
+// an RAII capture sink) instead of scraping stderr.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace gea::util {
 
@@ -17,6 +22,48 @@ LogLevel log_level();
 
 /// Emit one line to stderr as "[HH:MM:SS.mmm] LEVEL msg" if level passes.
 void log_line(LogLevel level, const std::string& msg);
+
+/// Per-level counts of lines that passed the level filter since process
+/// start (or the last reset). Lines swallowed by the filter do not count.
+struct LogCounts {
+  std::uint64_t debug = 0;
+  std::uint64_t info = 0;
+  std::uint64_t warn = 0;
+  std::uint64_t error = 0;
+
+  std::uint64_t at(LogLevel level) const;
+  std::uint64_t total() const { return debug + info + warn + error; }
+};
+
+LogCounts log_counts();
+void reset_log_counts();
+
+/// Test-scoped sink: while alive, every emitted line is recorded here
+/// (level + message, no timestamp) instead of going to stderr, so tests can
+/// assert "the pipeline warned N times about quarantined samples" without
+/// scraping process output. Captures nest; the innermost one records.
+class LogCapture {
+ public:
+  struct Record {
+    LogLevel level;
+    std::string message;
+  };
+
+  LogCapture();
+  ~LogCapture();
+  LogCapture(const LogCapture&) = delete;
+  LogCapture& operator=(const LogCapture&) = delete;
+
+  const std::vector<Record>& records() const { return records_; }
+  std::size_t count(LogLevel level) const;
+  /// Records (any level) whose message contains `substr`.
+  std::size_t count_containing(std::string_view substr) const;
+
+ private:
+  friend void log_line(LogLevel, const std::string&);
+  std::vector<Record> records_;
+  LogCapture* previous_ = nullptr;
+};
 
 namespace detail {
 template <typename... Args>

@@ -1,0 +1,44 @@
+#include "util/status.hpp"
+
+namespace gea::util {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kParseError: return "PARSE_ERROR";
+    case ErrorCode::kCorruptData: return "CORRUPT_DATA";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "?";
+}
+
+Status Status::error(ErrorCode code, std::string message) {
+  Status st;
+  st.code_ = code == ErrorCode::kOk ? ErrorCode::kInternal : code;
+  st.message_ = std::move(message);
+  return st;
+}
+
+Status& Status::with_context(std::string frame) {
+  if (!is_ok()) context_.push_back(std::move(frame));
+  return *this;
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "[OK]";
+  std::string out = "[";
+  out += error_code_name(code_);
+  out += "] ";
+  for (auto it = context_.rbegin(); it != context_.rend(); ++it) {
+    out += *it;
+    out += ": ";
+  }
+  out += message_;
+  return out;
+}
+
+}  // namespace gea::util

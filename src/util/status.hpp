@@ -1,0 +1,108 @@
+// Structured error propagation for the robustness layer.
+//
+// Fallible operations that used to crash-or-garbage (CSV ingestion, corpus
+// synthesis, model/scaler deserialization, pipeline assembly) return a
+// `Status` or a `Result<T>` instead. A Status carries an error code, a
+// human-readable message, and a context chain that callers extend as the
+// error bubbles up, so a failure deep in a per-sample stage still names the
+// stage, the sample, and the root cause. Conventions are documented in
+// ROBUSTNESS.md.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gea::util {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,     // caller passed something unusable
+  kNotFound,            // missing file / missing entity
+  kParseError,          // syntactically malformed input
+  kCorruptData,         // well-formed but semantically impossible input
+  kFailedPrecondition,  // object state does not permit the operation
+  kResourceExhausted,   // refused an absurd allocation / over-budget request
+  kInternal,            // invariant violation inside the library
+};
+
+const char* error_code_name(ErrorCode code);
+
+/// Value-semantic error descriptor. Default-constructed Status is OK.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+
+  static Status ok() { return Status(); }
+  static Status error(ErrorCode code, std::string message);
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  const std::vector<std::string>& context() const { return context_; }
+
+  /// Prepend a context frame (outermost frame first in to_string()).
+  /// No-op on an OK status. Returns *this for chaining at return sites:
+  ///   return st.with_context("read_features_csv");
+  Status& with_context(std::string frame);
+
+  /// "[CORRUPT_DATA] pipeline: synthesis: zero-node CFG" — code, then the
+  /// context chain outermost-first, then the root message.
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+  std::vector<std::string> context_;  // innermost-first internally
+};
+
+/// Either a value or an error Status. Minimal expected<T, Status>:
+/// value access on an error (or status access on a value) is a programming
+/// bug and throws std::logic_error rather than returning garbage.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.is_ok()) {
+      status_ = Status::error(ErrorCode::kInternal,
+                              "Result constructed from an OK status");
+    }
+  }
+
+  bool is_ok() const { return value_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  const Status& status() const { return status_; }
+
+  T& value() & { return require(); }
+  const T& value() const& { return const_cast<Result*>(this)->require(); }
+  T&& value() && { return std::move(require()); }
+
+  T value_or(T fallback) && {
+    return is_ok() ? std::move(*value_) : std::move(fallback);
+  }
+
+  /// Extend the error's context chain (no-op when holding a value).
+  Result& with_context(std::string frame) {
+    if (!is_ok()) status_.with_context(std::move(frame));
+    return *this;
+  }
+
+ private:
+  T& require() {
+    if (!is_ok()) {
+      throw std::logic_error("Result::value() on error: " + status_.to_string());
+    }
+    return *value_;
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace gea::util
