@@ -1,11 +1,19 @@
 // Google-benchmark microbenchmarks for the primitives every experiment
 // leans on: centrality computation, CFG extraction, the 23-feature
 // extraction, CNN forward/backward, program generation, GEA splicing and
-// interpretation.
+// interpretation — plus a serial-vs-parallel corpus featurization sweep
+// written to BENCH_parallel.json (custom main below).
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
 
 #include "bingen/families.hpp"
 #include "cfg/cfg.hpp"
+#include "dataset/corpus.hpp"
 #include "features/features.hpp"
 #include "gea/embed.hpp"
 #include "graph/centrality.hpp"
@@ -123,4 +131,61 @@ void BM_CnnForwardBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_CnnForwardBackward);
 
+// ---------------------------------------------------------------------------
+// Parallel featurization speedup, written to BENCH_parallel.json.
+//
+// Times the corpus featurize phase (the parallel_for over CFG + feature
+// extraction) at 1/2/4 workers; program generation is serial by design and
+// excluded via SynthesisReport::featurize_wall_ms. Results are bitwise
+// identical at every thread count, so this measures pure scheduling gain.
+
+double featurize_ms(std::size_t threads) {
+  dataset::CorpusConfig cfg;
+  cfg.num_malicious = 300;
+  cfg.num_benign = 100;
+  cfg.seed = 1234;
+  cfg.threads = threads;
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {  // best-of-3 to damp scheduler noise
+    dataset::SynthesisReport rep_out;
+    auto res = dataset::Corpus::generate_checked(cfg, &rep_out);
+    if (!res.is_ok()) {
+      std::cerr << "BENCH_parallel: " << res.status().to_string() << "\n";
+      return 0.0;
+    }
+    const double ms = rep_out.featurize_wall_ms;
+    best = rep == 0 ? ms : std::min(best, ms);
+  }
+  return best;
+}
+
+void write_parallel_bench() {
+  const std::vector<std::size_t> counts = {1, 2, 4};
+  std::vector<double> ms;
+  for (std::size_t t : counts) ms.push_back(featurize_ms(t));
+  std::ofstream out("BENCH_parallel.json");
+  out << "{\n  \"benchmark\": \"corpus_featurize\",\n"
+      << "  \"samples\": 400,\n"
+      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double speedup = ms[i] > 0.0 ? ms[0] / ms[i] : 0.0;
+    out << "    {\"threads\": " << counts[i] << ", \"featurize_wall_ms\": "
+        << ms[i] << ", \"speedup\": " << speedup << "}"
+        << (i + 1 < counts.size() ? "," : "") << "\n";
+    std::cout << "parallel featurize: threads=" << counts[i] << " wall="
+              << ms[i] << "ms speedup=" << speedup << "x\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote BENCH_parallel.json\n";
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  write_parallel_bench();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -2,8 +2,13 @@
 // corpus, attack it with one gradient attack and one GEA splice, and print
 // what happened at every step.
 //
-//   $ ./examples/quickstart
+//   $ ./examples/quickstart [--threads N]
+//
+// --threads N (or GEA_THREADS=N) parallelizes corpus featurization; the
+// trained detector and every number printed are identical at any N.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "attacks/fgsm.hpp"
 #include "core/evaluator.hpp"
@@ -19,12 +24,20 @@ namespace gealib = gea::aug;
 namespace cfg = gea::cfg;
 namespace features = gea::features;
 
-int main() {
+int main(int argc, char** argv) {
 
   // 1. Train the detector on a reduced corpus (fast; the full Table I
   //    corpus lives in the benches).
   std::printf("== training detector on synthetic IoT corpus ==\n");
   auto config = core::quick_config();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      config.threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      return 2;
+    }
+  }
   auto pipeline = core::DetectionPipeline::run(config);
 
   const auto& tm = pipeline.test_metrics();
@@ -32,9 +45,10 @@ int main() {
               pipeline.corpus().size(),
               pipeline.corpus().count_label(dataset::kBenign),
               pipeline.corpus().count_label(dataset::kMalicious));
-  std::printf("test accuracy %.2f%%  FNR %.2f%%  FPR %.2f%%  (%s)\n\n",
+  std::printf("test accuracy %.2f%%  FNR %.2f%%  FPR %.2f%%  (%s)\n",
               tm.accuracy() * 100, tm.fnr() * 100, tm.fpr() * 100,
               tm.to_string().c_str());
+  std::printf("%s\n\n", pipeline.report().summary().c_str());
 
   // 2. One off-the-shelf attack: FGSM on the first correctly-classified
   //    malicious test sample.

@@ -35,6 +35,18 @@ class Attack {
   virtual std::vector<double> craft(ml::DifferentiableClassifier& clf,
                                     const std::vector<double>& x,
                                     std::size_t target) = 0;
+
+  /// Deep copy for per-worker use by the parallel harness (attacks carry
+  /// only configuration plus at most an Rng). The default nullptr means
+  /// "not cloneable": run_attack then falls back to its serial path.
+  virtual std::unique_ptr<Attack> clone() const { return nullptr; }
+
+  /// Reset internal randomness to a per-sample stream. The harness calls
+  /// this with util::mix_seed(harness seed, sample index) before every
+  /// craft, so stochastic attacks (PGD, VAM) produce the same example for a
+  /// given sample regardless of thread count or evaluation order. No-op
+  /// for deterministic attacks.
+  virtual void reseed(std::uint64_t /*stream*/) {}
 };
 
 using AttackPtr = std::unique_ptr<Attack>;

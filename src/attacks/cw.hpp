@@ -27,6 +27,9 @@ class CarliniWagnerL2 : public Attack {
   std::vector<double> craft(ml::DifferentiableClassifier& clf,
                             const std::vector<double>& x,
                             std::size_t target) override;
+  AttackPtr clone() const override {
+    return std::make_unique<CarliniWagnerL2>(cfg_);
+  }
 
  private:
   CwConfig cfg_;

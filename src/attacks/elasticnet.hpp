@@ -27,6 +27,9 @@ class ElasticNet : public Attack {
   std::vector<double> craft(ml::DifferentiableClassifier& clf,
                             const std::vector<double>& x,
                             std::size_t target) override;
+  AttackPtr clone() const override {
+    return std::make_unique<ElasticNet>(cfg_);
+  }
 
  private:
   ElasticNetConfig cfg_;

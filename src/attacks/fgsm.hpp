@@ -20,6 +20,7 @@ class Fgsm : public Attack {
   std::vector<double> craft(ml::DifferentiableClassifier& clf,
                             const std::vector<double>& x,
                             std::size_t target) override;
+  AttackPtr clone() const override { return std::make_unique<Fgsm>(cfg_); }
 
  private:
   FgsmConfig cfg_;

@@ -1,9 +1,12 @@
 #include "attacks/harness.hpp"
 
 #include <cmath>
+#include <exception>
 #include <stdexcept>
+#include <utility>
 
 #include "util/log.hpp"
+#include "util/threadpool.hpp"
 #include "util/timer.hpp"
 
 namespace gea::attacks {
@@ -19,6 +22,31 @@ AttackRow run_attack(Attack& attack, ml::DifferentiableClassifier& clf,
   AttackRow out;
   out.attack = attack.name();
 
+  const std::size_t lanes_wanted = util::resolve_threads(
+      {.threads = opts.threads, .label = "attack harness"});
+
+  // Crafting mutates attack state (iterate buffers, Rng) and classifier
+  // state (forward/backward caches), so each concurrent lane needs its own
+  // replica. Lane 0 reuses the caller's objects; if either side cannot
+  // clone, run serially rather than race.
+  std::vector<AttackPtr> extra_attacks;
+  std::vector<std::unique_ptr<ml::DifferentiableClassifier>> extra_clfs;
+  std::size_t lanes = lanes_wanted;
+  for (std::size_t i = 1; i < lanes_wanted; ++i) {
+    auto ac = attack.clone();
+    auto cc = clf.clone();
+    if (!ac || !cc) {
+      util::log_warn("attack harness: ", attack.name(),
+                     " or classifier not cloneable; crafting serially");
+      lanes = 1;
+      extra_attacks.clear();
+      extra_clfs.clear();
+      break;
+    }
+    extra_attacks.push_back(std::move(ac));
+    extra_clfs.push_back(std::move(cc));
+  }
+
   double total_ms = 0.0;
   double total_changed = 0.0;
   double total_l2 = 0.0;
@@ -31,61 +59,127 @@ AttackRow run_attack(Attack& attack, ml::DifferentiableClassifier& clf,
     return true;
   };
 
-  for (std::size_t s = 0; s < rows.size(); ++s) {
-    if (opts.max_samples != 0 && out.samples >= opts.max_samples) break;
-    const auto& x = rows[s];
-    const std::size_t label = labels[s];
-
-    // Quarantine gate: a NaN/Inf row would poison gradients and every
-    // prediction downstream; a width mismatch would index out of bounds.
-    if (x.size() != clf.input_dim() || !row_finite(x)) {
-      if (opts.strict) {
-        throw std::invalid_argument("run_attack: malformed input row " +
-                                    std::to_string(s));
-      }
-      ++out.quarantined;
-      util::log_warn("attack harness: quarantined malformed input row ", s);
-      continue;
-    }
-
-    if (opts.skip_already_misclassified && clf.predict(x) != label) continue;
-    const std::size_t target = label == 0 ? 1 : 0;
-
-    util::Stopwatch sw;
+  struct Slot {
     std::vector<double> adv;
-    try {
-      adv = attack.craft(clf, x, target);
-      if (adv.size() != x.size() || !row_finite(adv)) {
-        throw std::runtime_error("attack produced a malformed vector");
-      }
-    } catch (const std::exception& e) {
-      if (opts.strict) throw;
-      ++out.quarantined;
-      util::log_warn("attack harness: quarantined sample ", s, " (",
-                     attack.name(), "): ", e.what());
-      continue;
-    }
-    total_ms += sw.elapsed_ms();
-    ++out.samples;
+    double ms = 0.0;
+    std::exception_ptr error;
+  };
 
-    std::size_t changed = 0;
-    double l2sq = 0.0;
-    for (std::size_t i = 0; i < x.size(); ++i) {
-      const double d = adv[i] - x[i];
-      if (std::abs(d) > opts.change_tolerance) ++changed;
-      l2sq += d * d;
-    }
-    total_changed += static_cast<double>(changed);
-    total_l2 += std::sqrt(l2sq);
+  // Wave loop: under a sample cap, which rows get visited depends on how
+  // many earlier crafts succeed (quarantined crafts do not count toward the
+  // cap), so candidates are collected in waves of `cap - samples` and the
+  // loop re-scans until the cap is met or the rows run out. This visits
+  // exactly the rows the serial loop would.
+  std::size_t pos = 0;
+  while (pos < rows.size() &&
+         (opts.max_samples == 0 || out.samples < opts.max_samples)) {
+    const std::size_t need =
+        opts.max_samples == 0 ? rows.size() : opts.max_samples - out.samples;
 
-    if (clf.predict(adv) != label) ++out.misclassified;
-    if (validator != nullptr) {
-      features::FeatureVector fv{};
-      if (adv.size() != fv.size()) {
-        throw std::invalid_argument("run_attack: validator dim mismatch");
+    // Serial scan in row order: quarantine gate (a NaN/Inf row would poison
+    // gradients; a width mismatch would index out of bounds) and the
+    // correctly-classified eligibility filter.
+    std::vector<std::size_t> wave;
+    while (pos < rows.size() && wave.size() < need) {
+      const std::size_t s = pos++;
+      const auto& x = rows[s];
+      if (x.size() != clf.input_dim() || !row_finite(x)) {
+        if (opts.strict) {
+          throw std::invalid_argument("run_attack: malformed input row " +
+                                      std::to_string(s));
+        }
+        ++out.quarantined;
+        util::log_warn("attack harness: quarantined malformed input row ", s);
+        continue;
       }
-      for (std::size_t i = 0; i < fv.size(); ++i) fv[i] = adv[i];
-      if (validator->validate(fv).admissible()) ++valid;
+      if (opts.skip_already_misclassified && clf.predict(x) != labels[s]) {
+        continue;
+      }
+      wave.push_back(s);
+    }
+    if (wave.empty()) break;
+
+    // Parallel craft into index-addressed slots. One chunk per lane so each
+    // chunk owns one replica; per-sample reseeding makes every craft a pure
+    // function of (row, opts.seed), so neither chunking nor thread count
+    // can change the vectors. Failures are captured per slot, not lost.
+    std::vector<Slot> slots(wave.size());
+    const auto status = util::parallel_for_ranges(
+        wave.size(), lanes,
+        [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+          Attack& atk = chunk == 0 ? attack : *extra_attacks[chunk - 1];
+          ml::DifferentiableClassifier& cc =
+              chunk == 0 ? clf : *extra_clfs[chunk - 1];
+          for (std::size_t i = begin; i < end; ++i) {
+            const std::size_t s = wave[i];
+            const auto& x = rows[s];
+            const std::size_t target = labels[s] == 0 ? 1 : 0;
+            atk.reseed(util::mix_seed(opts.seed, s));
+            util::Stopwatch sw;
+            try {
+              auto adv = atk.craft(cc, x, target);
+              if (adv.size() != x.size() || !row_finite(adv)) {
+                throw std::runtime_error("attack produced a malformed vector");
+              }
+              slots[i].adv = std::move(adv);
+            } catch (...) {
+              slots[i].error = std::current_exception();
+            }
+            slots[i].ms = sw.elapsed_ms();
+          }
+          return util::Status::ok();
+        },
+        {.threads = lanes, .label = "attack harness"});
+    if (!status.is_ok()) {
+      // Per-sample failures live in slots; a Status here is a pool-level
+      // failure (shutdown mid-run) and has no quarantine interpretation.
+      throw std::runtime_error(status.to_string());
+    }
+
+    // Merge in index order: quarantine accounting, prediction, validation,
+    // and the floating-point reductions all happen serially in row order,
+    // so the statistics are bitwise reproducible.
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      const std::size_t s = wave[i];
+      Slot& slot = slots[i];
+      if (slot.error) {
+        if (opts.strict) std::rethrow_exception(slot.error);
+        ++out.quarantined;
+        try {
+          std::rethrow_exception(slot.error);
+        } catch (const std::exception& e) {
+          util::log_warn("attack harness: quarantined sample ", s, " (",
+                         attack.name(), "): ", e.what());
+        } catch (...) {
+          util::log_warn("attack harness: quarantined sample ", s, " (",
+                         attack.name(), "): non-standard exception");
+        }
+        continue;
+      }
+      const auto& x = rows[s];
+      const auto& adv = slot.adv;
+      total_ms += slot.ms;
+      ++out.samples;
+
+      std::size_t changed = 0;
+      double l2sq = 0.0;
+      for (std::size_t j = 0; j < x.size(); ++j) {
+        const double d = adv[j] - x[j];
+        if (std::abs(d) > opts.change_tolerance) ++changed;
+        l2sq += d * d;
+      }
+      total_changed += static_cast<double>(changed);
+      total_l2 += std::sqrt(l2sq);
+
+      if (clf.predict(adv) != labels[s]) ++out.misclassified;
+      if (validator != nullptr) {
+        features::FeatureVector fv{};
+        if (adv.size() != fv.size()) {
+          throw std::invalid_argument("run_attack: validator dim mismatch");
+        }
+        for (std::size_t j = 0; j < fv.size(); ++j) fv[j] = adv[j];
+        if (validator->validate(fv).admissible()) ++valid;
+      }
     }
   }
 

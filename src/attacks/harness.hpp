@@ -55,6 +55,15 @@ struct HarnessOptions {
   std::size_t max_samples = 0;
   /// Strict: rethrow per-sample crafting failures instead of quarantining.
   bool strict = false;
+  /// Worker threads for crafting: 0 = auto (GEA_THREADS /
+  /// hardware_concurrency, serial while fault injection is armed), 1 =
+  /// serial. Parallel crafting needs attack.clone() and clf.clone(); if
+  /// either returns nullptr the harness logs a warning and runs serially.
+  std::size_t threads = 0;
+  /// Master seed for per-sample attack reseeding. Every craft runs under
+  /// Rng(mix_seed(seed, row_index)), so stochastic attacks (PGD, VAM)
+  /// produce the same vectors at any thread count.
+  std::uint64_t seed = 0x5eed;
 };
 
 /// Run `attack` on every (row, label) pair; the target class is the

@@ -24,6 +24,7 @@ class Jsma : public Attack {
   std::vector<double> craft(ml::DifferentiableClassifier& clf,
                             const std::vector<double>& x,
                             std::size_t target) override;
+  AttackPtr clone() const override { return std::make_unique<Jsma>(cfg_); }
 
  private:
   JsmaConfig cfg_;

@@ -22,6 +22,7 @@ class Mim : public Attack {
   std::vector<double> craft(ml::DifferentiableClassifier& clf,
                             const std::vector<double>& x,
                             std::size_t target) override;
+  AttackPtr clone() const override { return std::make_unique<Mim>(cfg_); }
 
  private:
   MimConfig cfg_;

@@ -28,6 +28,8 @@ class Vam : public Attack {
   std::vector<double> craft(ml::DifferentiableClassifier& clf,
                             const std::vector<double>& x,
                             std::size_t target) override;
+  AttackPtr clone() const override { return std::make_unique<Vam>(cfg_); }
+  void reseed(std::uint64_t stream) override { rng_ = util::Rng(stream); }
 
  private:
   VamConfig cfg_;

@@ -104,7 +104,9 @@ ShapeProfile benign_profile() {
 /// behind a small dispatch, little nesting. They dominate real IoT corpora
 /// and sit close to the benign boundary, which is precisely why the
 /// paper's GEA flips most malware with a modest benign graft.
-ShapeProfile gafgyt_profile() {
+// Unreferenced: kGafgytLike currently generates from malware_profile();
+// kept as the calibration target for a dedicated Gafgyt shape.
+[[maybe_unused]] ShapeProfile gafgyt_profile() {
   return {.p_if = 0.28, .p_loop = 0.22, .p_input_loop = 0.07, .p_switch = 0.10,
           .max_depth = 3, .min_cases = 2, .max_cases = 5,
           .straight_lo = 3, .straight_hi = 9,

@@ -5,6 +5,7 @@
 
 #include "ml/zoo.hpp"
 #include "util/log.hpp"
+#include "util/timer.hpp"
 
 namespace gea::core {
 
@@ -40,6 +41,7 @@ void DetectionPipeline::reevaluate() {
 
 Status DetectionPipeline::assemble_corpus(const PipelineConfig& cfg) {
   const bool strict = cfg.mode == RobustnessMode::kStrict;
+  util::Stopwatch stage_sw;
 
   if (!cfg.features_csv.empty()) {
     auto loaded = dataset::read_features_csv_checked(cfg.features_csv,
@@ -76,6 +78,8 @@ Status DetectionPipeline::assemble_corpus(const PipelineConfig& cfg) {
       }
       corpus_.samples().push_back(std::move(s));
     }
+    const double wall = stage_sw.elapsed_ms();
+    report_.stage_times["csv"] = {wall, wall};
     return Status::ok();
   }
 
@@ -98,6 +102,12 @@ Status DetectionPipeline::assemble_corpus(const PipelineConfig& cfg) {
       report_.diagnostics.push_back({"synthesis", "", diag});
     }
   }
+  // Worker time = the serial portion (counted once) plus the featurize
+  // phase's summed per-worker busy time, merged here at the join.
+  const double wall = stage_sw.elapsed_ms();
+  report_.stage_times["synthesis"] = {
+      wall, wall - synth.featurize_wall_ms + synth.featurize_worker_ms};
+  report_.threads_used = synth.threads_used;
   return Status::ok();
 }
 
@@ -106,8 +116,10 @@ util::Result<std::unique_ptr<DetectionPipeline>> DetectionPipeline::run_checked(
   const bool strict = cfg.mode == RobustnessMode::kStrict;
   auto p = std::unique_ptr<DetectionPipeline>(new DetectionPipeline());
   p->cfg_ = cfg;
+  // The pipeline-level knob feeds stages whose own knob is on auto.
+  if (p->cfg_.corpus.threads == 0) p->cfg_.corpus.threads = cfg.threads;
 
-  if (auto st = p->assemble_corpus(cfg); !st.is_ok()) return st;
+  if (auto st = p->assemble_corpus(p->cfg_); !st.is_ok()) return st;
   p->report_.samples_used = p->corpus_.size();
 
   // A detector needs at least two samples of each class to split and train;
@@ -176,7 +188,10 @@ util::Result<std::unique_ptr<DetectionPipeline>> DetectionPipeline::run_checked(
 
   const ml::LabeledData train_data = p->scaled_data(p->split_.train);
   if (need_training) {
+    util::Stopwatch train_sw;
     p->train_stats_ = ml::train(p->model_, train_data, cfg.train);
+    const double train_wall = train_sw.elapsed_ms();
+    p->report_.stage_times["train"] = {train_wall, train_wall};
     if (!std::isfinite(p->train_stats_.final_loss)) {
       return Status::error(ErrorCode::kInternal,
                            "training diverged to a non-finite loss")
@@ -184,8 +199,11 @@ util::Result<std::unique_ptr<DetectionPipeline>> DetectionPipeline::run_checked(
     }
   }
 
+  util::Stopwatch eval_sw;
   p->train_metrics_ = ml::evaluate(p->model_, train_data);
   p->test_metrics_ = ml::evaluate(p->model_, p->scaled_data(p->split_.test));
+  const double eval_wall = eval_sw.elapsed_ms();
+  p->report_.stage_times["evaluate"] = {eval_wall, eval_wall};
 
   p->classifier_ = std::make_unique<ml::ModelClassifier>(
       p->model_, features::kNumFeatures, 2);

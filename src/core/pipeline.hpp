@@ -46,10 +46,20 @@ struct PipelineConfig {
       .learning_rate = 1e-3,
       .seed = 42,
       .early_stop_loss = 0.0,
+      .on_epoch = {},
+      .threads = 1,
   };
   DetectorKind detector = DetectorKind::kPaperCnn;
   std::uint64_t split_seed = 7;
   std::uint64_t weight_seed = 13;
+
+  /// Worker threads for parallel stages (corpus featurization): 0 = auto
+  /// (GEA_THREADS / hardware_concurrency), 1 = serial. Results are bitwise
+  /// identical at any value. Forwarded to corpus.threads when that is 0
+  /// (auto). Training stays on TrainConfig::threads (default 1, the exact
+  /// legacy numerics) — its chunked path is deterministic but sums floats
+  /// in a different order, so it is opted into separately.
+  std::size_t threads = 0;
 
   RobustnessMode mode = RobustnessMode::kLenient;
   /// Non-empty: load features/labels from this CSV (write_features_csv

@@ -29,6 +29,14 @@ std::string PipelineReport::summary() const {
     ss << ")";
   }
   for (const auto& note : notes) ss << "; note: " << note;
+  if (!stage_times.empty()) {
+    ss << "; timings:";
+    for (const auto& [stage, t] : stage_times) {
+      ss << ' ' << stage << ' ' << static_cast<long long>(t.wall_ms + 0.5)
+         << "ms";
+    }
+    ss << " (threads: " << threads_used << ")";
+  }
   return ss.str();
 }
 

@@ -19,6 +19,15 @@ struct QuarantineRecord {
   std::string detail;  // full diagnostic (Status::to_string form)
 };
 
+/// Wall-clock and worker timing for one pipeline stage. `worker_ms` is
+/// accumulated per worker and merged at the join, so it stays exact under
+/// concurrency; worker_ms / wall_ms approximates the realized parallelism.
+/// For serial stages the two coincide.
+struct StageTime {
+  double wall_ms = 0.0;
+  double worker_ms = 0.0;
+};
+
 struct PipelineReport {
   /// Samples the run was asked to produce (corpus config or CSV data rows).
   std::size_t samples_requested = 0;
@@ -37,6 +46,11 @@ struct PipelineReport {
   /// Non-sample degradations (e.g. "weights file truncated; retrained") —
   /// events a lenient run survived that an operator should still see.
   std::vector<std::string> notes;
+
+  /// Per-stage wall/worker timings ("synthesis", "train", "evaluate", ...).
+  std::map<std::string, StageTime> stage_times;
+  /// Worker threads the synthesis stage actually used.
+  std::size_t threads_used = 1;
 
   bool clean() const { return quarantined == 0 && notes.empty(); }
 

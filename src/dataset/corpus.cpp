@@ -1,9 +1,12 @@
 #include "dataset/corpus.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "util/faultinject.hpp"
 #include "util/log.hpp"
+#include "util/threadpool.hpp"
+#include "util/timer.hpp"
 
 namespace gea::dataset {
 
@@ -52,50 +55,93 @@ util::Result<Corpus> Corpus::generate_checked(const CorpusConfig& cfg,
   SynthesisReport& rep = report != nullptr ? *report : local;
   rep.requested = cfg.num_benign + cfg.num_malicious;
 
+  const std::size_t threads = util::resolve_threads(
+      {.threads = cfg.threads, .label = "corpus synthesis"});
+  rep.threads_used = threads;
+
   // Upper bound on one synthetic program's instruction count; a generator
   // gone haywire (or the alloc.oversize fault) must not OOM the corpus.
   constexpr std::size_t kMaxProgramLen = 4'000'000;
 
-  // One sample: generate, guard, validate, then either keep or quarantine.
-  // The Rng is consumed identically either way, so quarantining sample k
-  // never perturbs samples k+1..n.
-  auto add_sample = [&](bingen::Family family) -> Status {
-    Status verdict;
+  // Phase 1 (serial): draw families and generate programs. Generation is
+  // the only Rng consumer, so the sample stream — and therefore every
+  // surviving sample — is bitwise identical to a fully serial run. A
+  // generation exception fails only its own slot; the Rng is consumed
+  // identically either way, so quarantining sample k never perturbs
+  // samples k+1..n.
+  std::vector<Sample> pending;
+  pending.reserve(rep.requested);
+  std::vector<Status> verdicts(rep.requested);
+  auto generate_one = [&](bingen::Family family) {
+    Status st;
     Sample s;
     try {
-      s = make_sample(next_id++, family, rng, cfg.gen);
-      verdict = util::check_allocation(s.program.size(), kMaxProgramLen,
-                                       "sample program");
-      if (verdict.is_ok()) verdict = validate_sample(s);
+      s = generate_sample(next_id++, family, rng, cfg.gen);
     } catch (const std::exception& e) {
-      verdict = Status::error(ErrorCode::kInternal, e.what());
+      st = Status::error(ErrorCode::kInternal, e.what());
+      s.id = next_id - 1;
+      s.family = family;
     }
-    if (verdict.is_ok()) {
+    verdicts[pending.size()] = std::move(st);
+    pending.push_back(std::move(s));
+  };
+  for (std::size_t i = 0; i < cfg.num_benign; ++i) {
+    generate_one(draw_family(benign_mix));
+  }
+  for (std::size_t i = 0; i < cfg.num_malicious; ++i) {
+    generate_one(draw_family(mal_mix));
+  }
+
+  // Phase 2 (parallel): featurize, guard, validate into per-slot verdicts.
+  // One chunk per worker; per-chunk busy time is accumulated locally and
+  // merged after the join so the report's totals are exact.
+  util::Stopwatch wall;
+  std::vector<double> chunk_ms(threads, 0.0);
+  const Status pst = util::parallel_for_ranges(
+      pending.size(), threads,
+      [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+        util::Stopwatch sw;
+        for (std::size_t i = begin; i < end; ++i) {
+          if (!verdicts[i].is_ok()) continue;  // generation already failed
+          Sample& s = pending[i];
+          try {
+            featurize_sample(s);
+            Status v = util::check_allocation(s.program.size(), kMaxProgramLen,
+                                              "sample program");
+            if (v.is_ok()) v = validate_sample(s);
+            verdicts[i] = std::move(v);
+          } catch (const std::exception& e) {
+            verdicts[i] = Status::error(ErrorCode::kInternal, e.what());
+          }
+        }
+        chunk_ms[chunk] += sw.elapsed_ms();
+        return Status::ok();
+      },
+      {.threads = cfg.threads, .label = "corpus synthesis"});
+  if (!pst.is_ok()) return Status(pst).with_context("Corpus::generate");
+  rep.featurize_wall_ms = wall.elapsed_ms();
+  for (double ms : chunk_ms) rep.featurize_worker_ms += ms;
+
+  // Phase 3 (serial merge in sample order): keep survivors, quarantine the
+  // rest. Accounting, diagnostics, and logging match the serial loop
+  // record-for-record.
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    Sample& s = pending[i];
+    if (verdicts[i].is_ok()) {
       c.samples_.push_back(std::move(s));
       ++rep.generated;
-      return Status::ok();
+      continue;
     }
-    verdict.with_context(std::string("sample ") + std::to_string(next_id - 1) +
-                         " (" + bingen::family_name(family) + ")");
+    Status verdict = std::move(verdicts[i]);
+    verdict.with_context(std::string("sample ") + std::to_string(s.id) + " (" +
+                         bingen::family_name(s.family) + ")");
     ++rep.quarantined;
-    ++rep.quarantined_by_family[bingen::family_name(family)];
+    ++rep.quarantined_by_family[bingen::family_name(s.family)];
     if (rep.diagnostics.size() < rep.max_diagnostics) {
       rep.diagnostics.push_back(verdict.to_string());
     }
-    if (strict) return verdict;
+    if (strict) return verdict.with_context("Corpus::generate");
     util::log_warn("corpus synthesis: quarantined ", verdict.to_string());
-    return Status::ok();
-  };
-
-  for (std::size_t i = 0; i < cfg.num_benign; ++i) {
-    if (auto st = add_sample(draw_family(benign_mix)); !st.is_ok()) {
-      return st.with_context("Corpus::generate");
-    }
-  }
-  for (std::size_t i = 0; i < cfg.num_malicious; ++i) {
-    if (auto st = add_sample(draw_family(mal_mix)); !st.is_ok()) {
-      return st.with_context("Corpus::generate");
-    }
   }
   return c;
 }

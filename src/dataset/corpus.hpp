@@ -16,6 +16,12 @@ struct CorpusConfig {
   std::size_t num_benign = 276;      // Table I
   std::uint64_t seed = 2019;         // ICDCS'19
   bingen::GenOptions gen{};
+  /// Worker threads for the featurization phase (CFG extraction + feature
+  /// computation): 0 = auto (GEA_THREADS / hardware_concurrency, serial
+  /// while fault injection is armed), 1 = serial. Program generation stays
+  /// serial either way — it is the only Rng consumer — so the corpus is
+  /// bitwise identical at any thread count.
+  std::size_t threads = 0;
 };
 
 /// Quarantine accounting for one synthesis run: how many samples were
@@ -28,6 +34,12 @@ struct SynthesisReport {
   std::map<std::string, std::size_t> quarantined_by_family;
   std::vector<std::string> diagnostics;  // capped at max_diagnostics
   std::size_t max_diagnostics = 8;
+  /// Featurization-phase timing: elapsed wall clock, and per-worker busy
+  /// time accumulated per chunk and merged at the join (so the total is
+  /// exact under concurrency; worker_ms / wall_ms approximates speedup).
+  double featurize_wall_ms = 0.0;
+  double featurize_worker_ms = 0.0;
+  std::size_t threads_used = 1;
 };
 
 class Corpus {

@@ -30,18 +30,28 @@ void maybe_corrupt(Sample& s) {
 
 }  // namespace
 
-Sample make_sample(std::uint32_t id, bingen::Family family, util::Rng& rng,
-                   const bingen::GenOptions& opts) {
+Sample generate_sample(std::uint32_t id, bingen::Family family, util::Rng& rng,
+                       const bingen::GenOptions& opts) {
   Sample s;
   s.id = id;
   s.family = family;
   s.label = bingen::is_malicious(family) ? kMalicious : kBenign;
   s.program = bingen::generate_program(family, rng, opts);
+  return s;
+}
+
+void featurize_sample(Sample& s) {
   // Feature extraction follows the paper's convention: the CFG is the
   // entry function's graph (Figs. 2-4 are all `sym.main` graphs).
   s.cfg = cfg::extract_cfg(s.program, {.main_only = true});
   s.features = features::extract_features(s.cfg.graph);
   maybe_corrupt(s);
+}
+
+Sample make_sample(std::uint32_t id, bingen::Family family, util::Rng& rng,
+                   const bingen::GenOptions& opts) {
+  Sample s = generate_sample(id, family, rng, opts);
+  featurize_sample(s);
   return s;
 }
 

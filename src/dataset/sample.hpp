@@ -30,8 +30,21 @@ struct Sample {
 };
 
 /// Generate one fully-populated sample (program -> CFG -> features).
+/// Equivalent to generate_sample() followed by featurize_sample().
 Sample make_sample(std::uint32_t id, bingen::Family family, util::Rng& rng,
                    const bingen::GenOptions& opts = {});
+
+/// Program-only half of make_sample: id, family, label, and the synthesized
+/// program. This is the only Rng consumer in sample construction, which is
+/// what lets corpus synthesis generate serially (identical sample stream)
+/// and featurize in parallel.
+Sample generate_sample(std::uint32_t id, bingen::Family family, util::Rng& rng,
+                       const bingen::GenOptions& opts = {});
+
+/// Featurization half: disassemble the program into its CFG and extract
+/// features (plus any armed fault-point corruption). A pure function of
+/// s.program — safe to run concurrently across distinct samples.
+void featurize_sample(Sample& s);
 
 /// Quarantine gate over a populated sample: the CFG must satisfy
 /// cfg::validate() (non-empty, no dangling edges, reachable exit) and every

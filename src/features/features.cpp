@@ -104,6 +104,21 @@ FeatureVector extract_features(const graph::DiGraph& g) {
   return f;
 }
 
+util::Status extract_features_batch(
+    const std::vector<const graph::DiGraph*>& graphs,
+    std::vector<FeatureVector>& out, const util::ParallelOptions& opts) {
+  out.assign(graphs.size(), FeatureVector{});
+  util::ParallelOptions popts = opts;
+  popts.label = "extract_features_batch";
+  return util::parallel_for(
+      graphs.size(),
+      [&](std::size_t i) -> util::Status {
+        if (graphs[i] != nullptr) out[i] = extract_features(*graphs[i]);
+        return util::Status::ok();
+      },
+      popts);
+}
+
 bool all_finite(const FeatureVector& f) {
   return first_non_finite(f) == kNumFeatures;
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "graph/digraph.hpp"
+#include "util/threadpool.hpp"
 
 namespace gea::features {
 
@@ -76,6 +77,16 @@ std::size_t category_size(Category c);
 
 /// Extract all 23 features from a CFG graph.
 FeatureVector extract_features(const graph::DiGraph& g);
+
+/// Per-sample extraction over a whole corpus, parallelized with chunked
+/// static scheduling. Results land in pre-sized output slots, so the vector
+/// is bitwise identical to a serial extraction loop regardless of thread
+/// count (see util/threadpool.hpp for the determinism contract). Null graph
+/// pointers yield an all-zero vector. A worker failure (uncaught extractor
+/// exception) is propagated as a Status naming the sample.
+util::Status extract_features_batch(
+    const std::vector<const graph::DiGraph*>& graphs,
+    std::vector<FeatureVector>& out, const util::ParallelOptions& opts = {});
 
 /// True iff every component is finite. Quarantine gate: degenerate or
 /// corrupted inputs must never leak NaN/Inf into scaling or training.

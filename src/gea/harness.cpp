@@ -1,8 +1,11 @@
 #include "gea/harness.hpp"
 
+#include <exception>
 #include <stdexcept>
+#include <utility>
 
 #include "util/log.hpp"
+#include "util/threadpool.hpp"
 #include "util/timer.hpp"
 
 namespace gea::aug {
@@ -27,59 +30,109 @@ GeaRow GeaHarness::attack_with_target(std::uint8_t source_label,
   double total_ms = 0.0;
   std::size_t verified = 0, equivalent = 0;
 
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    if (opts.max_samples != 0 && row.samples >= opts.max_samples) break;
-    const dataset::Sample& s = samples[i];
-    if (s.label != source_label || i == target_index) continue;
-
-    std::vector<double> scaled_orig(features::kNumFeatures);
-    {
-      const auto t = scaler_->transform(s.features);
-      scaled_orig.assign(t.begin(), t.end());
-    }
-    if (opts.skip_already_misclassified &&
-        clf_->predict(scaled_orig) != s.label) {
-      continue;
-    }
-
-    // Craft: splice, re-disassemble, re-featurize (the timed pipeline).
-    // Per-sample failures (embed exception, invalid merged CFG, non-finite
-    // crafted features) are quarantined so one degenerate binary cannot
-    // abort a whole sweep.
-    util::Stopwatch sw;
+  struct Slot {
     isa::Program augmented;
     features::FeatureVector fv{};
-    try {
-      EmbedResult crafted =
-          embed_with_cfg(s.program, target.program, opts.embed);
-      fv = features::extract_features(crafted.cfg.graph);
-      if (!features::all_finite(fv)) {
-        throw std::runtime_error(
-            "non-finite feature " +
-            features::feature_name(features::first_non_finite(fv)));
+    double ms = 0.0;
+    std::exception_ptr error;
+  };
+
+  // Wave loop (see run_attack): under a sample cap, quarantined crafts do
+  // not count toward the cap, so candidates are collected in waves of
+  // `cap - samples` until the cap is met — visiting exactly the samples the
+  // serial loop would.
+  std::size_t pos = 0;
+  while (pos < samples.size() &&
+         (opts.max_samples == 0 || row.samples < opts.max_samples)) {
+    const std::size_t need =
+        opts.max_samples == 0 ? samples.size() : opts.max_samples - row.samples;
+
+    // Serial scan in corpus order: class filter plus the correctly-
+    // classified eligibility check (the classifier is not thread-safe and
+    // stays on this thread throughout).
+    std::vector<std::size_t> wave;
+    while (pos < samples.size() && wave.size() < need) {
+      const std::size_t i = pos++;
+      const dataset::Sample& s = samples[i];
+      if (s.label != source_label || i == target_index) continue;
+      if (opts.skip_already_misclassified) {
+        const auto t = scaler_->transform(s.features);
+        const std::vector<double> scaled_orig(t.begin(), t.end());
+        if (clf_->predict(scaled_orig) != s.label) continue;
       }
-      augmented = std::move(crafted.program);
-    } catch (const std::exception& e) {
-      if (opts.strict) throw;
-      const std::string diag =
-          "sample " + std::to_string(s.id) + ": " + e.what();
-      ++row.quarantined;
-      if (row.diagnostics.size() < opts.max_diagnostics) {
-        row.diagnostics.push_back(diag);
-      }
-      util::log_warn("gea harness: quarantined ", diag);
-      continue;
+      wave.push_back(i);
     }
-    total_ms += sw.elapsed_ms();
+    if (wave.empty()) break;
 
-    const auto scaled = scaler_->transform(fv);
-    const std::vector<double> x(scaled.begin(), scaled.end());
-    ++row.samples;
-    if (clf_->predict(x) != s.label) ++row.misclassified;
+    // Parallel craft: splice, re-disassemble, re-featurize (the timed
+    // pipeline). Embedding is a pure function of (source, target, options),
+    // so thread count cannot change the crafted programs. Per-sample
+    // failures (embed exception, invalid merged CFG, non-finite crafted
+    // features) are captured in the slot so one degenerate binary cannot
+    // abort a whole sweep.
+    std::vector<Slot> slots(wave.size());
+    const auto status = util::parallel_for(
+        wave.size(),
+        [&](std::size_t w) {
+          const dataset::Sample& s = samples[wave[w]];
+          util::Stopwatch sw;
+          try {
+            EmbedResult crafted =
+                embed_with_cfg(s.program, target.program, opts.embed);
+            slots[w].fv = features::extract_features(crafted.cfg.graph);
+            if (!features::all_finite(slots[w].fv)) {
+              throw std::runtime_error(
+                  "non-finite feature " +
+                  features::feature_name(
+                      features::first_non_finite(slots[w].fv)));
+            }
+            slots[w].augmented = std::move(crafted.program);
+          } catch (...) {
+            slots[w].error = std::current_exception();
+          }
+          slots[w].ms = sw.elapsed_ms();
+          return util::Status::ok();
+        },
+        {.threads = opts.threads, .label = "gea harness"});
+    if (!status.is_ok()) {
+      throw std::runtime_error(status.to_string());
+    }
 
-    if (opts.verify_every != 0 && (row.samples - 1) % opts.verify_every == 0) {
-      ++verified;
-      if (functionally_equivalent(s.program, augmented)) ++equivalent;
+    // Merge in corpus order: quarantine accounting, classification, and
+    // stride-based equivalence verification are serial, so the row (which
+    // samples verified included) is bitwise identical at any thread count.
+    for (std::size_t w = 0; w < wave.size(); ++w) {
+      const dataset::Sample& s = samples[wave[w]];
+      Slot& slot = slots[w];
+      if (slot.error) {
+        if (opts.strict) std::rethrow_exception(slot.error);
+        std::string diag = "sample " + std::to_string(s.id) + ": ";
+        try {
+          std::rethrow_exception(slot.error);
+        } catch (const std::exception& e) {
+          diag += e.what();
+        } catch (...) {
+          diag += "non-standard exception";
+        }
+        ++row.quarantined;
+        if (row.diagnostics.size() < opts.max_diagnostics) {
+          row.diagnostics.push_back(diag);
+        }
+        util::log_warn("gea harness: quarantined ", diag);
+        continue;
+      }
+      total_ms += slot.ms;
+
+      const auto scaled = scaler_->transform(slot.fv);
+      const std::vector<double> x(scaled.begin(), scaled.end());
+      ++row.samples;
+      if (clf_->predict(x) != s.label) ++row.misclassified;
+
+      if (opts.verify_every != 0 &&
+          (row.samples - 1) % opts.verify_every == 0) {
+        ++verified;
+        if (functionally_equivalent(s.program, slot.augmented)) ++equivalent;
+      }
     }
   }
 

@@ -56,6 +56,11 @@ struct GeaHarnessOptions {
   bool strict = false;
   /// Cap on retained per-sample failure diagnostics.
   std::size_t max_diagnostics = 8;
+  /// Worker threads for crafting (splice + CFG + featurization): 0 = auto
+  /// (GEA_THREADS / hardware_concurrency, serial while fault injection is
+  /// armed), 1 = serial. Classification and equivalence verification run
+  /// serially at merge, so the row is bitwise identical at any count.
+  std::size_t threads = 0;
 };
 
 class GeaHarness {

@@ -67,7 +67,13 @@ bool has_target(Opcode op) { return is_jump(op) || op == Opcode::kCall; }
 std::string to_string(const Instruction& ins) {
   std::ostringstream ss;
   ss << opcode_name(ins.op);
-  auto reg = [](int r) { return "r" + std::to_string(r); };
+  // Append onto a named string (not operator+ on temporaries): GCC 12 has
+  // a -Wrestrict false positive at -O3 (PR105329) that breaks -Werror.
+  auto reg = [](int r) {
+    std::string s(1, 'r');
+    s.append(std::to_string(r));
+    return s;
+  };
   switch (ins.op) {
     case Opcode::kMovImm:
       ss << ' ' << reg(ins.rd) << ", " << ins.imm;

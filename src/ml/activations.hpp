@@ -10,6 +10,7 @@ class ReLU : public Layer {
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
   std::string describe() const override { return "ReLU"; }
+  LayerPtr clone() const override { return std::make_unique<ReLU>(); }
 
  private:
   std::vector<bool> mask_;  // true where input > 0
@@ -25,6 +26,10 @@ class Dropout : public Layer {
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
   std::string describe() const override;
+  /// The clone shares this instance's Rng pointer; parallel callers rebind
+  /// it per chunk via bind_rng before any training-mode forward.
+  LayerPtr clone() const override { return std::make_unique<Dropout>(p_, *rng_); }
+  void bind_rng(util::Rng* rng) override { rng_ = rng; }
 
  private:
   double p_;
@@ -39,6 +44,7 @@ class Flatten : public Layer {
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
   std::string describe() const override { return "Flatten"; }
+  LayerPtr clone() const override { return std::make_unique<Flatten>(); }
 
  private:
   std::vector<std::size_t> in_shape_;

@@ -28,6 +28,13 @@ std::size_t Conv1D::output_length(std::size_t input_length) const {
   return input_length - k_ + 1;
 }
 
+LayerPtr Conv1D::clone() const {
+  auto c = std::make_unique<Conv1D>(in_ch_, out_ch_, k_, padding_);
+  c->w_ = w_;
+  c->b_ = b_;
+  return c;
+}
+
 void Conv1D::init(util::Rng& rng) {
   const double fan_in = static_cast<double>(in_ch_ * k_);
   const double scale = std::sqrt(2.0 / fan_in);

@@ -21,6 +21,7 @@ class Conv1D : public Layer {
   std::vector<Param> params() override;
   std::string describe() const override;
   void init(util::Rng& rng) override;
+  LayerPtr clone() const override;
 
   std::size_t output_length(std::size_t input_length) const;
 

@@ -78,4 +78,11 @@ std::string Dense::describe() const {
   return "Dense(" + std::to_string(in_) + "->" + std::to_string(out_) + ")";
 }
 
+LayerPtr Dense::clone() const {
+  auto c = std::make_unique<Dense>(in_, out_);
+  c->w_ = w_;
+  c->b_ = b_;
+  return c;
+}
+
 }  // namespace gea::ml

@@ -14,6 +14,7 @@ class Dense : public Layer {
   std::vector<Param> params() override;
   std::string describe() const override;
   void init(util::Rng& rng) override;
+  LayerPtr clone() const override;
 
   std::size_t in_features() const { return in_; }
   std::size_t out_features() const { return out_; }

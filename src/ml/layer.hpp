@@ -42,6 +42,18 @@ class Layer {
 
   /// Initialize weights (no-op for stateless layers).
   virtual void init(util::Rng&) {}
+
+  /// Deep copy (weights included, forward/backward caches reset) for
+  /// per-worker model replicas in the parallel layer. nullptr means the
+  /// layer is not cloneable, which makes Model::clonable() false and sends
+  /// parallel callers down their serial fallback.
+  virtual std::unique_ptr<Layer> clone() const { return nullptr; }
+
+  /// Rebind any internal Rng (dropout). Parallel training points each model
+  /// replica at a chunk-specific Rng seeded by counter-split, so mask draws
+  /// are deterministic per chunk instead of sequenced through a shared
+  /// stream. No-op for layers without randomness.
+  virtual void bind_rng(util::Rng* /*rng*/) {}
 };
 
 using LayerPtr = std::unique_ptr<Layer>;

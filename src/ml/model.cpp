@@ -64,6 +64,44 @@ std::string Model::summary() {
   return ss.str();
 }
 
+bool Model::clonable() const {
+  for (const auto& l : layers_) {
+    if (!l->clone()) return false;
+  }
+  return true;
+}
+
+Model Model::clone() const {
+  Model copy;
+  for (const auto& l : layers_) {
+    auto c = l->clone();
+    if (!c) {
+      throw std::logic_error("Model::clone: layer '" + l->describe() +
+                             "' is not cloneable");
+    }
+    copy.layers_.push_back(std::move(c));
+  }
+  return copy;
+}
+
+void Model::copy_params_from(Model& other) {
+  auto dst = params();
+  auto src = other.params();
+  if (dst.size() != src.size()) {
+    throw std::logic_error("Model::copy_params_from: architecture mismatch");
+  }
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    if (dst[i].value->size() != src[i].value->size()) {
+      throw std::logic_error("Model::copy_params_from: parameter size mismatch");
+    }
+    *dst[i].value = *src[i].value;
+  }
+}
+
+void Model::bind_rng(util::Rng* rng) {
+  for (auto& l : layers_) l->bind_rng(rng);
+}
+
 namespace {
 constexpr char kMagic[4] = {'G', 'E', 'A', 'M'};
 }
@@ -228,6 +266,13 @@ std::vector<double> ModelClassifier::logits(const std::vector<double>& x) {
   std::vector<double> z(classes_);
   for (std::size_t i = 0; i < classes_; ++i) z[i] = out[i];
   return z;
+}
+
+std::unique_ptr<DifferentiableClassifier> ModelClassifier::clone() const {
+  if (!model_->clonable()) return nullptr;
+  auto owned = std::make_unique<Model>(model_->clone());
+  return std::unique_ptr<DifferentiableClassifier>(
+      new ModelClassifier(std::move(owned), dim_, classes_));
 }
 
 std::vector<double> ModelClassifier::grad_logit(const std::vector<double>& x,

@@ -52,6 +52,23 @@ class Model {
   util::Status save_checked(const std::string& path);
   util::Status load_checked(const std::string& path);
 
+  /// True when every layer supports clone() — the gate parallel callers
+  /// check before building per-worker replicas.
+  bool clonable() const;
+
+  /// Deep copy: same architecture, same weights, fresh forward/backward
+  /// caches. Throws std::logic_error if any layer is not cloneable
+  /// (clonable() lets callers check first and fall back to serial).
+  Model clone() const;
+
+  /// Copy parameter values (not gradients) from a same-architecture model.
+  /// Used to refresh per-worker replicas between optimizer steps without
+  /// re-cloning the layer stack.
+  void copy_params_from(Model& other);
+
+  /// Rebind every layer's internal Rng (dropout) to `rng`.
+  void bind_rng(util::Rng* rng);
+
  private:
   std::vector<LayerPtr> layers_;
 };
@@ -79,6 +96,13 @@ class DifferentiableClassifier {
   virtual std::vector<double> grad_weighted(const std::vector<double>& x,
                                             const std::vector<double>& weights);
 
+  /// Independent copy safe to use from another thread (the forward/backward
+  /// caches inside a Model make a shared instance racy). nullptr means "not
+  /// supported" and sends parallel harnesses down their serial fallback.
+  virtual std::unique_ptr<DifferentiableClassifier> clone() const {
+    return nullptr;
+  }
+
   // Derived conveniences.
   std::vector<double> probabilities(const std::vector<double>& x);
   std::size_t predict(const std::vector<double>& x);
@@ -102,14 +126,28 @@ class ModelClassifier : public DifferentiableClassifier {
       const std::vector<double>& x,
       const std::vector<double>& weights) override;
 
+  /// Clones the underlying Model into a copy that owns its network, so the
+  /// replica's lifetime is self-contained. Returns nullptr when the model
+  /// has non-cloneable layers.
+  std::unique_ptr<DifferentiableClassifier> clone() const override;
+
   Model& model() { return *model_; }
 
  private:
+  /// Owning constructor used by clone().
+  ModelClassifier(std::unique_ptr<Model> owned, std::size_t input_dim,
+                  std::size_t num_classes)
+      : model_(owned.get()),
+        dim_(input_dim),
+        classes_(num_classes),
+        owned_(std::move(owned)) {}
+
   Tensor to_input(const std::vector<double>& x) const;
 
   Model* model_;
   std::size_t dim_;
   std::size_t classes_;
+  std::unique_ptr<Model> owned_;  // set only for clones
 };
 
 }  // namespace gea::ml

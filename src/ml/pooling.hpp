@@ -14,6 +14,7 @@ class MaxPool1D : public Layer {
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
   std::string describe() const override;
+  LayerPtr clone() const override { return std::make_unique<MaxPool1D>(window_); }
 
  private:
   std::size_t window_;

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "ml/loss.hpp"
+#include "util/log.hpp"
+#include "util/threadpool.hpp"
 
 namespace gea::ml {
 
@@ -25,10 +27,117 @@ Tensor LabeledData::batch_tensor(const std::vector<std::size_t>& indices,
   return t;
 }
 
+namespace {
+
+/// Fixed chunk count for the data-parallel gradient path. The reduction
+/// structure (chunk boundaries, merge order) depends only on the batch size
+/// and this constant — never on the worker count — which is what makes
+/// chunked training bitwise reproducible at any thread count.
+constexpr std::size_t kGradChunks = 8;
+
+TrainStats train_chunked(Model& model, const LabeledData& data,
+                         const TrainConfig& cfg) {
+  util::Rng rng(cfg.seed);
+  Adam opt(cfg.learning_rate);
+  TrainStats stats;
+
+  // One replica + one dropout stream per chunk. Replicas are cloned once
+  // and refreshed with the post-step parameters each batch.
+  std::vector<Model> replicas;
+  std::vector<util::Rng> chunk_rngs(kGradChunks, util::Rng(0));
+  replicas.reserve(kGradChunks);
+  for (std::size_t cidx = 0; cidx < kGradChunks; ++cidx) {
+    replicas.push_back(model.clone());
+    replicas.back().bind_rng(&chunk_rngs[cidx]);
+  }
+
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    rng.shuffle(order);
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    std::size_t batch_index = 0;
+    for (std::size_t begin = 0; begin < order.size();
+         begin += cfg.batch_size, ++batch_index) {
+      const std::size_t end = std::min(begin + cfg.batch_size, order.size());
+      const std::size_t bn = end - begin;
+
+      // Counter-derived dropout streams: a pure function of
+      // (seed, epoch, batch, chunk), never a shared sequenced Rng.
+      const std::uint64_t batch_seed =
+          util::mix_seed(util::mix_seed(cfg.seed, epoch), batch_index);
+      for (std::size_t cidx = 0; cidx < kGradChunks; ++cidx) {
+        replicas[cidx].copy_params_from(model);
+        replicas[cidx].zero_grad();
+        chunk_rngs[cidx] = util::Rng(util::mix_seed(batch_seed, cidx));
+      }
+
+      std::vector<double> chunk_loss(kGradChunks, 0.0);
+      const auto st = util::parallel_for_ranges(
+          bn, kGradChunks,
+          [&](std::size_t cb, std::size_t ce, std::size_t chunk) {
+            if (cb == ce) return util::Status::ok();
+            const std::size_t cn = ce - cb;
+            const Tensor x = data.batch_tensor(order, begin + cb, begin + ce);
+            std::vector<std::uint8_t> y(cn);
+            for (std::size_t i = 0; i < cn; ++i) {
+              y[i] = data.labels[order[begin + cb + i]];
+            }
+            Model& m = replicas[chunk];
+            const Tensor logits = m.forward(x, /*training=*/true);
+            chunk_loss[chunk] =
+                cross_entropy(logits, y) * static_cast<double>(cn);
+            Tensor grad = cross_entropy_grad(logits, y);
+            // cross_entropy_grad normalizes by the chunk size; rescale so
+            // the chunk-merged gradient equals the whole-batch mean.
+            const float scale = static_cast<float>(cn) / static_cast<float>(bn);
+            for (std::size_t i = 0; i < grad.size(); ++i) grad[i] *= scale;
+            m.backward(grad);
+            return util::Status::ok();
+          },
+          {.threads = cfg.threads, .label = "train"});
+      if (!st.is_ok()) throw std::runtime_error(st.to_string());
+
+      // Merge in fixed chunk order: a deterministic floating-point
+      // reduction independent of which worker ran which chunk.
+      model.zero_grad();
+      auto master_params = model.params();
+      for (std::size_t cidx = 0; cidx < kGradChunks; ++cidx) {
+        auto rp = replicas[cidx].params();
+        for (std::size_t p = 0; p < master_params.size(); ++p) {
+          auto& dst = *master_params[p].grad;
+          const auto& src = *rp[p].grad;
+          for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+        }
+      }
+      double batch_loss = 0.0;
+      for (double l : chunk_loss) batch_loss += l;
+      loss_sum += batch_loss / static_cast<double>(bn);
+      ++batches;
+      opt.step(model.params());
+    }
+    const double mean_loss = loss_sum / static_cast<double>(batches);
+    stats.epoch_losses.push_back(mean_loss);
+    if (cfg.on_epoch) cfg.on_epoch(epoch, mean_loss);
+    if (cfg.early_stop_loss > 0.0 && mean_loss < cfg.early_stop_loss) break;
+  }
+  stats.final_loss = stats.epoch_losses.empty() ? 0.0 : stats.epoch_losses.back();
+  return stats;
+}
+
+}  // namespace
+
 TrainStats train(Model& model, const LabeledData& data, const TrainConfig& cfg) {
   if (data.rows.empty()) throw std::invalid_argument("train: empty dataset");
   if (data.rows.size() != data.labels.size()) {
     throw std::invalid_argument("train: label count mismatch");
+  }
+  if (cfg.threads != 1) {
+    if (model.clonable()) return train_chunked(model, data, cfg);
+    util::log_warn(
+        "train: model has non-cloneable layers; using the serial path");
   }
   util::Rng rng(cfg.seed);
   Adam opt(cfg.learning_rate);

@@ -32,6 +32,15 @@ struct TrainConfig {
   double early_stop_loss = 0.0;
   /// Invoked after each epoch with (epoch, mean training loss).
   std::function<void(std::size_t, double)> on_epoch;
+  /// Gradient-computation threads. 1 (default) = the exact legacy
+  /// whole-batch path. 0 (auto) or N > 1 = the chunked data-parallel path:
+  /// each batch splits into a fixed number of chunks, one model replica per
+  /// chunk, gradients merged in chunk order. The chunk structure depends
+  /// only on the batch size, so chunked results are bitwise identical at
+  /// any worker count — but not bitwise equal to the legacy path (different
+  /// floating-point summation order and per-chunk dropout streams).
+  /// Requires a clonable model; otherwise falls back to the legacy path.
+  std::size_t threads = 1;
 };
 
 struct TrainStats {

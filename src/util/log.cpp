@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <mutex>
 
 namespace gea::util {
 
@@ -14,8 +15,11 @@ std::atomic<std::uint64_t> g_count_info{0};
 std::atomic<std::uint64_t> g_count_warn{0};
 std::atomic<std::uint64_t> g_count_error{0};
 
-// Innermost active capture (single-threaded test usage, like g_level).
+// Innermost active capture. Install/uninstall is single-threaded (test
+// scope), but parallel pipeline stages emit warnings from pool workers, so
+// record appends are serialized.
 LogCapture* g_capture = nullptr;
+std::mutex g_capture_mu;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -63,9 +67,16 @@ void reset_log_counts() {
   g_count_error = 0;
 }
 
-LogCapture::LogCapture() : previous_(g_capture) { g_capture = this; }
+LogCapture::LogCapture() {
+  std::lock_guard<std::mutex> lock(g_capture_mu);
+  previous_ = g_capture;
+  g_capture = this;
+}
 
-LogCapture::~LogCapture() { g_capture = previous_; }
+LogCapture::~LogCapture() {
+  std::lock_guard<std::mutex> lock(g_capture_mu);
+  g_capture = previous_;
+}
 
 std::size_t LogCapture::count(LogLevel level) const {
   std::size_t n = 0;
@@ -86,9 +97,12 @@ std::size_t LogCapture::count_containing(std::string_view substr) const {
 void log_line(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(g_level)) return;
   counter(level).fetch_add(1, std::memory_order_relaxed);
-  if (g_capture != nullptr) {
-    g_capture->records_.push_back({level, msg});
-    return;
+  {
+    std::lock_guard<std::mutex> lock(g_capture_mu);
+    if (g_capture != nullptr) {
+      g_capture->records_.push_back({level, msg});
+      return;
+    }
   }
   using namespace std::chrono;
   const auto now = system_clock::now();

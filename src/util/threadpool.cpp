@@ -1,0 +1,227 @@
+#include "util/threadpool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "util/faultinject.hpp"
+
+namespace gea::util {
+
+namespace {
+
+thread_local bool t_on_pool_worker = false;
+
+std::size_t read_env_thread_count() {
+  const char* env = std::getenv("GEA_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && v > 0) {
+      return v > 256 ? 256 : static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace
+
+std::size_t default_thread_count() {
+  static const std::size_t n = read_env_thread_count();
+  return n;
+}
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) {
+  // SplitMix64 finalizer over the (seed, stream) pair; the golden-ratio
+  // multiplier decorrelates consecutive stream indices.
+  std::uint64_t z = seed ^ (stream * 0x9e3779b97f4a7c15ULL + 0xbf58476d1ce4e5b9ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) throw std::logic_error("ThreadPool::submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_main() {
+  t_on_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain-on-shutdown: keep executing queued tasks after stopping_ is
+      // set; exit only once the queue is empty.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();  // pool tasks never throw (parallel_for wraps bodies)
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(default_thread_count());
+  return pool;
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_pool_worker; }
+
+std::size_t resolve_threads(const ParallelOptions& opts) {
+  if (opts.threads != 0) return opts.threads;
+  // Counted fault plans are defined by hit order; only the serial path makes
+  // that order reproducible, so auto degrades while anything is armed.
+  if (FaultInjector::any_armed()) return 1;
+  return default_thread_count();
+}
+
+util::Status parallel_for_ranges(
+    std::size_t n, std::size_t num_chunks,
+    const std::function<util::Status(std::size_t, std::size_t, std::size_t)>&
+        body,
+    const ParallelOptions& opts) {
+  if (n == 0) return Status::ok();
+  const std::size_t threads = resolve_threads(opts);
+  if (num_chunks == 0) num_chunks = threads;
+  if (num_chunks > n) num_chunks = n;
+  const std::size_t chunk_size = (n + num_chunks - 1) / num_chunks;
+
+  auto run_chunk = [&](std::size_t c) -> Status {
+    const std::size_t begin = c * chunk_size;
+    const std::size_t end = begin + chunk_size < n ? begin + chunk_size : n;
+    try {
+      return body(begin, end, c);
+    } catch (const std::exception& e) {
+      return Status::error(ErrorCode::kInternal,
+                           std::string("uncaught worker exception: ") + e.what());
+    } catch (...) {
+      return Status::error(ErrorCode::kInternal, "uncaught worker exception");
+    }
+  };
+
+  auto finish = [&](std::vector<Status>& statuses) -> Status {
+    for (std::size_t c = 0; c < statuses.size(); ++c) {
+      if (!statuses[c].is_ok()) {
+        return statuses[c].with_context(std::string(opts.label) + " chunk " +
+                                        std::to_string(c));
+      }
+    }
+    return Status::ok();
+  };
+
+  // Serial path: one thread requested, a single chunk, or we are already on
+  // a pool worker (a nested dispatch waiting on the same pool could
+  // deadlock). Early-exits on the first failure like a plain loop would.
+  if (threads <= 1 || num_chunks <= 1 || ThreadPool::on_worker_thread()) {
+    std::vector<Status> statuses(1);
+    for (std::size_t c = 0; c * chunk_size < n; ++c) {
+      statuses[0] = run_chunk(c);
+      if (!statuses[0].is_ok()) {
+        return statuses[0].with_context(std::string(opts.label) + " chunk " +
+                                        std::to_string(c));
+      }
+    }
+    return Status::ok();
+  }
+
+  // Parallel path: `threads` loops (helpers on the shared pool plus the
+  // calling thread) pull chunk indices from an atomic counter. Which loop
+  // runs which chunk is scheduling-dependent; the results are not, because
+  // chunk boundaries are fixed above and every outcome lands in its own
+  // slot. The loop state lives on the heap (shared_ptr) because a straggler
+  // helper can still poll the counter after the caller has been released.
+  struct LoopState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t total = 0;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Status> statuses;
+  };
+  auto state = std::make_shared<LoopState>();
+  state->total = (n + chunk_size - 1) / chunk_size;
+  state->statuses.resize(state->total);
+
+  auto chunk_loop = [state, &run_chunk] {
+    for (;;) {
+      const std::size_t c = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= state->total) break;
+      // run_chunk (and everything it references) is guaranteed alive here:
+      // the caller cannot return before this chunk's completion is counted.
+      state->statuses[c] = run_chunk(c);
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          state->total) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers =
+      (threads < state->total ? threads : state->total) - 1;
+  for (std::size_t i = 0; i < helpers; ++i) {
+    ThreadPool::shared().submit(chunk_loop);
+  }
+  chunk_loop();  // the caller works too; progress never depends on the pool
+
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == state->total;
+    });
+  }
+  return finish(state->statuses);
+}
+
+util::Status parallel_for(std::size_t n,
+                          const std::function<util::Status(std::size_t)>& body,
+                          const ParallelOptions& opts) {
+  return parallel_for_ranges(
+      n, /*num_chunks=*/0,
+      [&body](std::size_t begin, std::size_t end, std::size_t) -> Status {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (auto st = body(i); !st.is_ok()) return st;
+        }
+        return Status::ok();
+      },
+      opts);
+}
+
+}  // namespace gea::util

@@ -1,0 +1,125 @@
+// Parallel execution layer: a fixed-size thread pool plus a deterministic
+// chunked parallel_for.
+//
+// Two hard guarantees, relied on by every caller (corpus featurization,
+// attack/GEA harnesses, the parallel trainer):
+//
+//  1. **Determinism.** parallel_for assigns work by *index*, never by
+//     arrival order. Callers write results into pre-sized output slots and
+//     derive any per-item randomness from `mix_seed(master, index)` —
+//     a counter-based split of the master seed, never a shared Rng — so
+//     results are bitwise identical to the serial path regardless of thread
+//     count or scheduling.
+//
+//  2. **Error propagation.** A worker's Status failure or uncaught
+//     exception is captured per chunk and surfaced as the return value;
+//     when several chunks fail, the lowest-numbered chunk wins, so the
+//     reported error is also deterministic. Nothing is lost and nothing
+//     deadlocks: the calling thread participates in the chunk loop, so
+//     parallel_for finishes even when every pool worker is busy.
+//
+// Thread-count resolution (ParallelOptions::threads == 0, the default):
+// the GEA_THREADS environment variable if set, else hardware_concurrency.
+// `GEA_THREADS=1` (or threads = 1) restores the serial path everywhere.
+// While any fault-injection point is armed, auto mode also degrades to
+// serial: counted fault plans (skip N, fire M) are defined in terms of hit
+// order, which only the serial path pins down. Explicitly requesting
+// threads > 1 overrides this (used to test in-worker fault quarantine).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace gea::util {
+
+/// Resolved "auto" thread count: GEA_THREADS if set to a positive integer
+/// (clamped to [1, 256]), else std::thread::hardware_concurrency, never 0.
+/// Read once per process (first call wins).
+std::size_t default_thread_count();
+
+/// Counter-based seed split (SplitMix64 over seed XOR a stream constant):
+/// statistically independent streams for (master seed, index) pairs without
+/// any shared-Rng sequencing. The building block of the determinism
+/// contract — one Rng per index, pre-seeded, never handed across items.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream);
+
+/// Fixed-size FIFO thread pool. Destruction drains the queue: tasks already
+/// submitted still run, then workers join — shutdown with pending tasks
+/// completes instead of hanging or leaking work.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task. Throws std::logic_error once shutdown has begun.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  /// Process-wide pool, sized by default_thread_count(), created on first
+  /// use. parallel_for dispatches here so hot loops never pay thread
+  /// creation per call.
+  static ThreadPool& shared();
+
+  /// True when the calling thread is a pool worker (any pool). Nested
+  /// parallel_for calls detect this and run inline instead of deadlocking
+  /// on their own pool.
+  static bool on_worker_thread();
+
+ private:
+  void worker_main();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // wakes workers
+  std::condition_variable idle_cv_;   // wakes wait_idle
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+struct ParallelOptions {
+  /// 0 = auto (GEA_THREADS / hardware_concurrency; serial while faults are
+  /// armed). 1 = serial on the calling thread. N = at most N concurrent
+  /// chunks.
+  std::size_t threads = 0;
+  /// Context frame for propagated errors ("featurize", "attack harness"...).
+  const char* label = "parallel_for";
+};
+
+/// Resolve ParallelOptions::threads per the policy above.
+std::size_t resolve_threads(const ParallelOptions& opts);
+
+/// Run body(begin, end, chunk) over [0, n) split into `num_chunks`
+/// contiguous ranges (num_chunks == 0 chooses the resolved thread count).
+/// Chunk boundaries depend only on (n, num_chunks) — pass an explicit
+/// num_chunks when the *reduction structure* must be thread-count
+/// invariant (see ml::train). At most `threads` chunks run concurrently;
+/// the calling thread participates. Returns the first (lowest-chunk)
+/// failure, with uncaught exceptions converted to INTERNAL Statuses.
+util::Status parallel_for_ranges(
+    std::size_t n, std::size_t num_chunks,
+    const std::function<util::Status(std::size_t begin, std::size_t end,
+                                     std::size_t chunk)>& body,
+    const ParallelOptions& opts = {});
+
+/// Per-index convenience: body(i) for every i in [0, n), chunked statically
+/// over the resolved thread count.
+util::Status parallel_for(std::size_t n,
+                          const std::function<util::Status(std::size_t)>& body,
+                          const ParallelOptions& opts = {});
+
+}  // namespace gea::util

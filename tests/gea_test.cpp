@@ -271,7 +271,9 @@ TEST_F(SelectionTest, DensityGroupsShareNodeCountAndVaryEdges) {
     bool first = true;
     for (std::size_t i : g.sample_indices) {
       EXPECT_EQ(corpus().samples()[i].num_nodes(), g.num_nodes);
-      if (!first) EXPECT_GT(corpus().samples()[i].num_edges(), last_edges);
+      if (!first) {
+        EXPECT_GT(corpus().samples()[i].num_edges(), last_edges);
+      }
       last_edges = corpus().samples()[i].num_edges();
       first = false;
     }

@@ -1,0 +1,455 @@
+// Parallel execution layer suite (ctest labels: tier1, parallel).
+//
+// Exercises the two hard guarantees of util::ThreadPool / parallel_for —
+// determinism (bitwise-identical results at any thread count) and error
+// propagation (worker Status failures and exceptions surface, nothing
+// deadlocks) — plus the parallel paths threaded through corpus synthesis,
+// the attack harness, the GEA harness, and the chunked trainer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "attacks/fgsm.hpp"
+#include "attacks/harness.hpp"
+#include "attacks/pgd.hpp"
+#include "dataset/corpus.hpp"
+#include "features/features.hpp"
+#include "features/scaler.hpp"
+#include "gea/harness.hpp"
+#include "graph/digraph.hpp"
+#include "ml/model.hpp"
+#include "ml/trainer.hpp"
+#include "ml/zoo.hpp"
+#include "util/faultinject.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "util/threadpool.hpp"
+
+namespace gea {
+namespace {
+
+using util::ErrorCode;
+using util::FaultInjector;
+using util::ParallelOptions;
+using util::ScopedFault;
+using util::Status;
+
+ParallelOptions with_threads(std::size_t threads, const char* label = "test") {
+  ParallelOptions po;
+  po.threads = threads;
+  po.label = label;
+  return po;
+}
+
+// ---------------------------------------------------------------------------
+// Seed splitting and thread-count resolution
+
+TEST(MixSeed, IsDeterministicAndSeparatesStreams) {
+  EXPECT_EQ(util::mix_seed(1, 2), util::mix_seed(1, 2));
+  EXPECT_NE(util::mix_seed(1, 2), util::mix_seed(1, 3));
+  EXPECT_NE(util::mix_seed(1, 2), util::mix_seed(2, 2));
+  // Consecutive indices must not produce correlated Rngs.
+  util::Rng a(util::mix_seed(7, 0));
+  util::Rng b(util::mix_seed(7, 1));
+  EXPECT_NE(a.uniform(), b.uniform());
+}
+
+TEST(ResolveThreads, ExplicitCountWinsAndAutoIsStable) {
+  EXPECT_EQ(util::resolve_threads(with_threads(1)), 1u);
+  EXPECT_EQ(util::resolve_threads(with_threads(5)), 5u);
+  const std::size_t auto1 = util::resolve_threads(with_threads(0));
+  const std::size_t auto2 = util::resolve_threads(with_threads(0));
+  EXPECT_GE(auto1, 1u);
+  EXPECT_EQ(auto1, auto2);
+}
+
+TEST(ResolveThreads, AutoDegradesToSerialWhileFaultsArmed) {
+  FaultInjector::instance().reset();
+  const std::size_t unarmed = util::resolve_threads(with_threads(0));
+  {
+    ScopedFault fault(util::faults::kFeatureNaN);
+    EXPECT_EQ(util::resolve_threads(with_threads(0)), 1u);
+    // An explicit request overrides the degradation (used below to drive
+    // fault points inside workers).
+    EXPECT_EQ(util::resolve_threads(with_threads(4)), 4u);
+  }
+  EXPECT_EQ(util::resolve_threads(with_threads(0)), unarmed);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool lifecycle
+
+TEST(ThreadPool, RunsSubmittedTasksAndWaitsIdle) {
+  util::ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&ran] { ++ran; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, DestructionDrainsPendingTasksWithoutHanging) {
+  std::atomic<int> ran{0};
+  {
+    util::ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++ran;
+      });
+    }
+    // Destructor runs here with most of the queue still pending.
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+// ---------------------------------------------------------------------------
+// parallel_for: determinism and error propagation
+
+TEST(ParallelFor, PerIndexRngResultsAreBitwiseIdenticalAtAnyThreadCount) {
+  auto run = [](std::size_t threads) {
+    std::vector<double> out(257, 0.0);
+    const Status st = util::parallel_for(
+        out.size(),
+        [&](std::size_t i) {
+          util::Rng rng(util::mix_seed(42, i));
+          out[i] = rng.uniform() + rng.normal(0.0, 1.0);
+          return Status::ok();
+        },
+        with_threads(threads, "det"));
+    EXPECT_TRUE(st.is_ok()) << st.to_string();
+    return out;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ParallelFor, LowestFailingChunkStatusWinsWithLabelContext) {
+  const Status st = util::parallel_for_ranges(
+      100, 10,
+      [&](std::size_t, std::size_t, std::size_t chunk) {
+        if (chunk % 2 == 1) {
+          return Status::error(ErrorCode::kInternal,
+                               "injected failure " + std::to_string(chunk));
+        }
+        return Status::ok();
+      },
+      with_threads(4, "test loop"));
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_NE(st.to_string().find("injected failure 1"), std::string::npos)
+      << st.to_string();
+  EXPECT_NE(st.to_string().find("test loop"), std::string::npos);
+}
+
+TEST(ParallelFor, WorkerExceptionBecomesInternalStatus) {
+  const Status st = util::parallel_for(
+      50,
+      [](std::size_t i) -> Status {
+        if (i == 17) throw std::runtime_error("kaput at 17");
+        return Status::ok();
+      },
+      with_threads(4));
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), ErrorCode::kInternal);
+  EXPECT_NE(st.to_string().find("kaput at 17"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Shared fixture: a 64-sample corpus and a small trained detector
+
+dataset::CorpusConfig corpus_config(std::size_t threads) {
+  dataset::CorpusConfig cc;
+  cc.num_malicious = 40;
+  cc.num_benign = 24;
+  cc.seed = 99;
+  cc.threads = threads;
+  return cc;
+}
+
+struct Detector {
+  features::FeatureScaler scaler;
+  ml::Model model;
+  std::unique_ptr<ml::ModelClassifier> clf;
+  ml::LabeledData data;
+};
+
+Detector make_detector(const dataset::Corpus& corpus) {
+  Detector d;
+  d.scaler.fit(corpus.feature_rows());
+  for (const auto& s : corpus.samples()) {
+    const auto t = d.scaler.transform(s.features);
+    d.data.rows.emplace_back(t.begin(), t.end());
+    d.data.labels.push_back(s.label);
+  }
+  d.model = ml::make_mlp_baseline(features::kNumFeatures, 2);
+  util::Rng rng(3);
+  d.model.init(rng);
+  ml::TrainConfig tc;
+  tc.epochs = 30;
+  tc.batch_size = 16;
+  tc.seed = 4;
+  ml::train(d.model, d.data, tc);
+  d.clf = std::make_unique<ml::ModelClassifier>(d.model, features::kNumFeatures, 2);
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Corpus synthesis
+
+TEST(ParallelCorpus, SamplesAreBitwiseIdenticalAtAnyThreadCount) {
+  const auto c1 = dataset::Corpus::generate(corpus_config(1));
+  const auto c2 = dataset::Corpus::generate(corpus_config(2));
+  const auto c8 = dataset::Corpus::generate(corpus_config(8));
+  ASSERT_EQ(c1.size(), 64u);
+  ASSERT_EQ(c2.size(), c1.size());
+  ASSERT_EQ(c8.size(), c1.size());
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    const auto& a = c1.samples()[i];
+    for (const auto* other : {&c2.samples()[i], &c8.samples()[i]}) {
+      EXPECT_EQ(a.id, other->id);
+      EXPECT_EQ(a.label, other->label);
+      EXPECT_EQ(a.program.size(), other->program.size());
+      EXPECT_EQ(a.num_nodes(), other->num_nodes());
+      EXPECT_EQ(a.num_edges(), other->num_edges());
+      // Bitwise: the features must match exactly, not approximately.
+      for (std::size_t f = 0; f < features::kNumFeatures; ++f) {
+        EXPECT_EQ(a.features[f], other->features[f]) << "sample " << i
+                                                     << " feature " << f;
+      }
+    }
+  }
+}
+
+TEST(ParallelCorpus, ReportsFeaturizeTimingAndThreadCount) {
+  dataset::SynthesisReport rep;
+  auto res = dataset::Corpus::generate_checked(corpus_config(2), &rep);
+  ASSERT_TRUE(res.is_ok());
+  EXPECT_EQ(rep.threads_used, 2u);
+  EXPECT_GT(rep.featurize_wall_ms, 0.0);
+  // Summed worker time is exact under concurrency (merged at the join), so
+  // it can never undercut the busiest worker's share of the wall clock.
+  EXPECT_GT(rep.featurize_worker_ms, 0.0);
+}
+
+TEST(ParallelCorpus, FaultFiringInsideAWorkerQuarantinesOnlyThatSample) {
+  FaultInjector::instance().reset();
+  ScopedFault fault(util::faults::kFeatureNaN, /*skip=*/5, /*count=*/1);
+  dataset::SynthesisReport rep;
+  // Explicit threads=4 overrides the armed->serial auto policy, so the
+  // fault fires inside a pool worker.
+  auto res = dataset::Corpus::generate_checked(corpus_config(4), &rep);
+  ASSERT_TRUE(res.is_ok());
+  EXPECT_EQ(fault.fired(), 1u);
+  EXPECT_EQ(rep.quarantined, 1u);
+  EXPECT_EQ(res.value().size(), 63u);
+  ASSERT_EQ(rep.diagnostics.size(), 1u);
+  EXPECT_NE(rep.diagnostics[0].find("non-finite feature"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Batch feature extraction
+
+TEST(ParallelFeatures, BatchExtractionMatchesSerialPerGraphExtraction) {
+  const auto corpus = dataset::Corpus::generate(corpus_config(1));
+  std::vector<const graph::DiGraph*> graphs;
+  graphs.reserve(corpus.size());
+  for (const auto& s : corpus.samples()) graphs.push_back(&s.cfg.graph);
+
+  std::vector<features::FeatureVector> out1, out8;
+  ASSERT_TRUE(
+      features::extract_features_batch(graphs, out1, with_threads(1)).is_ok());
+  ASSERT_TRUE(
+      features::extract_features_batch(graphs, out8, with_threads(8)).is_ok());
+  ASSERT_EQ(out1.size(), graphs.size());
+  ASSERT_EQ(out8.size(), graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const auto expect = features::extract_features(*graphs[i]);
+    EXPECT_EQ(out1[i], expect) << "graph " << i;
+    EXPECT_EQ(out8[i], expect) << "graph " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Attack harness
+
+TEST(ParallelAttackHarness, RowIsBitwiseIdenticalAtAnyThreadCount) {
+  const auto corpus = dataset::Corpus::generate(corpus_config(1));
+  auto det = make_detector(corpus);
+
+  auto run = [&](auto& attack, std::size_t threads) {
+    attacks::HarnessOptions o;
+    o.threads = threads;
+    return attacks::run_attack(attack, *det.clf, det.data.rows, det.data.labels,
+                               nullptr, o);
+  };
+  // FGSM is deterministic; PGD random-restarts from its per-sample stream.
+  attacks::Fgsm fgsm;
+  attacks::PgdConfig pgd_cfg;
+  pgd_cfg.iterations = 10;
+  attacks::Pgd pgd(pgd_cfg);
+  for (attacks::Attack* atk :
+       std::vector<attacks::Attack*>{&fgsm, &pgd}) {
+    const auto serial = run(*atk, 1);
+    EXPECT_GT(serial.samples, 0u) << atk->name();
+    for (std::size_t threads : {2u, 8u}) {
+      const auto parallel = run(*atk, threads);
+      EXPECT_EQ(serial.samples, parallel.samples) << atk->name();
+      EXPECT_EQ(serial.misclassified, parallel.misclassified) << atk->name();
+      EXPECT_EQ(serial.quarantined, parallel.quarantined) << atk->name();
+      // Bitwise double equality: the merge reduces in index order.
+      EXPECT_EQ(serial.avg_features_changed, parallel.avg_features_changed)
+          << atk->name();
+      EXPECT_EQ(serial.mean_l2, parallel.mean_l2) << atk->name();
+    }
+  }
+}
+
+/// Throws on exactly one marked input row; order- and thread-independent.
+class FailingAttack : public attacks::Attack {
+ public:
+  explicit FailingAttack(double marker) : marker_(marker) {}
+  std::string name() const override { return "failing"; }
+  std::vector<double> craft(ml::DifferentiableClassifier&,
+                            const std::vector<double>& x,
+                            std::size_t) override {
+    if (!x.empty() && x[0] == marker_) {
+      throw std::runtime_error("marked sample rejected");
+    }
+    return x;
+  }
+  attacks::AttackPtr clone() const override {
+    return std::make_unique<FailingAttack>(marker_);
+  }
+
+ private:
+  double marker_;
+};
+
+TEST(ParallelAttackHarness, WorkerFailureQuarantinesOnlyThatSample) {
+  const auto corpus = dataset::Corpus::generate(corpus_config(1));
+  auto det = make_detector(corpus);
+  constexpr double kMarker = 0.123456789;
+  auto rows = det.data.rows;
+  rows[5][0] = kMarker;
+
+  FailingAttack attack(kMarker);
+  attacks::HarnessOptions o;
+  o.threads = 4;
+  o.skip_already_misclassified = false;
+  util::LogCapture capture;
+  const auto row =
+      attacks::run_attack(attack, *det.clf, rows, det.data.labels, nullptr, o);
+  EXPECT_EQ(row.quarantined, 1u);
+  EXPECT_EQ(row.samples, rows.size() - 1);
+  EXPECT_EQ(capture.count_containing("marked sample rejected"), 1u);
+
+  // Strict mode rethrows the worker's original exception.
+  o.strict = true;
+  EXPECT_THROW(
+      attacks::run_attack(attack, *det.clf, rows, det.data.labels, nullptr, o),
+      std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// GEA harness
+
+TEST(ParallelGeaHarness, RowIsBitwiseIdenticalAtAnyThreadCount) {
+  const auto corpus = dataset::Corpus::generate(corpus_config(1));
+  auto det = make_detector(corpus);
+  const aug::GeaHarness harness(corpus, det.scaler, *det.clf);
+  const std::size_t target = corpus.indices_of(dataset::kBenign).front();
+
+  auto run = [&](std::size_t threads) {
+    aug::GeaHarnessOptions o;
+    o.threads = threads;
+    o.max_samples = 12;
+    o.verify_every = 2;  // stride semantics must survive parallelization
+    return harness.attack_with_target(dataset::kMalicious, target, o);
+  };
+  const auto serial = run(1);
+  EXPECT_GT(serial.samples, 0u);
+  for (std::size_t threads : {2u, 4u}) {
+    const auto parallel = run(threads);
+    EXPECT_EQ(serial.samples, parallel.samples);
+    EXPECT_EQ(serial.misclassified, parallel.misclassified);
+    EXPECT_EQ(serial.quarantined, parallel.quarantined);
+    EXPECT_EQ(serial.equivalence_rate, parallel.equivalence_rate);
+    EXPECT_EQ(serial.target_nodes, parallel.target_nodes);
+    EXPECT_EQ(serial.target_edges, parallel.target_edges);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chunked trainer
+
+TEST(ParallelTrainer, ChunkedPathIsBitwiseInvariantAcrossWorkerCounts) {
+  const auto corpus = dataset::Corpus::generate(corpus_config(1));
+  features::FeatureScaler scaler;
+  scaler.fit(corpus.feature_rows());
+  ml::LabeledData data;
+  for (const auto& s : corpus.samples()) {
+    const auto t = scaler.transform(s.features);
+    data.rows.emplace_back(t.begin(), t.end());
+    data.labels.push_back(s.label);
+  }
+
+  auto run = [&](std::size_t threads) {
+    util::Rng dropout_rng(77);
+    ml::Model m = ml::make_paper_cnn(features::kNumFeatures, 2, dropout_rng);
+    util::Rng weight_rng(5);
+    m.init(weight_rng);
+    ml::TrainConfig tc;
+    tc.epochs = 3;
+    tc.batch_size = 16;
+    tc.seed = 9;
+    tc.threads = threads;
+    const auto stats = ml::train(m, data, tc);
+    std::pair<std::vector<double>, std::vector<float>> fingerprint;
+    fingerprint.first = stats.epoch_losses;
+    fingerprint.second = *m.params().front().value;
+    return fingerprint;
+  };
+  const auto two = run(2);
+  const auto eight = run(8);
+  ASSERT_EQ(two.first.size(), 3u);
+  EXPECT_EQ(two.first, eight.first);    // bitwise epoch losses
+  EXPECT_EQ(two.second, eight.second);  // bitwise first-layer weights
+}
+
+TEST(ParallelTrainer, CloneCopiesWeightsAndIsolatesCaches) {
+  ml::Model m = ml::make_mlp_baseline(features::kNumFeatures, 2);
+  util::Rng rng(11);
+  m.init(rng);
+  ASSERT_TRUE(m.clonable());
+  ml::Model copy = m.clone();
+  ASSERT_EQ(copy.num_parameters(), m.num_parameters());
+  EXPECT_EQ(*copy.params().front().value, *m.params().front().value);
+
+  // Same input -> same logits, computed independently.
+  ml::Tensor x({1, 1, features::kNumFeatures});
+  for (std::size_t i = 0; i < features::kNumFeatures; ++i) {
+    x[i] = static_cast<float>(i) / features::kNumFeatures;
+  }
+  const ml::Tensor a = m.forward(x, false);
+  const ml::Tensor b = copy.forward(x, false);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+
+  // Diverge the copy: the original must be untouched.
+  (*copy.params().front().value)[0] += 1.0f;
+  EXPECT_NE(*copy.params().front().value, *m.params().front().value);
+}
+
+}  // namespace
+}  // namespace gea

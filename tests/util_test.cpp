@@ -309,7 +309,7 @@ TEST(AsciiTable, Formatters) {
 TEST(Stopwatch, MeasuresElapsedTime) {
   Stopwatch sw;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(static_cast<double>(i));
   EXPECT_GT(sw.elapsed_us(), 0.0);
   EXPECT_GE(sw.elapsed_ms(), 0.0);
 }
@@ -317,7 +317,7 @@ TEST(Stopwatch, MeasuresElapsedTime) {
 TEST(Stopwatch, ResetRestarts) {
   Stopwatch sw;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(static_cast<double>(i));
   const double before = sw.elapsed_us();
   sw.reset();
   EXPECT_LT(sw.elapsed_us(), before + 1e5);
