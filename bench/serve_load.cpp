@@ -1,0 +1,287 @@
+// Load generator for the detection server, written to BENCH_serve.json.
+//
+// Sweeps worker count {1, 2, 8} x micro-batching {off (max_batch=1, the
+// legacy per-sample forward path), on (max_batch=16, the batched infer
+// path)} under a closed loop (16 synchronous clients, each submit->wait),
+// then runs one open-loop stage that offers ~2x the measured capacity to
+// exercise admission control: the overflow must show up as fast
+// kUnavailable rejections, never as client hangs or queue growth.
+//
+// The headline number is batched_speedup_8w: closed-loop QPS with batching
+// on vs off at 8 workers. Batching never changes verdicts (the batched
+// path is bitwise-identical to per-sample forward; tests/serve_test.cpp),
+// so this is pure throughput.
+//
+//   $ ./bench/serve_load [--smoke] [--threads N]   (N = client threads)
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "features/scaler.hpp"
+#include "ml/zoo.hpp"
+#include "serve/checkpoint.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/threadpool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace gea;
+
+constexpr std::size_t kDim = features::kNumFeatures;
+
+std::vector<double> synthetic_row(util::Rng& rng) {
+  std::vector<double> row(kDim);
+  for (auto& v : row) v = rng.uniform(0.0, 50.0);
+  return row;
+}
+
+/// Random-init paper CNN + fitted scaler: serving cost does not depend on
+/// the weight values, so the bench skips training entirely.
+std::string write_bench_checkpoint() {
+  util::Rng weight_rng(1), dropout_rng(0), data_rng(7);
+  auto model = ml::make_paper_cnn(kDim, 2, dropout_rng);
+  model.init(weight_rng);
+  std::vector<features::FeatureVector> rows;
+  for (int i = 0; i < 64; ++i) {
+    features::FeatureVector fv{};
+    const auto row = synthetic_row(data_rng);
+    std::copy(row.begin(), row.end(), fv.begin());
+    rows.push_back(fv);
+  }
+  features::FeatureScaler scaler;
+  scaler.fit(rows);
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "gea_serve_bench").string();
+  std::filesystem::remove_all(dir);
+  auto st = serve::Checkpoint::write(dir, model, &scaler);
+  if (!st.is_ok()) {
+    std::fprintf(stderr, "%s\n", st.to_string().c_str());
+    std::exit(1);
+  }
+  return dir;
+}
+
+struct RunResult {
+  std::string mode;
+  std::size_t workers = 0;
+  std::size_t max_batch = 0;
+  std::size_t clients = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  double wall_s = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  double mean_batch = 0.0;
+};
+
+serve::ServerConfig server_config(std::size_t workers, std::size_t max_batch,
+                                  std::size_t queue_capacity) {
+  serve::ServerConfig cfg;
+  cfg.workers = workers;
+  cfg.max_batch = max_batch;
+  // A generous linger: with many workers racing one queue, a short window
+  // fragments batches (each worker grabs a couple of requests); 1 ms is
+  // still well under the per-batch inference cost, so it buys batch size
+  // without adding visible latency.
+  cfg.max_wait_us = 1000;
+  cfg.queue_capacity = queue_capacity;
+  return cfg;
+}
+
+/// Closed loop: `clients` threads, each submit->wait `per_client` times.
+RunResult run_closed(serve::ModelRegistry& registry, std::size_t workers,
+                     std::size_t max_batch, std::size_t clients,
+                     std::size_t per_client,
+                     const std::vector<std::vector<double>>& rows) {
+  serve::DetectionServer server(
+      registry, server_config(workers, max_batch, clients * 2));
+
+  util::LatencyRecorder latency;
+  std::mutex latency_mu;
+  std::atomic<std::uint64_t> rejected{0};
+  util::Stopwatch wall;
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      std::vector<double> local;
+      local.reserve(per_client);
+      for (std::size_t i = 0; i < per_client; ++i) {
+        auto r = server.detect(rows[(c * per_client + i) % rows.size()]);
+        if (r.is_ok()) {
+          local.push_back(r.value().total_ms);
+        } else {
+          rejected.fetch_add(1);
+        }
+      }
+      std::lock_guard<std::mutex> lock(latency_mu);
+      for (double v : local) latency.record(v);
+    });
+  }
+  for (auto& t : pool) t.join();
+  const double wall_s = wall.elapsed_ms() / 1000.0;
+  server.stop();
+  const auto snap = server.stats();
+
+  RunResult res;
+  res.mode = "closed";
+  res.workers = workers;
+  res.max_batch = max_batch;
+  res.clients = clients;
+  res.completed = snap.completed;
+  res.rejected = rejected.load();
+  res.wall_s = wall_s;
+  res.qps = wall_s > 0 ? static_cast<double>(snap.completed) / wall_s : 0.0;
+  const auto lat = latency.summarize();
+  res.p50_ms = lat.p50;
+  res.p95_ms = lat.p95;
+  res.p99_ms = lat.p99;
+  res.mean_batch = snap.mean_batch();
+  return res;
+}
+
+/// Open loop: one dispatcher offers `total` requests at a fixed rate
+/// without waiting for verdicts; admission control absorbs the overload.
+RunResult run_open(serve::ModelRegistry& registry, std::size_t workers,
+                   std::size_t max_batch, double offered_qps,
+                   std::size_t total,
+                   const std::vector<std::vector<double>>& rows) {
+  serve::DetectionServer server(registry,
+                                server_config(workers, max_batch, 64));
+
+  const auto interval = std::chrono::duration<double, std::micro>(
+      offered_qps > 0 ? 1e6 / offered_qps : 0.0);
+  std::vector<std::future<util::Result<serve::Verdict>>> futures;
+  futures.reserve(total);
+  util::Stopwatch wall;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < total; ++i) {
+    futures.push_back(server.submit(rows[i % rows.size()]));
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    interval * static_cast<double>(i + 1)));
+  }
+  util::LatencyRecorder latency;
+  std::uint64_t rejected = 0;
+  for (auto& f : futures) {
+    auto r = f.get();
+    if (r.is_ok()) {
+      latency.record(r.value().total_ms);
+    } else {
+      ++rejected;
+    }
+  }
+  const double wall_s = wall.elapsed_ms() / 1000.0;
+  server.stop();
+  const auto snap = server.stats();
+
+  RunResult res;
+  res.mode = "open";
+  res.workers = workers;
+  res.max_batch = max_batch;
+  res.clients = 1;
+  res.completed = snap.completed;
+  res.rejected = rejected;
+  res.wall_s = wall_s;
+  res.qps = wall_s > 0 ? static_cast<double>(snap.completed) / wall_s : 0.0;
+  const auto lat = latency.summarize();
+  res.p50_ms = lat.p50;
+  res.p95_ms = lat.p95;
+  res.p99_ms = lat.p99;
+  res.mean_batch = snap.mean_batch();
+  return res;
+}
+
+void print_result(const RunResult& r) {
+  std::printf(
+      "%-6s workers=%zu batch=%-2zu  qps=%8.1f  p50=%6.2fms p95=%6.2fms "
+      "p99=%6.2fms  completed=%llu rejected=%llu mean_batch=%.2f\n",
+      r.mode.c_str(), r.workers, r.max_batch, r.qps, r.p50_ms, r.p95_ms,
+      r.p99_ms, static_cast<unsigned long long>(r.completed),
+      static_cast<unsigned long long>(r.rejected), r.mean_batch);
+}
+
+void write_json(const std::vector<RunResult>& results, double speedup_8w,
+                bool smoke) {
+  std::ofstream out("BENCH_serve.json");
+  out << "{\n  \"benchmark\": \"serve_load\",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out << "    {\"mode\": \"" << r.mode << "\", \"workers\": " << r.workers
+        << ", \"max_batch\": " << r.max_batch << ", \"clients\": " << r.clients
+        << ", \"completed\": " << r.completed << ", \"rejected\": " << r.rejected
+        << ", \"wall_s\": " << r.wall_s << ", \"qps\": " << r.qps
+        << ", \"p50_ms\": " << r.p50_ms << ", \"p95_ms\": " << r.p95_ms
+        << ", \"p99_ms\": " << r.p99_ms << ", \"mean_batch\": " << r.mean_batch
+        << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"batched_speedup_8w\": " << speedup_8w << "\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::size_t clients = util::threads_from_cli(argc, argv, 48);
+  const std::size_t per_client = smoke ? 12 : 120;
+
+  const auto dir = write_bench_checkpoint();
+  serve::ModelRegistry registry;
+  if (auto st = registry.load("bench", dir); !st.is_ok()) {
+    std::fprintf(stderr, "%s\n", st.to_string().c_str());
+    return 1;
+  }
+
+  util::Rng data_rng(99);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 64; ++i) rows.push_back(synthetic_row(data_rng));
+
+  std::printf("serve_load: %zu clients x %zu requests per run%s\n", clients,
+              per_client, smoke ? " (smoke)" : "");
+  std::vector<RunResult> results;
+  double qps_8w_batched = 0.0, qps_8w_unbatched = 0.0;
+  for (std::size_t workers : {1u, 2u, 8u}) {
+    for (std::size_t max_batch : {1u, 16u}) {
+      auto r = run_closed(registry, workers, max_batch, clients, per_client,
+                          rows);
+      print_result(r);
+      if (workers == 8) {
+        (max_batch == 1 ? qps_8w_unbatched : qps_8w_batched) = r.qps;
+      }
+      results.push_back(std::move(r));
+    }
+  }
+
+  // Open loop at ~2x the batched capacity: overload must turn into fast
+  // rejects, not hangs. (Capacity estimate from the 2-worker batched run.)
+  const double capacity = results[3].qps;  // workers=2, batch=16
+  auto open = run_open(registry, 2, 16, capacity * 2.0,
+                       smoke ? 200 : 2000, rows);
+  print_result(open);
+  results.push_back(std::move(open));
+
+  const double speedup =
+      qps_8w_unbatched > 0 ? qps_8w_batched / qps_8w_unbatched : 0.0;
+  std::printf("batched speedup at 8 workers: %.2fx\n", speedup);
+  write_json(results, speedup, smoke);
+  std::printf("wrote BENCH_serve.json\n");
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -7,8 +7,6 @@
 // --threads N (or GEA_THREADS=N) parallelizes corpus featurization; the
 // trained detector and every number printed are identical at any N.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 
 #include "attacks/fgsm.hpp"
 #include "core/evaluator.hpp"
@@ -16,6 +14,7 @@
 #include "gea/embed.hpp"
 #include "gea/selection.hpp"
 #include "util/table.hpp"
+#include "util/threadpool.hpp"
 
 namespace core = gea::core;
 namespace dataset = gea::dataset;
@@ -30,14 +29,7 @@ int main(int argc, char** argv) {
   //    corpus lives in the benches).
   std::printf("== training detector on synthetic IoT corpus ==\n");
   auto config = core::quick_config();
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      config.threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
-    } else {
-      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
-      return 2;
-    }
-  }
+  config.threads = gea::util::threads_from_cli(argc, argv, config.threads);
   auto pipeline = core::DetectionPipeline::run(config);
 
   const auto& tm = pipeline.test_metrics();

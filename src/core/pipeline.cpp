@@ -141,15 +141,15 @@ util::Result<std::unique_ptr<DetectionPipeline>> DetectionPipeline::run_checked(
   // Scaler: load if requested, else fit on training rows only.
   bool scaler_ready = false;
   if (!cfg.scaler_in.empty()) {
-    auto loaded = features::FeatureScaler::load_from(cfg.scaler_in);
-    if (loaded.is_ok()) {
-      p->scaler_ = std::move(loaded).value();
+    // load_checked stages before committing, so a failed load leaves the
+    // scaler untouched for the refit fallback below.
+    if (auto st = p->scaler_.load_checked(cfg.scaler_in); st.is_ok()) {
       scaler_ready = true;
     } else if (strict) {
-      return Status(loaded.status()).with_context("pipeline");
+      return st.with_context("pipeline");
     } else {
       const std::string note =
-          "scaler load failed, refitting: " + loaded.status().to_string();
+          "scaler load failed, refitting: " + st.to_string();
       p->report_.notes.push_back(note);
       util::log_warn("pipeline: ", note);
     }

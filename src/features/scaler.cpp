@@ -51,7 +51,7 @@ namespace {
 constexpr char kScalerMagic[4] = {'G', 'E', 'A', 'S'};
 }
 
-util::Status FeatureScaler::save(const std::string& path) const {
+util::Status FeatureScaler::save_checked(const std::string& path) const {
   using util::ErrorCode;
   using util::Status;
   if (!fitted_) {
@@ -81,27 +81,29 @@ util::Status FeatureScaler::save(const std::string& path) const {
   return Status::ok();
 }
 
-util::Result<FeatureScaler> FeatureScaler::load_from(const std::string& path) {
+util::Status FeatureScaler::load_checked(const std::string& path) {
   using util::ErrorCode;
   using util::Status;
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::error(ErrorCode::kNotFound, "cannot open " + path)
-        .with_context("FeatureScaler::load_from");
+        .with_context("FeatureScaler::load");
   }
   char magic[4];
   in.read(magic, 4);
   if (!in || std::memcmp(magic, kScalerMagic, 4) != 0) {
     return Status::error(ErrorCode::kParseError, "bad magic in " + path)
-        .with_context("FeatureScaler::load_from");
+        .with_context("FeatureScaler::load");
   }
   std::uint64_t n = 0;
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   if (!in || n != kNumFeatures) {
     return Status::error(ErrorCode::kParseError,
                          "feature count mismatch in " + path)
-        .with_context("FeatureScaler::load_from");
+        .with_context("FeatureScaler::load");
   }
+  // Stage into a scratch instance so a truncated or corrupt file cannot
+  // leave *this half-overwritten (same commit discipline as Model::load).
   FeatureScaler s;
   in.read(reinterpret_cast<char*>(s.lo_.data()),
           static_cast<std::streamsize>(kNumFeatures * sizeof(double)));
@@ -109,7 +111,7 @@ util::Result<FeatureScaler> FeatureScaler::load_from(const std::string& path) {
           static_cast<std::streamsize>(kNumFeatures * sizeof(double)));
   if (!in) {
     return Status::error(ErrorCode::kCorruptData, "truncated scaler file " + path)
-        .with_context("FeatureScaler::load_from");
+        .with_context("FeatureScaler::load");
   }
   for (std::size_t i = 0; i < kNumFeatures; ++i) {
     if (!std::isfinite(s.lo_[i]) || !std::isfinite(s.hi_[i]) ||
@@ -117,10 +119,26 @@ util::Result<FeatureScaler> FeatureScaler::load_from(const std::string& path) {
       return Status::error(ErrorCode::kCorruptData,
                            "non-finite or inverted range for feature " +
                                std::to_string(i) + " in " + path)
-          .with_context("FeatureScaler::load_from");
+          .with_context("FeatureScaler::load");
     }
   }
-  s.fitted_ = true;
+  lo_ = s.lo_;
+  hi_ = s.hi_;
+  fitted_ = true;
+  return Status::ok();
+}
+
+void FeatureScaler::load(const std::string& path) {
+  if (auto st = load_checked(path); !st.is_ok()) {
+    throw std::runtime_error(st.to_string());
+  }
+}
+
+util::Result<FeatureScaler> FeatureScaler::load_from(const std::string& path) {
+  FeatureScaler s;
+  if (auto st = s.load_checked(path); !st.is_ok()) {
+    return st.with_context("FeatureScaler::load_from");
+  }
   return s;
 }
 

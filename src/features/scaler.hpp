@@ -32,10 +32,24 @@ class FeatureScaler {
 
   /// Persist the fitted ranges ("GEAS" magic + feature count + lo/hi pairs)
   /// so a trained detector can be reloaded without refitting.
-  util::Status save(const std::string& path) const;
+  /// Serialization mirrors ml::Model's API shape (save/load throwing
+  /// wrappers around Status-returning *_checked members), so checkpoint
+  /// code can treat the two symmetrically — see serve::Checkpoint.
+  util::Status save_checked(const std::string& path) const;
 
-  /// Load ranges written by save(). Rejects missing/truncated/corrupt files
-  /// and non-finite or inverted ranges with a descriptive Status.
+  /// Load ranges written by save_checked() into this instance. Rejects
+  /// missing/truncated/corrupt files and non-finite or inverted ranges with
+  /// a descriptive Status; on any error the instance is left untouched
+  /// (staged load, like Model::load_checked).
+  util::Status load_checked(const std::string& path);
+
+  /// Throwing wrappers around the checked variants, mirroring Model.
+  void load(const std::string& path);
+
+  /// Backwards-compatible alias for save_checked().
+  util::Status save(const std::string& path) const { return save_checked(path); }
+
+  /// Factory form of load_checked(), kept for existing callers.
   static util::Result<FeatureScaler> load_from(const std::string& path);
 
  private:

@@ -18,6 +18,14 @@ Tensor ReLU::forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
+Tensor ReLU::infer(const Tensor& x) {
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] <= 0.0f) y[i] = 0.0f;
+  }
+  return y;
+}
+
 Tensor ReLU::backward(const Tensor& grad_out) {
   if (grad_out.size() != mask_.size()) {
     throw std::invalid_argument("ReLU::backward: gradient size mismatch");
@@ -72,6 +80,18 @@ Tensor Flatten::forward(const Tensor& x, bool /*training*/) {
   std::size_t rest = 1;
   for (std::size_t i = 1; i < in_shape_.size(); ++i) rest *= in_shape_[i];
   y.reshape({in_shape_[0], rest});
+  return y;
+}
+
+Tensor Flatten::infer(const Tensor& x) {
+  if (x.rank() < 2) {
+    throw std::invalid_argument("Flatten::infer: expected rank>=2, got " +
+                                x.shape_string());
+  }
+  Tensor y = x;
+  std::size_t rest = 1;
+  for (std::size_t i = 1; i < x.rank(); ++i) rest *= x.dim(i);
+  y.reshape({x.dim(0), rest});
   return y;
 }
 

@@ -9,6 +9,8 @@ class ReLU : public Layer {
  public:
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  /// Inference fast path: clamp without building the backward mask.
+  Tensor infer(const Tensor& x) override;
   std::string describe() const override { return "ReLU"; }
   LayerPtr clone() const override { return std::make_unique<ReLU>(); }
 
@@ -25,6 +27,8 @@ class Dropout : public Layer {
 
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  /// Identity at inference (inverted dropout), so no work and no Rng draw.
+  Tensor infer(const Tensor& x) override { return x; }
   std::string describe() const override;
   /// The clone shares this instance's Rng pointer; parallel callers rebind
   /// it per chunk via bind_rng before any training-mode forward.
@@ -43,6 +47,8 @@ class Flatten : public Layer {
  public:
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  /// Reshape without remembering the input shape for backward.
+  Tensor infer(const Tensor& x) override;
   std::string describe() const override { return "Flatten"; }
   LayerPtr clone() const override { return std::make_unique<Flatten>(); }
 

@@ -82,6 +82,81 @@ Tensor Conv1D::forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
+Tensor Conv1D::infer(const Tensor& x) {
+  if (x.rank() != 3 || x.dim(1) != in_ch_) {
+    throw std::invalid_argument("Conv1D::infer: expected (N, " +
+                                std::to_string(in_ch_) + ", L), got " +
+                                x.shape_string());
+  }
+  const std::size_t n = x.dim(0);
+  const std::size_t l_in = x.dim(2);
+  const std::size_t l_out = output_length(l_in);
+  const std::ptrdiff_t base =
+      padding_ == Padding::kSame ? -static_cast<std::ptrdiff_t>(k_ / 2) : 0;
+
+  // Interior positions [lo, hi) have every kernel tap in bounds (all of
+  // them for valid padding), so their loop carries no boundary check; the
+  // per-tap accumulation order is exactly forward()'s, keeping the output
+  // bitwise identical.
+  std::size_t lo = 0;
+  std::size_t hi = l_out;
+  if (padding_ == Padding::kSame) {
+    const std::size_t h = k_ / 2;
+    lo = h < l_out ? h : l_out;
+    hi = l_out >= h ? l_out - h : 0;
+    if (hi < lo) hi = lo;
+  }
+
+  Tensor y({n, out_ch_, l_out});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      float* yrow = y.data() + (i * out_ch_ + oc) * l_out;
+      for (std::size_t j = 0; j < l_out; ++j) yrow[j] = b_[oc];
+      for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+        const float* xrow = x.data() + (i * in_ch_ + ic) * l_in;
+        const float* wrow = w_.data() + (oc * in_ch_ + ic) * k_;
+        auto edge = [&](std::size_t j0, std::size_t j1) {
+          for (std::size_t j = j0; j < j1; ++j) {
+            float acc = 0.0f;
+            for (std::size_t t = 0; t < k_; ++t) {
+              const std::ptrdiff_t src = static_cast<std::ptrdiff_t>(j) + base +
+                                         static_cast<std::ptrdiff_t>(t);
+              if (src >= 0 && src < static_cast<std::ptrdiff_t>(l_in)) {
+                acc += wrow[t] * xrow[src];
+              }
+            }
+            yrow[j] += acc;
+          }
+        };
+        edge(0, lo);
+        if (k_ == 3) {
+          // Fixed-tap body: each output position is an independent FP
+          // chain with the exact op sequence of forward(), so the compiler
+          // may vectorize across j without changing a single bit.
+          const float w0 = wrow[0], w1 = wrow[1], w2 = wrow[2];
+          for (std::size_t j = lo; j < hi; ++j) {
+            const float* xj = xrow + static_cast<std::ptrdiff_t>(j) + base;
+            float acc = 0.0f;
+            acc += w0 * xj[0];
+            acc += w1 * xj[1];
+            acc += w2 * xj[2];
+            yrow[j] += acc;
+          }
+        } else {
+          for (std::size_t j = lo; j < hi; ++j) {
+            const float* xj = xrow + static_cast<std::ptrdiff_t>(j) + base;
+            float acc = 0.0f;
+            for (std::size_t t = 0; t < k_; ++t) acc += wrow[t] * xj[t];
+            yrow[j] += acc;
+          }
+        }
+        edge(hi, l_out);
+      }
+    }
+  }
+  return y;
+}
+
 Tensor Conv1D::backward(const Tensor& grad_out) {
   const std::size_t n = last_input_.dim(0);
   const std::size_t l_in = last_input_.dim(2);

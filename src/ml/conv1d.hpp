@@ -18,6 +18,11 @@ class Conv1D : public Layer {
 
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  /// Batched inference fast path: no input cache, and the kernel loop is
+  /// split into edge/interior regions so the interior runs without the
+  /// per-element boundary check. Same accumulation order as forward(), so
+  /// the logits are bitwise identical.
+  Tensor infer(const Tensor& x) override;
   std::vector<Param> params() override;
   std::string describe() const override;
   void init(util::Rng& rng) override;

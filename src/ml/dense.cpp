@@ -43,6 +43,51 @@ Tensor Dense::forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
+Tensor Dense::infer(const Tensor& x) {
+  if (x.rank() != 2 || x.dim(1) != in_) {
+    throw std::invalid_argument("Dense::infer: expected (N, " +
+                                std::to_string(in_) + "), got " +
+                                x.shape_string());
+  }
+  const std::size_t n = x.dim(0);
+  Tensor y({n, out_});
+  if (n == 1) {
+    const float* xi = x.data();
+    float* yi = y.data();
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float* wrow = w_.data() + o * in_;
+      float acc = b_[o];
+      for (std::size_t k = 0; k < in_; ++k) acc += wrow[k] * xi[k];
+      yi[o] = acc;
+    }
+    return y;
+  }
+  // Batched: transpose the input so the batch index is contiguous, then
+  // run every sample's accumulation chain in lockstep. Per (i, o) the FP
+  // op sequence is identical to the row-major loop above (acc = b; then
+  // += w_k * x_k in k order) — the chains are independent, so interleaving
+  // them across i is bitwise-free and lets the compiler vectorize the
+  // innermost loop over the batch.
+  std::vector<float> xt(in_ * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* xi = x.data() + i * in_;
+    for (std::size_t k = 0; k < in_; ++k) xt[k * n + i] = xi[k];
+  }
+  std::vector<float> acc(n);
+  for (std::size_t o = 0; o < out_; ++o) {
+    const float* wrow = w_.data() + o * in_;
+    const float bo = b_[o];
+    for (std::size_t i = 0; i < n; ++i) acc[i] = bo;
+    for (std::size_t k = 0; k < in_; ++k) {
+      const float wk = wrow[k];
+      const float* xk = xt.data() + k * n;
+      for (std::size_t i = 0; i < n; ++i) acc[i] += wk * xk[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) y.data()[i * out_ + o] = acc[i];
+  }
+  return y;
+}
+
 Tensor Dense::backward(const Tensor& grad_out) {
   if (grad_out.rank() != 2 || grad_out.dim(1) != out_ ||
       grad_out.dim(0) != last_input_.dim(0)) {

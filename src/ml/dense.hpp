@@ -11,6 +11,8 @@ class Dense : public Layer {
 
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  /// Inference fast path: forward() without the input cache copy.
+  Tensor infer(const Tensor& x) override;
   std::vector<Param> params() override;
   std::string describe() const override;
   void init(util::Rng& rng) override;

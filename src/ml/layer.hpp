@@ -34,6 +34,14 @@ class Layer {
   /// parameter gradients along the way.
   virtual Tensor backward(const Tensor& grad_out) = 0;
 
+  /// Inference-only forward over a (possibly multi-sample) batch: skips
+  /// every backward cache (input copies, ReLU masks, pool argmaxes) and may
+  /// use tighter loops, but MUST produce bitwise-identical output to
+  /// forward(x, false) — the serving layer batches requests through this
+  /// path and the per-sample/batched equivalence is asserted in tests.
+  /// backward() after infer() is undefined; call forward() when training.
+  virtual Tensor infer(const Tensor& x) { return forward(x, /*training=*/false); }
+
   /// Learnable parameters (empty for stateless layers).
   virtual std::vector<Param> params() { return {}; }
 

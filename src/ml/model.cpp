@@ -27,6 +27,12 @@ Tensor Model::forward(const Tensor& x, bool training) {
   return cur;
 }
 
+Tensor Model::infer(const Tensor& x) {
+  Tensor cur = x;
+  for (auto& l : layers_) cur = l->infer(cur);
+  return cur;
+}
+
 Tensor Model::backward(const Tensor& grad_out) {
   Tensor cur = grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
@@ -265,6 +271,33 @@ std::vector<double> ModelClassifier::logits(const std::vector<double>& x) {
   }
   std::vector<double> z(classes_);
   for (std::size_t i = 0; i < classes_; ++i) z[i] = out[i];
+  return z;
+}
+
+std::vector<std::vector<double>> ModelClassifier::logits_batch(
+    const std::vector<std::vector<double>>& xs) {
+  if (xs.empty()) return {};
+  Tensor batch({xs.size(), 1, dim_});
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i].size() != dim_) {
+      throw std::invalid_argument("ModelClassifier::logits_batch: row " +
+                                  std::to_string(i) + " has dim " +
+                                  std::to_string(xs[i].size()) + ", expected " +
+                                  std::to_string(dim_));
+    }
+    for (std::size_t j = 0; j < dim_; ++j) {
+      batch[i * dim_ + j] = static_cast<float>(xs[i][j]);
+    }
+  }
+  const Tensor out = model_->infer(batch);
+  if (out.rank() != 2 || out.dim(0) != xs.size() || out.dim(1) != classes_) {
+    throw std::logic_error("ModelClassifier: unexpected batch output shape " +
+                           out.shape_string());
+  }
+  std::vector<std::vector<double>> z(xs.size(), std::vector<double>(classes_));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    for (std::size_t k = 0; k < classes_; ++k) z[i][k] = out.at2(i, k);
+  }
   return z;
 }
 

@@ -29,6 +29,13 @@ class Model {
   /// Forward pass. `training` enables dropout.
   Tensor forward(const Tensor& x, bool training = false);
 
+  /// Batched inference-only forward: every layer takes its cache-free
+  /// `Layer::infer` path, which is bitwise-identical to forward(x, false)
+  /// per sample (asserted in tests/serve_test.cpp) but skips backward
+  /// bookkeeping — the serving layer's batch path. backward() may not
+  /// follow infer().
+  Tensor infer(const Tensor& x);
+
   /// Backward pass from dL/d logits; must follow the matching forward().
   /// Returns dL/d input; parameter gradients are accumulated.
   Tensor backward(const Tensor& grad_out);
@@ -120,6 +127,10 @@ class ModelClassifier : public DifferentiableClassifier {
   std::size_t input_dim() const override { return dim_; }
   std::size_t num_classes() const override { return classes_; }
   std::vector<double> logits(const std::vector<double>& x) override;
+  /// Logits for many inputs in one batched Model::infer pass. Row i of the
+  /// result is bitwise-identical to logits(xs[i]).
+  std::vector<std::vector<double>> logits_batch(
+      const std::vector<std::vector<double>>& xs);
   std::vector<double> grad_logit(const std::vector<double>& x,
                                  std::size_t k) override;
   std::vector<double> grad_weighted(

@@ -38,6 +38,30 @@ Tensor MaxPool1D::forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
+Tensor MaxPool1D::infer(const Tensor& x) {
+  if (x.rank() != 3) {
+    throw std::invalid_argument("MaxPool1D::infer: expected rank-3, got " +
+                                x.shape_string());
+  }
+  const std::size_t n = x.dim(0), c = x.dim(1), l = x.dim(2);
+  const std::size_t lo = l / window_;
+  if (lo == 0) throw std::invalid_argument("MaxPool1D: input shorter than window");
+  Tensor y({n, c, lo});
+  for (std::size_t row = 0; row < n * c; ++row) {
+    const float* xrow = x.data() + row * l;
+    float* yrow = y.data() + row * lo;
+    for (std::size_t j = 0; j < lo; ++j) {
+      float best = xrow[j * window_];
+      for (std::size_t t = 1; t < window_; ++t) {
+        const float v = xrow[j * window_ + t];
+        if (v > best) best = v;
+      }
+      yrow[j] = best;
+    }
+  }
+  return y;
+}
+
 Tensor MaxPool1D::backward(const Tensor& grad_out) {
   if (grad_out.size() != argmax_.size()) {
     throw std::invalid_argument("MaxPool1D::backward: gradient size mismatch");

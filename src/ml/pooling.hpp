@@ -13,6 +13,8 @@ class MaxPool1D : public Layer {
 
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  /// Inference fast path: max without the argmax bookkeeping.
+  Tensor infer(const Tensor& x) override;
   std::string describe() const override;
   LayerPtr clone() const override { return std::make_unique<MaxPool1D>(window_); }
 

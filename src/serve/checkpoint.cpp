@@ -1,0 +1,112 @@
+#include "serve/checkpoint.hpp"
+
+#include <filesystem>
+#include <system_error>
+
+#include "ml/zoo.hpp"
+
+namespace gea::serve {
+
+namespace {
+
+std::string join(const std::string& dir, const char* file) {
+  return (std::filesystem::path(dir) / file).string();
+}
+
+util::Result<ml::Model> build_arch(const CheckpointSpec& spec,
+                                   util::Rng& dropout_rng) {
+  using util::ErrorCode;
+  using util::Status;
+  if (spec.input_dim == 0 || spec.num_classes < 2) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "bad checkpoint spec: input_dim=" +
+                             std::to_string(spec.input_dim) + " num_classes=" +
+                             std::to_string(spec.num_classes));
+  }
+  switch (spec.arch) {
+    case DetectorArch::kPaperCnn:
+      // Two valid convs + two pools shrink the length axis; below 8 the
+      // Fig. 5 stack underflows.
+      if (spec.input_dim < 8) {
+        return Status::error(ErrorCode::kInvalidArgument,
+                             "paper CNN needs input_dim >= 8, got " +
+                                 std::to_string(spec.input_dim));
+      }
+      return ml::make_paper_cnn(spec.input_dim, spec.num_classes, dropout_rng);
+    case DetectorArch::kMlpBaseline:
+      return ml::make_mlp_baseline(spec.input_dim, spec.num_classes);
+  }
+  return Status::error(ErrorCode::kInvalidArgument, "unknown detector arch");
+}
+
+}  // namespace
+
+util::Status Checkpoint::write(const std::string& dir, ml::Model& model,
+                               const features::FeatureScaler* scaler) {
+  using util::ErrorCode;
+  using util::Status;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::error(ErrorCode::kNotFound,
+                         "cannot create " + dir + ": " + ec.message())
+        .with_context("Checkpoint::write");
+  }
+  if (auto st = model.save_checked(join(dir, kModelFile)); !st.is_ok()) {
+    return st.with_context("Checkpoint::write");
+  }
+  if (scaler != nullptr) {
+    if (auto st = scaler->save_checked(join(dir, kScalerFile)); !st.is_ok()) {
+      return st.with_context("Checkpoint::write");
+    }
+  }
+  return Status::ok();
+}
+
+util::Result<CheckpointPtr> Checkpoint::load(const std::string& dir,
+                                             std::string version,
+                                             const CheckpointSpec& spec) {
+  using util::ErrorCode;
+  using util::Status;
+  if (spec.expect_scaler && spec.input_dim != features::kNumFeatures) {
+    return Status::error(
+               ErrorCode::kInvalidArgument,
+               "FeatureScaler covers the " +
+                   std::to_string(features::kNumFeatures) +
+                   "-feature layout only; set expect_scaler=false for dim " +
+                   std::to_string(spec.input_dim))
+        .with_context("Checkpoint::load");
+  }
+
+  // shared_ptr<Checkpoint> first, const-cast into the public alias at the
+  // end: the object is mutated only before publication.
+  std::shared_ptr<Checkpoint> ckpt(new Checkpoint());
+  ckpt->dropout_rng_ = std::make_unique<util::Rng>(0);  // never drawn at inference
+  auto model = build_arch(spec, *ckpt->dropout_rng_);
+  if (!model.is_ok()) {
+    return Status(model.status()).with_context("Checkpoint::load " + dir);
+  }
+  ckpt->model_ = std::move(model).value();
+  if (auto st = ckpt->model_.load_checked(join(dir, kModelFile)); !st.is_ok()) {
+    return st.with_context("Checkpoint::load " + dir);
+  }
+  if (!ckpt->model_.clonable()) {
+    return Status::error(ErrorCode::kFailedPrecondition,
+                         "architecture has non-cloneable layers; workers "
+                         "cannot build replicas")
+        .with_context("Checkpoint::load " + dir);
+  }
+  if (spec.expect_scaler) {
+    if (auto st = ckpt->scaler_.load_checked(join(dir, kScalerFile));
+        !st.is_ok()) {
+      return st.with_context("Checkpoint::load " + dir);
+    }
+    ckpt->has_scaler_ = true;
+  }
+  ckpt->version_ = std::move(version);
+  ckpt->dir_ = dir;
+  ckpt->spec_ = spec;
+  return CheckpointPtr(std::move(ckpt));
+}
+
+}  // namespace gea::serve

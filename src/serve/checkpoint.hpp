@@ -1,0 +1,89 @@
+// Versioned (model + scaler) checkpoint: the unit the registry hot-swaps.
+//
+// On disk a checkpoint is a directory holding the model weights
+// ("model.bin", ml::Model format) and the fitted feature scaler
+// ("scaler.bin", features::FeatureScaler format). Both load through the
+// Status-returning *_checked paths, and a Checkpoint is only ever published
+// fully constructed — a corrupt or truncated file yields an error Result
+// and no partially-initialized object, which is what lets the registry
+// promise that a failed hot-swap leaves the serving model untouched.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "features/features.hpp"
+#include "features/scaler.hpp"
+#include "ml/model.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace gea::serve {
+
+/// Which network to rebuild before loading weights (the weight file stores
+/// parameters only; the architecture is part of the serving contract).
+enum class DetectorArch {
+  kPaperCnn,     // Fig. 5 CNN (ml::make_paper_cnn)
+  kMlpBaseline,  // ablation MLP (ml::make_mlp_baseline)
+};
+
+struct CheckpointSpec {
+  DetectorArch arch = DetectorArch::kPaperCnn;
+  /// 23 = Table II features (scaled by the checkpoint's FeatureScaler);
+  /// 41 = extended feature set, which has no serializable scaler — such
+  /// checkpoints must set expect_scaler = false and receive pre-scaled
+  /// vectors.
+  std::size_t input_dim = features::kNumFeatures;
+  std::size_t num_classes = 2;
+  /// When false, no scaler file is loaded and requests are used as-is.
+  bool expect_scaler = true;
+};
+
+class Checkpoint {
+ public:
+  static constexpr const char* kModelFile = "model.bin";
+  static constexpr const char* kScalerFile = "scaler.bin";
+
+  /// Persist `model` (and `scaler`, unless null) into `dir`, creating the
+  /// directory if needed.
+  static util::Status write(const std::string& dir, ml::Model& model,
+                            const features::FeatureScaler* scaler);
+
+  /// Rebuild the architecture named by `spec`, then load weights and scaler
+  /// from `dir`. Errors (missing dir, bad magic, truncation, size
+  /// mismatches, non-cloneable architecture) come back as a descriptive
+  /// Status and never a half-loaded checkpoint.
+  static util::Result<std::shared_ptr<const Checkpoint>> load(
+      const std::string& dir, std::string version,
+      const CheckpointSpec& spec = {});
+
+  const std::string& version() const { return version_; }
+  const CheckpointSpec& spec() const { return spec_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Null when spec().expect_scaler is false.
+  const features::FeatureScaler* scaler() const {
+    return has_scaler_ ? &scaler_ : nullptr;
+  }
+
+  /// Fresh per-worker model replica (same weights, private forward caches).
+  /// Replicas must not outlive the Checkpoint: dropout layers share its Rng
+  /// (never drawn from at inference), which workers guarantee by holding
+  /// the shared_ptr alongside the replica.
+  ml::Model clone_model() const { return model_.clone(); }
+
+ private:
+  Checkpoint() = default;
+
+  std::unique_ptr<util::Rng> dropout_rng_;
+  ml::Model model_;
+  features::FeatureScaler scaler_;
+  bool has_scaler_ = false;
+  std::string version_;
+  std::string dir_;
+  CheckpointSpec spec_;
+};
+
+using CheckpointPtr = std::shared_ptr<const Checkpoint>;
+
+}  // namespace gea::serve

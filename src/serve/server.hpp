@@ -1,0 +1,136 @@
+// Detection-as-a-service: a long-lived in-process server that accepts
+// programs or precomputed feature vectors, batches them through the CNN,
+// and returns scored verdicts.
+//
+// Request path:
+//   submit() — featurize on the caller's thread (program overload), then
+//   try_push into a bounded queue. A full queue or missing model rejects
+//   immediately with a ready future (kUnavailable); the client never hangs
+//   on admission.
+//   worker — blocking pop for the first request, then lingers up to
+//   max_wait_us (or until max_batch) to coalesce stragglers into one
+//   Model::infer call. Deadlines are checked at dequeue: an expired request
+//   is failed with kDeadlineExceeded without paying for inference.
+//   Each worker owns a private model replica (cloned from the active
+//   checkpoint) and refreshes it only when the registry generation moves,
+//   so hot-swaps cost one atomic load per batch on the steady path.
+//
+// Batching is an implementation detail of latency/throughput, never of
+// results: the batched path is bitwise-identical to per-sample forward
+// (tests/serve_test.cpp asserts this), so a verdict does not depend on
+// which requests happened to share a batch.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "serve/queue.hpp"
+#include "serve/registry.hpp"
+#include "serve/stats.hpp"
+#include "util/status.hpp"
+
+namespace gea::serve {
+
+struct ServerConfig {
+  /// Worker threads; 0 = util::default_thread_count().
+  std::size_t workers = 0;
+  /// Bounded queue capacity; pushes beyond this reject with kUnavailable.
+  std::size_t queue_capacity = 256;
+  /// Micro-batch ceiling. 1 disables batching entirely (each request runs
+  /// the legacy per-sample Model::forward path — the bench's unbatched
+  /// baseline).
+  std::size_t max_batch = 16;
+  /// How long a worker lingers for stragglers after the first dequeue.
+  std::size_t max_wait_us = 200;
+  /// Deadline applied when submit() is called with deadline_ms < 0;
+  /// 0 = no deadline.
+  double default_deadline_ms = 0.0;
+};
+
+/// One scored detection outcome.
+struct Verdict {
+  std::size_t predicted = 0;            // argmax class (0 benign, 1 malware)
+  std::vector<double> probabilities;    // softmax, max-subtracted
+  std::vector<double> logits;           // raw network outputs
+  std::string model_version;            // checkpoint that produced it
+  std::size_t batch_size = 0;           // how many requests shared the pass
+  double queue_ms = 0.0;                // submit -> dequeue
+  double infer_ms = 0.0;                // the batch's forward wall time
+  double total_ms = 0.0;                // submit -> verdict
+};
+
+class DetectionServer {
+ public:
+  /// Starts `config.workers` threads immediately. The registry may still be
+  /// empty; requests are rejected with kUnavailable until a checkpoint is
+  /// activated. The registry must outlive the server.
+  DetectionServer(ModelRegistry& registry, const ServerConfig& config = {});
+  ~DetectionServer();  // stop()
+
+  DetectionServer(const DetectionServer&) = delete;
+  DetectionServer& operator=(const DetectionServer&) = delete;
+
+  /// Enqueue a precomputed feature vector (raw feature units; the active
+  /// checkpoint's scaler, when present, is applied server-side). The future
+  /// is ready immediately on admission failure. deadline_ms: <0 = config
+  /// default, 0 = none, >0 = fail with kDeadlineExceeded if still queued
+  /// after that many milliseconds.
+  std::future<util::Result<Verdict>> submit(std::vector<double> features,
+                                            double deadline_ms = -1.0);
+
+  /// Extract the CFG (entry function, the paper's convention) and featurize
+  /// on the caller's thread, then enqueue. The feature width follows the
+  /// active checkpoint's spec (23 or 41).
+  std::future<util::Result<Verdict>> submit(const isa::Program& program,
+                                            double deadline_ms = -1.0);
+
+  /// Blocking client facade: submit + wait.
+  util::Result<Verdict> detect(std::vector<double> features,
+                               double deadline_ms = -1.0);
+  util::Result<Verdict> detect(const isa::Program& program,
+                               double deadline_ms = -1.0);
+
+  /// Fence the workers: queued requests stay queued (admission continues)
+  /// until resume(). Tests use this to build deterministic queue states.
+  void pause();
+  void resume();
+
+  /// Drain the queue and join the workers. Idempotent; called by ~.
+  void stop();
+
+  const ServerConfig& config() const { return config_; }
+  ModelRegistry& registry() { return registry_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+  StatsSnapshot stats() const { return stats_.snapshot(queue_.size()); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Request {
+    std::vector<double> features;
+    std::promise<util::Result<Verdict>> promise;
+    Clock::time_point enqueued;
+    std::optional<Clock::time_point> deadline;
+  };
+
+  std::future<util::Result<Verdict>> reject(util::Status status);
+  std::optional<Clock::time_point> resolve_deadline(double deadline_ms) const;
+  void worker_loop();
+  void process_batch(std::vector<Request>& batch);
+
+  ModelRegistry& registry_;
+  ServerConfig config_;
+  BoundedQueue<Request> queue_;
+  ServerStats stats_;
+  std::vector<std::thread> workers_;
+  bool stopped_ = false;
+};
+
+}  // namespace gea::serve

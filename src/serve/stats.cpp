@@ -1,0 +1,93 @@
+#include "serve/stats.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace gea::serve {
+
+std::string StatsSnapshot::summary() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  os << "serve: " << completed << " served / " << submitted << " submitted in "
+     << elapsed_s << "s (" << qps << " qps)\n";
+  os << "  rejected: " << rejected_full << " queue-full, " << rejected_no_model
+     << " no-model, " << rejected_invalid << " invalid, " << expired
+     << " deadline-expired; queue depth " << queue_depth << "\n";
+  os << "  batches: " << batches << " (mean size " << mean_batch() << ")";
+  if (!batch_sizes.empty()) {
+    os << " histogram {";
+    bool first = true;
+    for (const auto& [size, count] : batch_sizes) {
+      if (!first) os << ", ";
+      os << size << ":" << count;
+      first = false;
+    }
+    os << "}";
+  }
+  os << "\n";
+  os << "  queue " << queue_ms.to_string() << "\n";
+  os << "  infer " << infer_ms.to_string() << "\n";
+  os << "  total " << total_ms.to_string();
+  return os.str();
+}
+
+void ServerStats::on_submitted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.submitted;
+}
+
+void ServerStats::on_accepted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.accepted;
+}
+
+void ServerStats::on_rejected_full() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.rejected_full;
+}
+
+void ServerStats::on_rejected_invalid() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.rejected_invalid;
+}
+
+void ServerStats::on_rejected_no_model() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.rejected_no_model;
+}
+
+void ServerStats::on_expired() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.expired;
+}
+
+void ServerStats::on_batch(std::size_t batch_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.batches;
+  ++counts_.batch_sizes[batch_size];
+}
+
+void ServerStats::on_completed(double queue_ms, double infer_ms,
+                               double total_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.completed;
+  queue_ms_.record(queue_ms);
+  infer_ms_.record(infer_ms);
+  total_ms_.record(total_ms);
+}
+
+StatsSnapshot ServerStats::snapshot(std::size_t queue_depth) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StatsSnapshot snap = counts_;
+  snap.queue_ms = queue_ms_.summarize();
+  snap.infer_ms = infer_ms_.summarize();
+  snap.total_ms = total_ms_.summarize();
+  snap.elapsed_s = started_.elapsed_ms() / 1000.0;
+  snap.qps = snap.elapsed_s > 0.0
+                 ? static_cast<double>(snap.completed) / snap.elapsed_s
+                 : 0.0;
+  snap.queue_depth = queue_depth;
+  return snap;
+}
+
+}  // namespace gea::serve

@@ -1,0 +1,75 @@
+// Serving-side observability, exported in the PipelineReport style: a
+// snapshot struct the caller can assert on plus a one-paragraph human
+// summary() for logs and demos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace gea::serve {
+
+/// Point-in-time copy of every serving counter. All latencies are in
+/// milliseconds.
+struct StatsSnapshot {
+  // Admission.
+  std::uint64_t submitted = 0;       // requests offered to the queue
+  std::uint64_t accepted = 0;        // admitted past admission control
+  std::uint64_t rejected_full = 0;   // refused: queue at capacity
+  std::uint64_t rejected_invalid = 0;  // refused before/at inference: bad input
+  std::uint64_t rejected_no_model = 0; // refused: no active checkpoint
+  std::uint64_t expired = 0;         // dropped at dequeue: deadline passed
+
+  // Execution.
+  std::uint64_t completed = 0;       // verdicts delivered
+  std::uint64_t batches = 0;         // inference calls issued
+  std::map<std::size_t, std::uint64_t> batch_sizes;  // batch-size histogram
+
+  // Latency percentiles (ms).
+  util::LatencySummary queue_ms;   // submit -> dequeue
+  util::LatencySummary infer_ms;   // batch forward, attributed per request
+  util::LatencySummary total_ms;   // submit -> verdict
+
+  double elapsed_s = 0.0;  // since server start
+  double qps = 0.0;        // completed / elapsed
+  std::size_t queue_depth = 0;  // at snapshot time
+  double mean_batch() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(completed + expired) /
+                              static_cast<double>(batches);
+  }
+
+  /// One-paragraph rendering, PipelineReport::summary() style.
+  std::string summary() const;
+};
+
+/// Thread-safe accumulator behind the snapshot. One mutex guards counters
+/// and the latency recorders; the serving hot path takes it twice per
+/// request (admission, completion) which is noise next to a CNN forward.
+class ServerStats {
+ public:
+  void on_submitted();
+  void on_accepted();
+  void on_rejected_full();
+  void on_rejected_invalid();
+  void on_rejected_no_model();
+  void on_expired();
+  void on_batch(std::size_t batch_size);
+  void on_completed(double queue_ms, double infer_ms, double total_ms);
+
+  StatsSnapshot snapshot(std::size_t queue_depth = 0) const;
+
+ private:
+  mutable std::mutex mu_;
+  StatsSnapshot counts_;  // latency summaries unused here; recorders below
+  util::LatencyRecorder queue_ms_;
+  util::LatencyRecorder infer_ms_;
+  util::LatencyRecorder total_ms_;
+  util::Stopwatch started_;
+};
+
+}  // namespace gea::serve

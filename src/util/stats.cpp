@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 
 namespace gea::util {
@@ -65,6 +66,29 @@ double percentile(std::span<const double> xs, double p) {
   const std::size_t hi = std::min(lo + 1, v.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+std::string LatencySummary::to_string() const {
+  std::ostringstream ss;
+  ss << "n=" << count << " mean=" << mean << " p50=" << p50 << " p95=" << p95
+     << " p99=" << p99 << " max=" << max;
+  return ss.str();
+}
+
+double LatencyRecorder::at_percentile(double p) const {
+  return percentile(samples_, p);
+}
+
+LatencySummary LatencyRecorder::summarize() const {
+  LatencySummary s;
+  s.count = samples_.size();
+  if (samples_.empty()) return s;
+  s.mean = mean(samples_);
+  s.p50 = at_percentile(50.0);
+  s.p95 = at_percentile(95.0);
+  s.p99 = at_percentile(99.0);
+  s.max = max_of(samples_);
+  return s;
 }
 
 }  // namespace gea::util

@@ -8,6 +8,7 @@
 #include <array>
 #include <cstddef>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace gea::util {
@@ -39,5 +40,37 @@ Summary5 summary5(std::span<const double> xs);
 
 /// Linear-interpolated p-th percentile, p in [0,100]. Copies its input.
 double percentile(std::span<const double> xs, double p);
+
+/// Percentile summary of a latency population, in the units the samples
+/// were recorded in. Empty populations summarize to all zeros.
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+
+  std::string to_string() const;  // "n=... mean=... p50=... p95=... p99=... max=..."
+};
+
+/// Accumulates individual latency observations and summarizes them with the
+/// shared percentile math above. Used by serve::ServerStats and the bench
+/// load generators so no bench re-implements percentile interpolation.
+/// Not thread-safe; synchronize externally (ServerStats does).
+class LatencyRecorder {
+ public:
+  void record(double value) { samples_.push_back(value); }
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  void clear() { samples_.clear(); }
+
+  /// p in [0,100], via util::percentile.
+  double at_percentile(double p) const;
+  LatencySummary summarize() const;
+
+ private:
+  std::vector<double> samples_;
+};
 
 }  // namespace gea::util

@@ -12,6 +12,8 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "?";
 }

@@ -26,6 +26,8 @@ enum class ErrorCode {
   kFailedPrecondition,  // object state does not permit the operation
   kResourceExhausted,   // refused an absurd allocation / over-budget request
   kInternal,            // invariant violation inside the library
+  kUnavailable,         // transient refusal: queue full, no active model
+  kDeadlineExceeded,    // request expired before it could be served
 };
 
 const char* error_code_name(ErrorCode code);

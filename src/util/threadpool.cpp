@@ -7,6 +7,7 @@
 #include <string>
 
 #include "util/faultinject.hpp"
+#include "util/log.hpp"
 
 namespace gea::util {
 
@@ -32,6 +33,20 @@ std::size_t read_env_thread_count() {
 std::size_t default_thread_count() {
   static const std::size_t n = read_env_thread_count();
   return n;
+}
+
+std::size_t threads_from_cli(int argc, char** argv, std::size_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) != "--threads") continue;
+    char* end = nullptr;
+    const long v = std::strtol(argv[i + 1], &end, 10);
+    if (end != nullptr && *end == '\0' && v > 0) {
+      return v > 256 ? 256 : static_cast<std::size_t>(v);
+    }
+    log_warn("ignoring malformed --threads value '", argv[i + 1], "'");
+    return fallback;
+  }
+  return fallback;
 }
 
 std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) {

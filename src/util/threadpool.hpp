@@ -44,6 +44,14 @@ namespace gea::util {
 /// Read once per process (first call wins).
 std::size_t default_thread_count();
 
+/// Shared `--threads N` CLI parsing for examples, benches, and the serve
+/// knobs (previously duplicated per binary). Scans argv for "--threads N"
+/// and returns N; with no flag present returns `fallback` (0 = "auto",
+/// which downstream resolve_threads/default_thread_count turn into
+/// GEA_THREADS or hardware concurrency). Returns fallback and logs a
+/// warning on a malformed value.
+std::size_t threads_from_cli(int argc, char** argv, std::size_t fallback = 0);
+
 /// Counter-based seed split (SplitMix64 over seed XOR a stream constant):
 /// statistically independent streams for (master seed, index) pairs without
 /// any shared-Rng sequencing. The building block of the determinism

@@ -451,5 +451,24 @@ TEST(ParallelTrainer, CloneCopiesWeightsAndIsolatesCaches) {
   EXPECT_NE(*copy.params().front().value, *m.params().front().value);
 }
 
+// ---------------------------------------------------------------------------
+// threads_from_cli (shared --threads parsing for benches / examples / demos)
+
+TEST(ThreadsFromCli, ParsesValueAndFallsBack) {
+  const char* argv_with[] = {"prog", "--threads", "3", "--other", "x"};
+  EXPECT_EQ(util::threads_from_cli(5, const_cast<char**>(argv_with), 7), 3u);
+
+  const char* argv_without[] = {"prog", "--other", "x"};
+  EXPECT_EQ(util::threads_from_cli(3, const_cast<char**>(argv_without), 7), 7u);
+}
+
+TEST(ThreadsFromCli, MalformedOrMissingValueUsesFallback) {
+  const char* argv_bad[] = {"prog", "--threads", "zebra"};
+  EXPECT_EQ(util::threads_from_cli(3, const_cast<char**>(argv_bad), 4), 4u);
+
+  const char* argv_trailing[] = {"prog", "--threads"};
+  EXPECT_EQ(util::threads_from_cli(2, const_cast<char**>(argv_trailing), 4), 4u);
+}
+
 }  // namespace
 }  // namespace gea

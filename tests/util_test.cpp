@@ -323,4 +323,43 @@ TEST(Stopwatch, ResetRestarts) {
   EXPECT_LT(sw.elapsed_us(), before + 1e5);
 }
 
+// ---------------------------------------------------------------------------
+// LatencyRecorder
+
+TEST(LatencyRecorder, EmptySummarizesToZeros) {
+  LatencyRecorder rec;
+  EXPECT_TRUE(rec.empty());
+  const auto s = rec.summarize();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(LatencyRecorder, SummarizesPercentiles) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) rec.record(static_cast<double>(i));
+  EXPECT_EQ(rec.count(), 100u);
+  const auto s = rec.summarize();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  // Shared util::percentile math (linear interpolation).
+  EXPECT_DOUBLE_EQ(s.p50, rec.at_percentile(50.0));
+  EXPECT_DOUBLE_EQ(s.p50, 50.5);
+  EXPECT_GT(s.p95, s.p50);
+  EXPECT_GE(s.p99, s.p95);
+  const auto text = s.to_string();
+  EXPECT_NE(text.find("p50"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+}
+
+TEST(LatencyRecorder, ClearResets) {
+  LatencyRecorder rec;
+  rec.record(5.0);
+  rec.clear();
+  EXPECT_TRUE(rec.empty());
+  EXPECT_EQ(rec.summarize().count, 0u);
+}
+
 }  // namespace
