@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/threadpool.hpp"
 #include "util/timer.hpp"
@@ -21,6 +23,18 @@ AttackRow run_attack(Attack& attack, ml::DifferentiableClassifier& clf,
   }
   AttackRow out;
   out.attack = attack.name();
+
+  // The whole run is one span; per-sample crafting times feed the
+  // "attacks.craft_ms" histogram at the serial merge, which is exactly the
+  // paper's Table III CT column as a queryable distribution.
+  obs::TraceSpan run_span("attacks.run." + out.attack);
+  auto& registry = obs::MetricsRegistry::global();
+  obs::Histogram& craft_ms_hist = registry.histogram("attacks.craft_ms");
+  obs::Counter& crafted_total = registry.counter("attacks.crafted_total");
+  obs::Counter& misclassified_total =
+      registry.counter("attacks.misclassified_total");
+  obs::Counter& quarantined_total =
+      registry.counter("attacks.quarantined_total");
 
   const std::size_t lanes_wanted = util::resolve_threads(
       {.threads = opts.threads, .label = "attack harness"});
@@ -145,6 +159,7 @@ AttackRow run_attack(Attack& attack, ml::DifferentiableClassifier& clf,
       if (slot.error) {
         if (opts.strict) std::rethrow_exception(slot.error);
         ++out.quarantined;
+        quarantined_total.inc();
         try {
           std::rethrow_exception(slot.error);
         } catch (const std::exception& e) {
@@ -159,6 +174,8 @@ AttackRow run_attack(Attack& attack, ml::DifferentiableClassifier& clf,
       const auto& x = rows[s];
       const auto& adv = slot.adv;
       total_ms += slot.ms;
+      craft_ms_hist.observe(slot.ms);
+      crafted_total.inc();
       ++out.samples;
 
       std::size_t changed = 0;
@@ -171,7 +188,10 @@ AttackRow run_attack(Attack& attack, ml::DifferentiableClassifier& clf,
       total_changed += static_cast<double>(changed);
       total_l2 += std::sqrt(l2sq);
 
-      if (clf.predict(adv) != labels[s]) ++out.misclassified;
+      if (clf.predict(adv) != labels[s]) {
+        ++out.misclassified;
+        misclassified_total.inc();
+      }
       if (validator != nullptr) {
         features::FeatureVector fv{};
         if (adv.size() != fv.size()) {

@@ -4,13 +4,63 @@
 #include <stdexcept>
 
 #include "ml/zoo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
-#include "util/timer.hpp"
 
 namespace gea::core {
 
 using util::ErrorCode;
 using util::Status;
+
+namespace {
+
+/// Span-backed stage timer: emits an obs::TraceSpan named
+/// "pipeline.<stage>" (so stages nest under the run span in the trace) and
+/// mirrors the wall time into PipelineReport::stage_times at finish,
+/// keeping the report API — and every caller of stage_times — intact.
+class StageSpan {
+ public:
+  StageSpan(PipelineReport& report, std::string stage)
+      : report_(&report),
+        stage_(std::move(stage)),
+        span_("pipeline." + stage_) {}
+
+  ~StageSpan() { finish(); }
+
+  /// Record the stage as serial: worker time == wall time.
+  void finish() {
+    if (report_ == nullptr) return;
+    span_.close();
+    const double wall = span_.elapsed_ms();
+    record(wall, wall);
+  }
+
+  /// Record a stage with a parallel phase inside: that phase's wall time is
+  /// swapped out of the worker total and its summed per-worker busy time
+  /// swapped in (worker = wall - phase_wall + phase_worker).
+  void finish_parallel(double phase_wall_ms, double phase_worker_ms) {
+    if (report_ == nullptr) return;
+    span_.close();
+    const double wall = span_.elapsed_ms();
+    record(wall, wall - phase_wall_ms + phase_worker_ms);
+  }
+
+ private:
+  void record(double wall_ms, double worker_ms) {
+    report_->stage_times[stage_] = {wall_ms, worker_ms};
+    obs::MetricsRegistry::global()
+        .histogram("pipeline.stage_ms." + stage_)
+        .observe(wall_ms);
+    report_ = nullptr;
+  }
+
+  PipelineReport* report_;
+  std::string stage_;
+  obs::TraceSpan span_;
+};
+
+}  // namespace
 
 PipelineConfig quick_config() {
   PipelineConfig cfg;
@@ -41,9 +91,9 @@ void DetectionPipeline::reevaluate() {
 
 Status DetectionPipeline::assemble_corpus(const PipelineConfig& cfg) {
   const bool strict = cfg.mode == RobustnessMode::kStrict;
-  util::Stopwatch stage_sw;
 
   if (!cfg.features_csv.empty()) {
+    StageSpan stage(report_, "csv");
     auto loaded = dataset::read_features_csv_checked(cfg.features_csv,
                                                      {.strict = strict});
     if (!loaded.is_ok()) {
@@ -78,11 +128,10 @@ Status DetectionPipeline::assemble_corpus(const PipelineConfig& cfg) {
       }
       corpus_.samples().push_back(std::move(s));
     }
-    const double wall = stage_sw.elapsed_ms();
-    report_.stage_times["csv"] = {wall, wall};
     return Status::ok();
   }
 
+  StageSpan stage(report_, "synthesis");
   dataset::SynthesisReport synth;
   synth.max_diagnostics = report_.max_diagnostics;
   auto generated =
@@ -104,9 +153,7 @@ Status DetectionPipeline::assemble_corpus(const PipelineConfig& cfg) {
   }
   // Worker time = the serial portion (counted once) plus the featurize
   // phase's summed per-worker busy time, merged here at the join.
-  const double wall = stage_sw.elapsed_ms();
-  report_.stage_times["synthesis"] = {
-      wall, wall - synth.featurize_wall_ms + synth.featurize_worker_ms};
+  stage.finish_parallel(synth.featurize_wall_ms, synth.featurize_worker_ms);
   report_.threads_used = synth.threads_used;
   return Status::ok();
 }
@@ -114,6 +161,9 @@ Status DetectionPipeline::assemble_corpus(const PipelineConfig& cfg) {
 util::Result<std::unique_ptr<DetectionPipeline>> DetectionPipeline::run_checked(
     const PipelineConfig& cfg) {
   const bool strict = cfg.mode == RobustnessMode::kStrict;
+  obs::TraceSpan run_span("pipeline.run");
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("pipeline.runs_total").inc();
   auto p = std::unique_ptr<DetectionPipeline>(new DetectionPipeline());
   p->cfg_ = cfg;
   // The pipeline-level knob feeds stages whose own knob is on auto.
@@ -121,6 +171,8 @@ util::Result<std::unique_ptr<DetectionPipeline>> DetectionPipeline::run_checked(
 
   if (auto st = p->assemble_corpus(p->cfg_); !st.is_ok()) return st;
   p->report_.samples_used = p->corpus_.size();
+  registry.counter("pipeline.samples_used_total").inc(p->report_.samples_used);
+  registry.counter("pipeline.quarantined_total").inc(p->report_.quarantined);
 
   // A detector needs at least two samples of each class to split and train;
   // heavy quarantining (or a hostile CSV) can starve a class entirely.
@@ -188,10 +240,9 @@ util::Result<std::unique_ptr<DetectionPipeline>> DetectionPipeline::run_checked(
 
   const ml::LabeledData train_data = p->scaled_data(p->split_.train);
   if (need_training) {
-    util::Stopwatch train_sw;
+    StageSpan stage(p->report_, "train");
     p->train_stats_ = ml::train(p->model_, train_data, cfg.train);
-    const double train_wall = train_sw.elapsed_ms();
-    p->report_.stage_times["train"] = {train_wall, train_wall};
+    stage.finish();
     if (!std::isfinite(p->train_stats_.final_loss)) {
       return Status::error(ErrorCode::kInternal,
                            "training diverged to a non-finite loss")
@@ -199,11 +250,12 @@ util::Result<std::unique_ptr<DetectionPipeline>> DetectionPipeline::run_checked(
     }
   }
 
-  util::Stopwatch eval_sw;
-  p->train_metrics_ = ml::evaluate(p->model_, train_data);
-  p->test_metrics_ = ml::evaluate(p->model_, p->scaled_data(p->split_.test));
-  const double eval_wall = eval_sw.elapsed_ms();
-  p->report_.stage_times["evaluate"] = {eval_wall, eval_wall};
+  {
+    StageSpan stage(p->report_, "evaluate");
+    p->train_metrics_ = ml::evaluate(p->model_, train_data);
+    p->test_metrics_ = ml::evaluate(p->model_, p->scaled_data(p->split_.test));
+  }
+  registry.gauge("pipeline.test_accuracy").set(p->test_metrics_.accuracy());
 
   p->classifier_ = std::make_unique<ml::ModelClassifier>(
       p->model_, features::kNumFeatures, 2);

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/faultinject.hpp"
 #include "util/log.hpp"
 #include "util/threadpool.hpp"
@@ -94,18 +95,32 @@ util::Result<Corpus> Corpus::generate_checked(const CorpusConfig& cfg,
 
   // Phase 2 (parallel): featurize, guard, validate into per-slot verdicts.
   // One chunk per worker; per-chunk busy time is accumulated locally and
-  // merged after the join so the report's totals are exact.
+  // merged after the join so the report's totals are exact. Registry handles
+  // are resolved once out here; per-sample observes inside the workers are
+  // wait-free stripe writes (the per-sample stopwatch is skipped entirely
+  // when metrics are off, so the hot path pays one relaxed load).
+  auto& registry = obs::MetricsRegistry::global();
+  obs::Histogram& featurize_ms_hist = registry.histogram("corpus.featurize_ms");
+  obs::Counter& featurized_total = registry.counter("corpus.featurized_total");
   util::Stopwatch wall;
   std::vector<double> chunk_ms(threads, 0.0);
   const Status pst = util::parallel_for_ranges(
       pending.size(), threads,
       [&](std::size_t begin, std::size_t end, std::size_t chunk) {
         util::Stopwatch sw;
+        const bool observe = obs::metrics_enabled();
         for (std::size_t i = begin; i < end; ++i) {
           if (!verdicts[i].is_ok()) continue;  // generation already failed
           Sample& s = pending[i];
           try {
-            featurize_sample(s);
+            if (observe) {
+              util::Stopwatch per_sample;
+              featurize_sample(s);
+              featurize_ms_hist.observe(per_sample.elapsed_ms());
+              featurized_total.inc();
+            } else {
+              featurize_sample(s);
+            }
             Status v = util::check_allocation(s.program.size(), kMaxProgramLen,
                                               "sample program");
             if (v.is_ok()) v = validate_sample(s);

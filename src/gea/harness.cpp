@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/threadpool.hpp"
 #include "util/timer.hpp"
@@ -26,6 +28,18 @@ GeaRow GeaHarness::attack_with_target(std::uint8_t source_label,
   GeaRow row;
   row.target_nodes = target.num_nodes();
   row.target_edges = target.num_edges();
+
+  // One span per target sweep; per-sample splice+featurize times land in
+  // "gea.craft_ms" (the Tables IV-VII CT column as a distribution).
+  obs::TraceSpan run_span("gea.attack_with_target");
+  auto& registry = obs::MetricsRegistry::global();
+  obs::Histogram& craft_ms_hist = registry.histogram("gea.craft_ms");
+  obs::Counter& crafted_total = registry.counter("gea.crafted_total");
+  obs::Counter& misclassified_total =
+      registry.counter("gea.misclassified_total");
+  obs::Counter& quarantined_total = registry.counter("gea.quarantined_total");
+  obs::Counter& verified_total = registry.counter("gea.verified_total");
+  obs::Counter& equivalent_total = registry.counter("gea.equivalent_total");
 
   double total_ms = 0.0;
   std::size_t verified = 0, equivalent = 0;
@@ -115,6 +129,7 @@ GeaRow GeaHarness::attack_with_target(std::uint8_t source_label,
           diag += "non-standard exception";
         }
         ++row.quarantined;
+        quarantined_total.inc();
         if (row.diagnostics.size() < opts.max_diagnostics) {
           row.diagnostics.push_back(diag);
         }
@@ -122,16 +137,25 @@ GeaRow GeaHarness::attack_with_target(std::uint8_t source_label,
         continue;
       }
       total_ms += slot.ms;
+      craft_ms_hist.observe(slot.ms);
+      crafted_total.inc();
 
       const auto scaled = scaler_->transform(slot.fv);
       const std::vector<double> x(scaled.begin(), scaled.end());
       ++row.samples;
-      if (clf_->predict(x) != s.label) ++row.misclassified;
+      if (clf_->predict(x) != s.label) {
+        ++row.misclassified;
+        misclassified_total.inc();
+      }
 
       if (opts.verify_every != 0 &&
           (row.samples - 1) % opts.verify_every == 0) {
         ++verified;
-        if (functionally_equivalent(s.program, slot.augmented)) ++equivalent;
+        verified_total.inc();
+        if (functionally_equivalent(s.program, slot.augmented)) {
+          ++equivalent;
+          equivalent_total.inc();
+        }
       }
     }
   }

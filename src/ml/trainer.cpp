@@ -4,10 +4,56 @@
 #include <stdexcept>
 
 #include "ml/loss.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/threadpool.hpp"
 
 namespace gea::ml {
+
+namespace {
+
+/// Registry handles for the per-epoch training metrics, resolved once.
+/// Values are published after each epoch's arithmetic completes, so they
+/// observe training without touching its numerics.
+struct TrainMetrics {
+  obs::Counter& epochs;
+  obs::Histogram& epoch_ms;
+  obs::Gauge& last_loss;
+  obs::Gauge& last_accuracy;
+
+  static TrainMetrics& get() {
+    static TrainMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      return TrainMetrics{reg.counter("train.epochs_total"),
+                          reg.histogram("train.epoch_ms"),
+                          reg.gauge("train.last_loss"),
+                          reg.gauge("train.last_accuracy")};
+    }();
+    return m;
+  }
+
+  void on_epoch(double loss, double accuracy, double wall_ms) {
+    epochs.inc();
+    epoch_ms.observe(wall_ms);
+    last_loss.set(loss);
+    last_accuracy.set(accuracy);
+  }
+};
+
+/// Rows of `logits` whose argmax matches the label — the per-batch
+/// training accuracy numerator, computed from logits already in hand.
+std::size_t count_correct(const Tensor& logits,
+                          const std::vector<std::uint8_t>& y) {
+  std::size_t correct = 0;
+  const auto pred = argmax_rows(logits);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (pred[i] == y[i]) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace
 
 Tensor LabeledData::batch_tensor(const std::vector<std::size_t>& indices,
                                  std::size_t begin, std::size_t end) const {
@@ -55,9 +101,11 @@ TrainStats train_chunked(Model& model, const LabeledData& data,
   std::iota(order.begin(), order.end(), 0);
 
   for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    obs::TraceSpan epoch_span("train.epoch");
     rng.shuffle(order);
     double loss_sum = 0.0;
     std::size_t batches = 0;
+    std::size_t correct = 0;
     std::size_t batch_index = 0;
     for (std::size_t begin = 0; begin < order.size();
          begin += cfg.batch_size, ++batch_index) {
@@ -75,6 +123,7 @@ TrainStats train_chunked(Model& model, const LabeledData& data,
       }
 
       std::vector<double> chunk_loss(kGradChunks, 0.0);
+      std::vector<std::size_t> chunk_correct(kGradChunks, 0);
       const auto st = util::parallel_for_ranges(
           bn, kGradChunks,
           [&](std::size_t cb, std::size_t ce, std::size_t chunk) {
@@ -89,6 +138,7 @@ TrainStats train_chunked(Model& model, const LabeledData& data,
             const Tensor logits = m.forward(x, /*training=*/true);
             chunk_loss[chunk] =
                 cross_entropy(logits, y) * static_cast<double>(cn);
+            chunk_correct[chunk] = count_correct(logits, y);
             Tensor grad = cross_entropy_grad(logits, y);
             // cross_entropy_grad normalizes by the chunk size; rescale so
             // the chunk-merged gradient equals the whole-batch mean.
@@ -114,12 +164,17 @@ TrainStats train_chunked(Model& model, const LabeledData& data,
       }
       double batch_loss = 0.0;
       for (double l : chunk_loss) batch_loss += l;
+      for (std::size_t c : chunk_correct) correct += c;
       loss_sum += batch_loss / static_cast<double>(bn);
       ++batches;
       opt.step(model.params());
     }
     const double mean_loss = loss_sum / static_cast<double>(batches);
     stats.epoch_losses.push_back(mean_loss);
+    TrainMetrics::get().on_epoch(
+        mean_loss,
+        static_cast<double>(correct) / static_cast<double>(order.size()),
+        epoch_span.elapsed_ms());
     if (cfg.on_epoch) cfg.on_epoch(epoch, mean_loss);
     if (cfg.early_stop_loss > 0.0 && mean_loss < cfg.early_stop_loss) break;
   }
@@ -147,9 +202,11 @@ TrainStats train(Model& model, const LabeledData& data, const TrainConfig& cfg) 
   std::iota(order.begin(), order.end(), 0);
 
   for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    obs::TraceSpan epoch_span("train.epoch");
     rng.shuffle(order);
     double loss_sum = 0.0;
     std::size_t batches = 0;
+    std::size_t correct = 0;
     for (std::size_t begin = 0; begin < order.size(); begin += cfg.batch_size) {
       const std::size_t end = std::min(begin + cfg.batch_size, order.size());
       const Tensor x = data.batch_tensor(order, begin, end);
@@ -159,6 +216,7 @@ TrainStats train(Model& model, const LabeledData& data, const TrainConfig& cfg) 
       model.zero_grad();
       const Tensor logits = model.forward(x, /*training=*/true);
       loss_sum += cross_entropy(logits, y);
+      correct += count_correct(logits, y);
       ++batches;
       const Tensor grad = cross_entropy_grad(logits, y);
       model.backward(grad);
@@ -166,6 +224,10 @@ TrainStats train(Model& model, const LabeledData& data, const TrainConfig& cfg) 
     }
     const double mean_loss = loss_sum / static_cast<double>(batches);
     stats.epoch_losses.push_back(mean_loss);
+    TrainMetrics::get().on_epoch(
+        mean_loss,
+        static_cast<double>(correct) / static_cast<double>(order.size()),
+        epoch_span.elapsed_ms());
     if (cfg.on_epoch) cfg.on_epoch(epoch, mean_loss);
     if (cfg.early_stop_loss > 0.0 && mean_loss < cfg.early_stop_loss) break;
   }

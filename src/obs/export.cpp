@@ -1,0 +1,140 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace gea::obs {
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == ':')) {
+      c = '_';
+    }
+  }
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string n = sanitize(name);
+    os << "# TYPE " << n << " counter\n" << n << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string n = sanitize(name);
+    os << "# TYPE " << n << " gauge\n" << n << " " << value << "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string n = sanitize(name);
+    os << "# TYPE " << n << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.buckets[i];
+      os << n << "_bucket{le=\"" << h.bounds[i] << "\"} " << cumulative
+         << "\n";
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    os << n << "_sum " << h.sum << "\n";
+    os << n << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+std::string summary(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  if (snapshot.empty()) return "metrics: (none)";
+  os << "metrics: " << snapshot.counters.size() << " counters, "
+     << snapshot.gauges.size() << " gauges, " << snapshot.histograms.size()
+     << " histograms";
+  for (const auto& [name, value] : snapshot.counters) {
+    os << "\n  " << name << " = " << value;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << "\n  " << name << " = " << value;
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    os << "\n  " << name << " n=" << h.count << " mean=" << h.mean()
+       << " p50~" << h.quantile(0.5) << " p99~" << h.quantile(0.99);
+  }
+  return os.str();
+}
+
+std::string span_summary(const TraceRecorder& recorder) {
+  const auto agg = recorder.aggregate();
+  std::vector<std::pair<std::string, TraceRecorder::SpanStats>> rows(
+      agg.begin(), agg.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_us > b.second.total_us;
+  });
+  std::ostringstream os;
+  os << "spans: " << rows.size() << " names";
+  for (const auto& [name, s] : rows) {
+    os << "\n  " << name << " n=" << s.count << " total="
+       << s.total_us / 1000.0 << "ms mean=" << s.mean_us() / 1000.0
+       << "ms min=" << s.min_us / 1000.0 << "ms max=" << s.max_us / 1000.0
+       << "ms";
+  }
+  return os.str();
+}
+
+std::string chrome_trace_json(const TraceRecorder& recorder) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& ev : recorder.events()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << json_escape(ev.name)
+       << "\",\"cat\":\"gea\",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid
+       << ",\"ts\":" << ev.start_us << ",\"dur\":" << ev.dur_us
+       << ",\"args\":{\"depth\":" << ev.depth << "}}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const TraceRecorder& recorder) {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  out << chrome_trace_json(recorder);
+  return out.good();
+}
+
+}  // namespace gea::obs

@@ -1,0 +1,39 @@
+// Text exporters over MetricsSnapshot and TraceRecorder.
+//
+// Three renderings, one data source:
+//  - to_prometheus(): Prometheus exposition format ("/metrics" style) —
+//    counters as *_total, gauges verbatim, histograms as cumulative
+//    *_bucket{le="..."} series plus *_sum / *_count;
+//  - summary(): the repo's one-paragraph human style (PipelineReport /
+//    ServerStats convention) for logs and examples;
+//  - write_chrome_trace(): the recorder's ring as Chrome trace_event JSON
+//    ("X" complete events), loadable in chrome://tracing or Perfetto.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gea::obs {
+
+/// Prometheus text exposition. Metric names are sanitized ('.', '-' and
+/// other non-[a-zA-Z0-9_] characters become '_').
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// One-paragraph human rendering: counters, gauges, then histograms with
+/// count/mean/approximate p50/p99.
+std::string summary(const MetricsSnapshot& snapshot);
+
+/// Per-span aggregate table (count, total/mean/min/max ms), widest first.
+std::string span_summary(const TraceRecorder& recorder);
+
+/// Serialize the recorder's ring to `path` as a Chrome trace_event JSON
+/// document. Returns false when the file cannot be written.
+bool write_chrome_trace(const std::string& path,
+                        const TraceRecorder& recorder = TraceRecorder::global());
+
+/// The trace JSON as a string (write_chrome_trace's payload).
+std::string chrome_trace_json(const TraceRecorder& recorder);
+
+}  // namespace gea::obs

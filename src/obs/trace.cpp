@@ -1,0 +1,128 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace gea::obs {
+
+namespace {
+
+// Per-thread stack of open spans, for depth assignment and graceful
+// unbalanced teardown. Entries are raw pointers owned by the spans.
+thread_local std::vector<TraceSpan*> t_span_stack;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()) {
+  ring_.reserve(capacity_);
+}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+double TraceRecorder::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceRecorder::record(TraceEvent ev) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& agg = aggregate_[ev.name];
+  if (agg.count == 0 || ev.dur_us < agg.min_us) agg.min_us = ev.dur_us;
+  if (agg.count == 0 || ev.dur_us > agg.max_us) agg.max_us = ev.dur_us;
+  ++agg.count;
+  agg.total_us += ev.dur_us;
+
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+    return;
+  }
+  ring_[next_] = std::move(ev);
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Oldest first: [next_, end) then [0, next_) once the ring has wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::map<std::string, TraceRecorder::SpanStats> TraceRecorder::aggregate()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return aggregate_;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  dropped_ = 0;
+  aggregate_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::TraceSpan(std::string name, TraceRecorder& recorder)
+    : name_(std::move(name)),
+      recorder_(&recorder),
+      start_(std::chrono::steady_clock::now()) {
+#if !defined(GEA_OBS_NOOP)
+  start_us_ = recorder_->now_us();
+  depth_ = static_cast<std::uint32_t>(t_span_stack.size());
+  t_span_stack.push_back(this);
+  open_ = true;
+#endif
+}
+
+TraceSpan::~TraceSpan() { close(); }
+
+void TraceSpan::close() {
+  if (frozen_ms_ < 0.0) {
+    frozen_ms_ = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count();
+  }
+  if (!open_) return;
+  open_ = false;
+  // LIFO close is the common case; an unbalanced close (or a span whose
+  // thread-local stack belongs to another thread) just unlinks itself so
+  // later closes still find their own entries.
+  auto it = std::find(t_span_stack.rbegin(), t_span_stack.rend(), this);
+  if (it != t_span_stack.rend()) {
+    t_span_stack.erase(std::next(it).base());
+  }
+  TraceEvent ev;
+  ev.name = name_;
+  ev.tid = detail::thread_index();
+  ev.depth = depth_;
+  ev.start_us = start_us_;
+  ev.dur_us = frozen_ms_ * 1000.0;
+  recorder_->record(std::move(ev));
+}
+
+double TraceSpan::elapsed_ms() const {
+  if (frozen_ms_ >= 0.0) return frozen_ms_;
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+}  // namespace gea::obs

@@ -1,0 +1,132 @@
+// RAII trace spans with parent/child nesting.
+//
+// A TraceSpan marks a region of work ("pipeline.train", "serve.batch") on
+// the current thread: construction pushes it onto a thread-local span
+// stack and stamps a steady-clock start; destruction (or close()) pops it
+// and records one TraceEvent — name, thread index, nesting depth, start
+// offset, duration — into a bounded ring buffer owned by a TraceRecorder.
+// The recorder also keeps all-time per-name aggregates (count/total/min/
+// max), so "where did the run spend its time" is answerable even after the
+// ring has wrapped, and exports the ring as Chrome trace_event JSON
+// (obs/export.hpp) viewable in chrome://tracing or Perfetto.
+//
+// Determinism: spans read the clock and write to the recorder — nothing
+// else. They never branch the instrumented code, so enabling or disabling
+// tracing cannot change any computed result.
+//
+// Unbalanced usage (a heap-held span destroyed out of LIFO order, or a
+// span crossing a thread boundary) degrades gracefully: the stack entry is
+// unlinked from wherever it sits and depths stay consistent for the
+// remaining spans. Under GEA_OBS_NOOP spans still measure elapsed time
+// (callers use them as stopwatches) but record nothing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gea::obs {
+
+/// One completed span. Times are microseconds relative to the recorder's
+/// epoch (its construction, or the last clear()).
+struct TraceEvent {
+  std::string name;
+  std::uint32_t tid = 0;    // obs thread index, not the OS id
+  std::uint32_t depth = 0;  // nesting depth at the time the span opened
+  double start_us = 0.0;
+  double dur_us = 0.0;
+};
+
+/// Bounded sink for completed spans plus all-time per-name aggregates.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = kDefaultCapacity);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// The process-wide recorder every TraceSpan uses by default.
+  static TraceRecorder& global();
+
+  /// Runtime switch (default on). Disabled spans cost one relaxed load.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void record(TraceEvent ev);
+
+  /// Ring contents, oldest first. At most capacity() events; older ones
+  /// are overwritten (counted in dropped()).
+  std::vector<TraceEvent> events() const;
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t dropped() const;
+
+  struct SpanStats {
+    std::uint64_t count = 0;
+    double total_us = 0.0;
+    double min_us = 0.0;
+    double max_us = 0.0;
+    double mean_us() const {
+      return count == 0 ? 0.0 : total_us / static_cast<double>(count);
+    }
+  };
+
+  /// All-time aggregates by span name (not bounded by the ring).
+  std::map<std::string, SpanStats> aggregate() const;
+
+  /// Drop ring + aggregates and restart the epoch.
+  void clear();
+
+  /// Microseconds since the recorder epoch, the unit of TraceEvent times.
+  double now_us() const;
+
+  static constexpr std::size_t kDefaultCapacity = 8192;
+
+ private:
+  const std::size_t capacity_;
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;  // ring_[next_] is the oldest once full
+  std::uint64_t dropped_ = 0;
+  std::map<std::string, SpanStats> aggregate_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span. Construct to open, destroy (or close()) to record. Also
+/// usable as a plain stopwatch via elapsed_ms(), which keeps working under
+/// GEA_OBS_NOOP and after close().
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name,
+                     TraceRecorder& recorder = TraceRecorder::global());
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Finish the span now (idempotent). elapsed_ms() freezes at this point.
+  void close();
+
+  /// Wall time since construction, frozen by close().
+  double elapsed_ms() const;
+
+  /// Nesting depth this span opened at (0 = top level on its thread).
+  std::uint32_t depth() const { return depth_; }
+
+ private:
+  std::string name_;
+  TraceRecorder* recorder_;
+  std::chrono::steady_clock::time_point start_;
+  double start_us_ = 0.0;
+  double frozen_ms_ = -1.0;
+  std::uint32_t depth_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace gea::obs

@@ -8,6 +8,7 @@
 #include "cfg/cfg.hpp"
 #include "features/extended.hpp"
 #include "features/features.hpp"
+#include "obs/trace.hpp"
 #include "util/threadpool.hpp"
 #include "util/timer.hpp"
 
@@ -195,6 +196,7 @@ std::size_t argmax(const std::vector<double>& z) {
 }  // namespace
 
 void DetectionServer::process_batch(std::vector<Request>& batch) {
+  obs::TraceSpan batch_span("serve.batch");
   const auto dequeued = Clock::now();
 
   // Refresh the private replica iff the registry moved (one atomic load on

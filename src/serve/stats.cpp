@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+
 namespace gea::serve {
 
 std::string StatsSnapshot::summary() const {
@@ -31,37 +33,62 @@ std::string StatsSnapshot::summary() const {
   return os.str();
 }
 
+ServerStats::ServerStats() {
+  auto& reg = obs::MetricsRegistry::global();
+  reg_.submitted = &reg.counter("serve.submitted_total");
+  reg_.accepted = &reg.counter("serve.accepted_total");
+  reg_.rejected_full = &reg.counter("serve.rejected_full_total");
+  reg_.rejected_invalid = &reg.counter("serve.rejected_invalid_total");
+  reg_.rejected_no_model = &reg.counter("serve.rejected_no_model_total");
+  reg_.expired = &reg.counter("serve.expired_total");
+  reg_.completed = &reg.counter("serve.completed_total");
+  reg_.batches = &reg.counter("serve.batches_total");
+  reg_.batch_size =
+      &reg.histogram("serve.batch_size", {1, 2, 4, 8, 16, 32, 64, 128});
+  reg_.queue_ms = &reg.histogram("serve.queue_ms");
+  reg_.infer_ms = &reg.histogram("serve.infer_ms");
+  reg_.total_ms = &reg.histogram("serve.total_ms");
+}
+
 void ServerStats::on_submitted() {
+  reg_.submitted->inc();
   std::lock_guard<std::mutex> lock(mu_);
   ++counts_.submitted;
 }
 
 void ServerStats::on_accepted() {
+  reg_.accepted->inc();
   std::lock_guard<std::mutex> lock(mu_);
   ++counts_.accepted;
 }
 
 void ServerStats::on_rejected_full() {
+  reg_.rejected_full->inc();
   std::lock_guard<std::mutex> lock(mu_);
   ++counts_.rejected_full;
 }
 
 void ServerStats::on_rejected_invalid() {
+  reg_.rejected_invalid->inc();
   std::lock_guard<std::mutex> lock(mu_);
   ++counts_.rejected_invalid;
 }
 
 void ServerStats::on_rejected_no_model() {
+  reg_.rejected_no_model->inc();
   std::lock_guard<std::mutex> lock(mu_);
   ++counts_.rejected_no_model;
 }
 
 void ServerStats::on_expired() {
+  reg_.expired->inc();
   std::lock_guard<std::mutex> lock(mu_);
   ++counts_.expired;
 }
 
 void ServerStats::on_batch(std::size_t batch_size) {
+  reg_.batches->inc();
+  reg_.batch_size->observe(static_cast<double>(batch_size));
   std::lock_guard<std::mutex> lock(mu_);
   ++counts_.batches;
   ++counts_.batch_sizes[batch_size];
@@ -69,6 +96,10 @@ void ServerStats::on_batch(std::size_t batch_size) {
 
 void ServerStats::on_completed(double queue_ms, double infer_ms,
                                double total_ms) {
+  reg_.completed->inc();
+  reg_.queue_ms->observe(queue_ms);
+  reg_.infer_ms->observe(infer_ms);
+  reg_.total_ms->observe(total_ms);
   std::lock_guard<std::mutex> lock(mu_);
   ++counts_.completed;
   queue_ms_.record(queue_ms);

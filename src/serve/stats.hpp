@@ -11,6 +11,11 @@
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
+namespace gea::obs {
+class Counter;
+class Histogram;
+}  // namespace gea::obs
+
 namespace gea::serve {
 
 /// Point-in-time copy of every serving counter. All latencies are in
@@ -37,10 +42,18 @@ struct StatsSnapshot {
   double elapsed_s = 0.0;  // since server start
   double qps = 0.0;        // completed / elapsed
   std::size_t queue_depth = 0;  // at snapshot time
+
+  /// Mean batch size, computed from the batch-size histogram itself
+  /// (sum of size*count over batch_sizes / batches) so the mean and the
+  /// histogram can never disagree. Expired requests are dropped at dequeue
+  /// and never reach a batch, so they do not enter this mean.
   double mean_batch() const {
-    return batches == 0 ? 0.0
-                        : static_cast<double>(completed + expired) /
-                              static_cast<double>(batches);
+    if (batches == 0) return 0.0;
+    std::uint64_t in_batches = 0;
+    for (const auto& [size, count] : batch_sizes) {
+      in_batches += static_cast<std::uint64_t>(size) * count;
+    }
+    return static_cast<double>(in_batches) / static_cast<double>(batches);
   }
 
   /// One-paragraph rendering, PipelineReport::summary() style.
@@ -50,8 +63,14 @@ struct StatsSnapshot {
 /// Thread-safe accumulator behind the snapshot. One mutex guards counters
 /// and the latency recorders; the serving hot path takes it twice per
 /// request (admission, completion) which is noise next to a CNN forward.
+///
+/// Every event is also published to obs::MetricsRegistry::global() under
+/// "serve.*" (handles resolved once at construction), so serving shares the
+/// process-wide exportable surface with the pipeline, trainer, and attacks.
 class ServerStats {
  public:
+  ServerStats();
+
   void on_submitted();
   void on_accepted();
   void on_rejected_full();
@@ -70,6 +89,25 @@ class ServerStats {
   util::LatencyRecorder infer_ms_;
   util::LatencyRecorder total_ms_;
   util::Stopwatch started_;
+
+  // Registry mirrors ("serve.*"), shared across ServerStats instances by
+  // design: the registry aggregates the process, the snapshot isolates the
+  // server.
+  struct Registry {
+    obs::Counter* submitted;
+    obs::Counter* accepted;
+    obs::Counter* rejected_full;
+    obs::Counter* rejected_invalid;
+    obs::Counter* rejected_no_model;
+    obs::Counter* expired;
+    obs::Counter* completed;
+    obs::Counter* batches;
+    obs::Histogram* batch_size;
+    obs::Histogram* queue_ms;
+    obs::Histogram* infer_ms;
+    obs::Histogram* total_ms;
+  };
+  Registry reg_{};
 };
 
 }  // namespace gea::serve

@@ -3,12 +3,19 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <mutex>
 
 namespace gea::util {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+// Opt-in JSON-lines sink (see set_log_json). The mutex guards the stream
+// object and serializes appends; it is only touched when a sink is open or
+// being (un)installed, so plain stderr logging never contends on it.
+std::mutex g_json_mu;
+std::ofstream g_json_sink;
 
 std::atomic<std::uint64_t> g_count_debug{0};
 std::atomic<std::uint64_t> g_count_info{0};
@@ -31,6 +38,39 @@ const char* level_name(LogLevel l) {
   return "?";
 }
 
+const char* level_json_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
 std::atomic<std::uint64_t>& counter(LogLevel l) {
   switch (l) {
     case LogLevel::kDebug: return g_count_debug;
@@ -42,8 +82,18 @@ std::atomic<std::uint64_t>& counter(LogLevel l) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_json(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_json_mu);
+  if (g_json_sink.is_open()) g_json_sink.close();
+  if (!path.empty()) g_json_sink.open(path, std::ios::app);
+}
 
 std::uint64_t LogCounts::at(LogLevel level) const {
   switch (level) {
@@ -95,7 +145,9 @@ std::size_t LogCapture::count_containing(std::string_view substr) const {
 }
 
 void log_line(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
   counter(level).fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(g_capture_mu);
@@ -106,6 +158,17 @@ void log_line(LogLevel level, const std::string& msg) {
   }
   using namespace std::chrono;
   const auto now = system_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(g_json_mu);
+    if (g_json_sink.is_open()) {
+      const auto epoch_ms =
+          duration_cast<milliseconds>(now.time_since_epoch()).count();
+      g_json_sink << "{\"ts_ms\":" << epoch_ms << ",\"level\":\""
+                  << level_json_name(level) << "\",\"msg\":\""
+                  << json_escape(msg) << "\"}\n";
+      g_json_sink.flush();
+    }
+  }
   const auto since_midnight = now.time_since_epoch() % hours(24);
   const auto h = duration_cast<hours>(since_midnight).count();
   const auto m = duration_cast<minutes>(since_midnight % hours(1)).count();

@@ -15,10 +15,18 @@ namespace gea::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global minimum level (default Info). Not thread-safe to mutate while
-/// logging from other threads; set it once at startup.
+/// Global minimum level (default Info). Backed by an atomic: safe to flip
+/// from any thread at any time; concurrent log_line calls observe either
+/// the old or the new level, never a torn value.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Opt-in JSON-lines sink: every line that passes the level filter (and is
+/// not intercepted by a LogCapture) is appended to `path` as
+/// {"ts_ms":<epoch ms>,"level":"warn","msg":"..."} in addition to the
+/// stderr line. Pass an empty path to close the sink. Thread-safe; the
+/// file is opened in append mode so runs accumulate.
+void set_log_json(const std::string& path);
 
 /// Emit one line to stderr as "[HH:MM:SS.mmm] LEVEL msg" if level passes.
 void log_line(LogLevel level, const std::string& msg);

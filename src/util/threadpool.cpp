@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "util/faultinject.hpp"
 #include "util/log.hpp"
 
@@ -60,6 +61,12 @@ std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
+  // Resolve registry handles before spawning workers: constructing the
+  // registry first also sequences its destruction after this pool's, so
+  // draining workers can still bump counters during static teardown.
+  auto& registry = obs::MetricsRegistry::global();
+  tasks_executed_ = &registry.counter("threadpool.tasks_executed_total");
+  queue_depth_ = &registry.gauge("threadpool.queue_depth");
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_main(); });
@@ -80,6 +87,7 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) throw std::logic_error("ThreadPool::submit after shutdown");
     queue_.push_back(std::move(task));
+    queue_depth_->set(static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
 }
@@ -101,9 +109,11 @@ void ThreadPool::worker_main() {
       if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_->set(static_cast<double>(queue_.size()));
       ++active_;
     }
     task();  // pool tasks never throw (parallel_for wraps bodies)
+    tasks_executed_->inc();
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;

@@ -37,6 +37,11 @@
 
 #include "util/status.hpp"
 
+namespace gea::obs {
+class Counter;
+class Gauge;
+}  // namespace gea::obs
+
 namespace gea::util {
 
 /// Resolved "auto" thread count: GEA_THREADS if set to a positive integer
@@ -89,6 +94,13 @@ class ThreadPool {
 
  private:
   void worker_main();
+
+  // Registry handles (obs::MetricsRegistry::global()), resolved once in the
+  // constructor: "threadpool.tasks_executed_total" and
+  // "threadpool.queue_depth". Shared across pools by design — the gauge
+  // tracks the most recent submit/dequeue on any pool, the counter sums.
+  obs::Counter* tasks_executed_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;        // wakes workers

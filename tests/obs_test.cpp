@@ -1,0 +1,349 @@
+// Observability layer: registry handles, striped counters/histograms under
+// concurrency, exporters, trace spans (nesting, unbalanced, cross-thread),
+// the bounded ring, and the runtime kill switch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gea::obs {
+namespace {
+
+// Each test works against its own registry/recorder so global-state tests
+// cannot interfere with instrumentation from other suites in the binary.
+//
+// Under -DGEA_OBS_NOOP=ON the hot-path bodies are compiled out, so every
+// test that asserts *recorded* values is skipped; the NOOP build still
+// compiles this whole file (the API contract) and runs the tests that
+// assert nothing-is-recorded semantics.
+#if defined(GEA_OBS_NOOP)
+#define SKIP_IF_NOOP() \
+  GTEST_SKIP() << "GEA_OBS_NOOP build: instrumentation compiled out"
+#else
+#define SKIP_IF_NOOP() (void)0
+#endif
+
+TEST(Metrics, CounterStartsAtZeroAndAccumulates) {
+  SKIP_IF_NOOP();
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, HandlesAreStableAcrossLookups) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("same");
+  Counter& b = reg.counter("same");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = reg.gauge("g");
+  Gauge& g2 = reg.gauge("g");
+  EXPECT_EQ(&g1, &g2);
+  Histogram& h1 = reg.histogram("h");
+  Histogram& h2 = reg.histogram("h", {1.0, 2.0});  // first registration wins
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h1.bounds(), default_latency_buckets_ms());
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  SKIP_IF_NOOP();
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("g");
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.set(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), -2.0);
+}
+
+TEST(Metrics, HistogramBucketsAndMean) {
+  SKIP_IF_NOOP();
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket 0 (<= 1)
+  h.observe(5.0);    // bucket 1 (<= 10)
+  h.observe(50.0);   // bucket 2 (<= 100)
+  h.observe(500.0);  // overflow
+  const HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 1u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 555.5);
+  EXPECT_DOUBLE_EQ(snap.mean(), 555.5 / 4.0);
+}
+
+TEST(Metrics, HistogramQuantileEdges) {
+  SKIP_IF_NOOP();
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 0.0);  // empty
+  for (int i = 0; i < 10; ++i) h.observe(1.5);
+  const auto snap = h.snapshot();
+  // All mass in (1, 2]: any interior quantile lands inside that bucket.
+  EXPECT_GT(snap.quantile(0.5), 1.0);
+  EXPECT_LE(snap.quantile(0.5), 2.0);
+  // Overflow-bucket quantiles report the last finite bound.
+  h.observe(100.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.9999), 2.0);
+}
+
+TEST(Metrics, HistogramRejectsUnsortedBounds) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.histogram("bad", {3.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Metrics, ConcurrentIncrementsAreLossless) {
+  SKIP_IF_NOOP();
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  Histogram& h = reg.histogram("h", {10.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.observe(1.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(snap.sum, static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, SnapshotAndReset) {
+  SKIP_IF_NOOP();
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  reg.gauge("g").set(7.0);
+  reg.histogram("h").observe(1.0);
+  c.inc(3);
+  MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("c"), 3u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 7.0);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+
+  reg.reset();
+  snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("c"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 0.0);
+  EXPECT_EQ(snap.histograms.at("h").count, 0u);
+  c.inc();  // cached handle survives reset
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(Metrics, RuntimeKillSwitchStopsWrites) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  set_metrics_enabled(false);
+  c.inc();
+  reg.gauge("g").set(9.0);
+  reg.histogram("h").observe(1.0);
+  set_metrics_enabled(true);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("c"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 0.0);
+  EXPECT_EQ(snap.histograms.at("h").count, 0u);
+}
+
+TEST(Export, PrometheusRendersAllKindsWithSanitizedNames) {
+  SKIP_IF_NOOP();
+  MetricsRegistry reg;
+  reg.counter("pipeline.runs_total").inc(2);
+  reg.gauge("train.last-loss").set(0.25);
+  Histogram& h = reg.histogram("serve.queue_ms", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("pipeline_runs_total 2"), std::string::npos);
+  EXPECT_NE(text.find("train_last_loss 0.25"), std::string::npos);
+  // Cumulative buckets: le="10" holds both observations; +Inf == count.
+  EXPECT_NE(text.find("serve_queue_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("serve_queue_ms_bucket{le=\"10\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("serve_queue_ms_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_queue_ms_count 2"), std::string::npos);
+}
+
+TEST(Export, SummaryMentionsEveryMetric) {
+  MetricsRegistry reg;
+  reg.counter("a.total").inc();
+  reg.gauge("b.value").set(1.0);
+  reg.histogram("c.ms").observe(2.0);
+  const std::string text = summary(reg.snapshot());
+  EXPECT_NE(text.find("a.total"), std::string::npos);
+  EXPECT_NE(text.find("b.value"), std::string::npos);
+  EXPECT_NE(text.find("c.ms"), std::string::npos);
+}
+
+TEST(Trace, SpanRecordsEventWithDuration) {
+  SKIP_IF_NOOP();
+  TraceRecorder rec(16);
+  { TraceSpan span("work", rec); }
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_GE(events[0].dur_us, 0.0);
+  EXPECT_EQ(events[0].depth, 0u);
+}
+
+TEST(Trace, NestedSpansGetIncreasingDepths) {
+  SKIP_IF_NOOP();
+  TraceRecorder rec(16);
+  {
+    TraceSpan outer("outer", rec);
+    {
+      TraceSpan mid("mid", rec);
+      TraceSpan inner("inner", rec);
+      EXPECT_EQ(outer.depth(), 0u);
+      EXPECT_EQ(mid.depth(), 1u);
+      EXPECT_EQ(inner.depth(), 2u);
+    }
+    TraceSpan sibling("sibling", rec);
+    EXPECT_EQ(sibling.depth(), 1u);  // stack unwound back to outer
+  }
+  const auto events = rec.events();  // recorded at close: inner first
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[3].name, "outer");
+}
+
+TEST(Trace, UnbalancedCloseKeepsRemainingDepthsConsistent) {
+  SKIP_IF_NOOP();
+  TraceRecorder rec(16);
+  auto outer = std::make_unique<TraceSpan>("outer", rec);
+  TraceSpan inner("inner", rec);
+  outer.reset();  // destroyed out of LIFO order
+  TraceSpan next("next", rec);
+  // `inner` is still open, so the new span nests under it.
+  EXPECT_EQ(next.depth(), 1u);
+}
+
+TEST(Trace, SpanDestroyedOnAnotherThreadDoesNotCorruptStack) {
+  SKIP_IF_NOOP();
+  TraceRecorder rec(16);
+  auto span = std::make_unique<TraceSpan>("crossing", rec);
+  std::thread t([s = std::move(span)]() mutable { s.reset(); });
+  t.join();
+  // The close ran on the other thread, whose stack never held "crossing";
+  // this thread's stack entry is left in place (never dereferenced), so a
+  // new span simply nests under it — no crash, depths stay monotone.
+  TraceSpan here("here", rec);
+  EXPECT_EQ(here.depth(), 1u);
+  // The event itself was still recorded, tagged with the closing thread.
+  ASSERT_EQ(rec.events().size(), 1u);
+  EXPECT_EQ(rec.events()[0].name, "crossing");
+}
+
+TEST(Trace, RingIsBoundedAndCountsDrops) {
+  SKIP_IF_NOOP();
+  TraceRecorder rec(4);
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span("s" + std::to_string(i), rec);
+  }
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  EXPECT_EQ(events.front().name, "s6");  // oldest surviving
+  EXPECT_EQ(events.back().name, "s9");
+}
+
+TEST(Trace, AggregatesSurviveRingWrap) {
+  SKIP_IF_NOOP();
+  TraceRecorder rec(2);
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span("hot", rec);
+  }
+  const auto agg = rec.aggregate();
+  ASSERT_EQ(agg.count("hot"), 1u);
+  EXPECT_EQ(agg.at("hot").count, 5u);
+  EXPECT_GE(agg.at("hot").max_us, agg.at("hot").min_us);
+}
+
+TEST(Trace, CloseIsIdempotentAndFreezesElapsed) {
+  SKIP_IF_NOOP();
+  TraceRecorder rec(4);
+  TraceSpan span("once", rec);
+  span.close();
+  const double frozen = span.elapsed_ms();
+  span.close();
+  EXPECT_DOUBLE_EQ(span.elapsed_ms(), frozen);
+  EXPECT_EQ(rec.events().size(), 1u);
+}
+
+TEST(Trace, DisabledRecorderRecordsNothing) {
+  TraceRecorder rec(4);
+  rec.set_enabled(false);
+  { TraceSpan span("ghost", rec); }
+  EXPECT_TRUE(rec.events().empty());
+  rec.set_enabled(true);
+}
+
+TEST(Trace, ConcurrentSpansCarryDistinctThreadIndices) {
+  SKIP_IF_NOOP();
+  TraceRecorder rec(64);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 3; ++i) {
+        TraceSpan span("mt", rec);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads) * 3);
+  std::set<std::uint32_t> tids;
+  for (const auto& ev : events) tids.insert(ev.tid);
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(Export, ChromeTraceJsonIsWellFormedAndNestsStages) {
+  SKIP_IF_NOOP();
+  TraceRecorder rec(16);
+  {
+    TraceSpan outer("pipeline.run", rec);
+    TraceSpan inner("pipeline.train", rec);
+  }
+  const std::string json = chrome_trace_json(rec);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"pipeline.run\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"pipeline.train\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"depth\":1"), std::string::npos);  // nested stage
+}
+
+TEST(Export, SpanSummaryListsNamesWithCounts) {
+  SKIP_IF_NOOP();
+  TraceRecorder rec(16);
+  { TraceSpan a("alpha", rec); }
+  { TraceSpan b("beta", rec); }
+  const std::string text = span_summary(rec);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gea::obs

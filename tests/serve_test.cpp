@@ -15,6 +15,7 @@
 #include "features/scaler.hpp"
 #include "ml/model.hpp"
 #include "ml/zoo.hpp"
+#include "obs/metrics.hpp"
 #include "serve/checkpoint.hpp"
 #include "serve/queue.hpp"
 #include "serve/registry.hpp"
@@ -491,6 +492,87 @@ TEST(Server, StatsSummaryRendersAllSections) {
   EXPECT_NE(text.find("batches"), std::string::npos);
   EXPECT_NE(text.find("p95"), std::string::npos);
   std::filesystem::remove_all(dir);
+}
+
+// mean_batch() is defined as the mean of the batch-size histogram — the two
+// can never disagree, and expired requests (dropped at dequeue, never
+// batched) cannot perturb it.
+TEST(Stats, MeanBatchIsTheHistogramMean) {
+  serve::ServerStats stats;
+  stats.on_batch(4);
+  stats.on_batch(2);
+  stats.on_batch(2);
+  for (int i = 0; i < 8; ++i) {
+    stats.on_submitted();
+    stats.on_accepted();
+    stats.on_completed(0.1, 0.2, 0.3);
+  }
+  // Expired requests never reach a batch; the mean must not move.
+  const double before = stats.snapshot().mean_batch();
+  stats.on_expired();
+  stats.on_expired();
+  const auto snap = stats.snapshot();
+  EXPECT_DOUBLE_EQ(snap.mean_batch(), before);
+
+  // Pin the histogram/mean relationship explicitly.
+  std::uint64_t in_batches = 0;
+  for (const auto& [size, count] : snap.batch_sizes) {
+    in_batches += static_cast<std::uint64_t>(size) * count;
+  }
+  EXPECT_EQ(in_batches, 8u);
+  EXPECT_EQ(snap.batches, 3u);
+  EXPECT_DOUBLE_EQ(snap.mean_batch(),
+                   static_cast<double>(in_batches) /
+                       static_cast<double>(snap.batches));
+  EXPECT_DOUBLE_EQ(snap.mean_batch(), 8.0 / 3.0);
+}
+
+TEST(Stats, MeanBatchEmptyIsZero) {
+  serve::ServerStats stats;
+  EXPECT_DOUBLE_EQ(stats.snapshot().mean_batch(), 0.0);
+}
+
+// ServerStats mirrors every event into the process-wide metrics registry
+// under "serve.*", so serving shows up in the same exportable surface as
+// the pipeline, trainer, and attacks.
+TEST(Stats, PublishesIntoGlobalMetricsRegistry) {
+  auto& reg = gea::obs::MetricsRegistry::global();
+  const auto before = reg.snapshot();
+  auto at = [](const std::map<std::string, std::uint64_t>& m,
+               const std::string& k) {
+    const auto it = m.find(k);
+    return it == m.end() ? std::uint64_t{0} : it->second;
+  };
+
+  serve::ServerStats stats;
+  stats.on_submitted();
+  stats.on_accepted();
+  stats.on_rejected_full();
+  stats.on_expired();
+  stats.on_batch(4);
+  stats.on_completed(0.5, 1.0, 1.5);
+
+  const auto after = reg.snapshot();
+  EXPECT_EQ(at(after.counters, "serve.submitted_total"),
+            at(before.counters, "serve.submitted_total") + 1);
+  EXPECT_EQ(at(after.counters, "serve.rejected_full_total"),
+            at(before.counters, "serve.rejected_full_total") + 1);
+  EXPECT_EQ(at(after.counters, "serve.expired_total"),
+            at(before.counters, "serve.expired_total") + 1);
+  EXPECT_EQ(at(after.counters, "serve.batches_total"),
+            at(before.counters, "serve.batches_total") + 1);
+  EXPECT_EQ(at(after.counters, "serve.completed_total"),
+            at(before.counters, "serve.completed_total") + 1);
+  EXPECT_EQ(after.histograms.at("serve.batch_size").count,
+            (before.histograms.count("serve.batch_size")
+                 ? before.histograms.at("serve.batch_size").count
+                 : 0) +
+                1);
+  EXPECT_EQ(after.histograms.at("serve.infer_ms").count,
+            (before.histograms.count("serve.infer_ms")
+                 ? before.histograms.at("serve.infer_ms").count
+                 : 0) +
+                1);
 }
 
 }  // namespace

@@ -362,4 +362,51 @@ TEST(LatencyRecorder, ClearResets) {
   EXPECT_EQ(rec.summarize().count, 0u);
 }
 
+TEST(LatencyRecorder, SingleSampleIsEveryPercentile) {
+  LatencyRecorder rec;
+  rec.record(7.5);
+  const auto s = rec.summarize();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.5);
+  EXPECT_DOUBLE_EQ(s.p50, 7.5);
+  EXPECT_DOUBLE_EQ(s.p95, 7.5);
+  EXPECT_DOUBLE_EQ(s.p99, 7.5);
+  EXPECT_DOUBLE_EQ(s.max, 7.5);
+  EXPECT_DOUBLE_EQ(rec.at_percentile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(rec.at_percentile(100.0), 7.5);
+}
+
+TEST(LatencyRecorder, AllDuplicatesCollapseThePercentileCurve) {
+  LatencyRecorder rec;
+  for (int i = 0; i < 50; ++i) rec.record(3.0);
+  const auto s = rec.summarize();
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_DOUBLE_EQ(s.p95, 3.0);
+  EXPECT_DOUBLE_EQ(s.p99, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+}
+
+TEST(LatencyRecorder, EmptyAtPercentileIsZeroNotAThrow) {
+  LatencyRecorder rec;
+  EXPECT_DOUBLE_EQ(rec.at_percentile(50.0), 0.0);
+  // The empty guard fires before the range check, so even a bad p is inert
+  // on an empty recorder — mirroring percentile()'s empty-first ordering.
+  EXPECT_DOUBLE_EQ(rec.at_percentile(-1.0), 0.0);
+}
+
+TEST(Stats, PercentileSingleElementIgnoresP) {
+  const std::vector<double> v = {42.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 42.0);
+}
+
+TEST(Stats, PercentileWithDuplicatesInterpolatesFlat) {
+  const std::vector<double> v = {5.0, 5.0, 5.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 5.0);   // rank 1.5 between two 5s
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 10.0);
+}
+
 }  // namespace
