@@ -1,0 +1,182 @@
+// Featurization throughput bench, written to BENCH_featurize.json.
+//
+// Measures the single-sweep FeatureEngine against the retained seed-era
+// multi-pass path (features/reference.hpp) on a corpus-profile graph set:
+// CFGs extracted from generated programs across every family, exactly what
+// corpus synthesis and the GEA harness featurize. Three numbers:
+//
+//   - reference: the seed path (three all-sources traversals, per-call
+//     allocation) — graphs/s;
+//   - engine: one FeatureEngine, no cache (one traversal, warm scratch) —
+//     graphs/s; the ISSUE's >= 2x single-thread target is engine/reference;
+//   - cache-warm: the same graphs re-extracted through a primed
+//     FeatureCache (the GEA-sweep repeat-graph profile) — reported as its
+//     own speedup, separate from the traversal win.
+//
+// Before timing, every graph's engine output is checked bitwise against the
+// reference; a mismatch aborts with exit 1 (a benchmark of a wrong result
+// is worthless). Ends with the features.cache.* counters from the obs
+// registry, so the cache's hit/miss accounting is visible in the run log.
+//
+//   $ ./bench/featurize_bench [--smoke]
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "bingen/families.hpp"
+#include "cfg/cfg.hpp"
+#include "features/engine.hpp"
+#include "features/reference.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace gea;
+
+std::vector<graph::DiGraph> corpus_profile_graphs(std::size_t per_family) {
+  util::Rng rng(20260806);
+  std::vector<graph::DiGraph> graphs;
+  auto add = [&](const std::vector<bingen::Family>& families) {
+    for (bingen::Family f : families) {
+      for (std::size_t i = 0; i < per_family; ++i) {
+        const auto program = bingen::generate_program(f, rng);
+        graphs.push_back(
+            cfg::extract_cfg(program, {.main_only = true}).graph);
+      }
+    }
+  };
+  add(bingen::benign_families());
+  add(bingen::malicious_families());
+  return graphs;
+}
+
+/// Best-of-N wall time for one full pass over the graph set.
+template <typename Fn>
+double best_of(int reps, Fn&& pass) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    util::Stopwatch sw;
+    pass();
+    const double ms = sw.elapsed_ms();
+    best = r == 0 ? ms : std::min(best, ms);
+  }
+  return best;
+}
+
+bool bitwise_equal(const features::FeatureVector& a,
+                   const features::FeatureVector& b) {
+  for (std::size_t i = 0; i < features::kNumFeatures; ++i) {
+    if (std::bit_cast<std::uint64_t>(a[i]) !=
+        std::bit_cast<std::uint64_t>(b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::size_t per_family = smoke ? 20 : 120;
+  const int reps = smoke ? 3 : 5;
+
+  const auto graphs = corpus_profile_graphs(per_family);
+  std::size_t nodes = 0, edges = 0;
+  for (const auto& g : graphs) {
+    nodes += g.num_nodes();
+    edges += g.num_edges();
+  }
+  std::printf("featurize bench: %zu corpus-profile graphs (%zu nodes, %zu "
+              "edges)%s\n",
+              graphs.size(), nodes, edges, smoke ? " [smoke]" : "");
+
+  // Correctness gate: the engine must be bitwise identical to the seed
+  // path on every graph before any timing is worth reporting.
+  features::FeatureEngine engine;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    if (!bitwise_equal(engine.extract(graphs[i]),
+                       features::reference::extract_features(graphs[i]))) {
+      std::fprintf(stderr,
+                   "featurize bench: engine diverges from reference on graph "
+                   "%zu — refusing to time a wrong result\n",
+                   i);
+      return 1;
+    }
+  }
+
+  // Volatile sink so the passes cannot be optimized away.
+  volatile double sink = 0.0;
+
+  const double ref_ms = best_of(reps, [&] {
+    for (const auto& g : graphs) {
+      sink = features::reference::extract_features(g)[features::kNumNodes];
+    }
+  });
+  const double eng_ms = best_of(reps, [&] {
+    for (const auto& g : graphs) {
+      sink = engine.extract(g)[features::kNumNodes];
+    }
+  });
+
+  // Cache-warm pass: prime once, then time pure hits — the repeat-graph
+  // profile of GEA size/density sweeps and resubmitted binaries.
+  auto cache = std::make_shared<features::FeatureCache>(graphs.size() + 16);
+  for (const auto& g : graphs) engine.extract(g, cache.get());
+  const double warm_ms = best_of(reps, [&] {
+    for (const auto& g : graphs) {
+      sink = engine.extract(g, cache.get())[features::kNumNodes];
+    }
+  });
+  (void)sink;
+
+  const double n = static_cast<double>(graphs.size());
+  const double sweep_speedup = eng_ms > 0.0 ? ref_ms / eng_ms : 0.0;
+  const double cache_speedup = warm_ms > 0.0 ? ref_ms / warm_ms : 0.0;
+  std::printf("reference (seed multi-pass): %8.2f ms  (%8.0f graphs/s)\n",
+              ref_ms, 1000.0 * n / ref_ms);
+  std::printf("engine (single sweep):       %8.2f ms  (%8.0f graphs/s)  "
+              "%.2fx\n",
+              eng_ms, 1000.0 * n / eng_ms, sweep_speedup);
+  std::printf("engine + warm cache:         %8.2f ms  (%8.0f graphs/s)  "
+              "%.2fx\n",
+              warm_ms, 1000.0 * n / warm_ms, cache_speedup);
+
+  std::ofstream out("BENCH_featurize.json");
+  out << "{\n  \"benchmark\": \"featurize\",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"graphs\": " << graphs.size() << ",\n"
+      << "  \"total_nodes\": " << nodes << ",\n"
+      << "  \"total_edges\": " << edges << ",\n"
+      << "  \"reference_ms\": " << ref_ms << ",\n"
+      << "  \"engine_ms\": " << eng_ms << ",\n"
+      << "  \"cache_warm_ms\": " << warm_ms << ",\n"
+      << "  \"single_thread_speedup\": " << sweep_speedup << ",\n"
+      << "  \"cache_hit_speedup\": " << cache_speedup << "\n}\n";
+  std::cout << "wrote BENCH_featurize.json\n";
+
+  // The cache's obs accounting for this run (primer pass = misses, the
+  // timed passes = hits).
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("features.cache.", 0) == 0) {
+      std::printf("%s = %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    if (name.rfind("features.cache.", 0) == 0) {
+      std::printf("%s = %.0f\n", name.c_str(), value);
+    }
+  }
+  return 0;
+}

@@ -4,6 +4,7 @@
 // (Fig. 4). Emits Graphviz DOT for all three and verifies, by execution,
 // that the combined program behaves exactly like the original.
 #include <cstdio>
+#include <filesystem>
 
 #include "bench_common.hpp"
 #include "cfg/cfg.hpp"
@@ -60,11 +61,16 @@ int main() {
               cfg_merged.graph.out_degree(cfg_merged.entry),
               cfg_merged.graph.in_degree(cfg_merged.exit_nodes.at(0)));
 
-  graph::write_dot(cfg_org.graph, "fig2_original_cfg.dot", {.graph_name = "fig2"});
-  graph::write_dot(cfg_sel.graph, "fig3_selected_cfg.dot", {.graph_name = "fig3"});
-  graph::write_dot(cfg_merged.graph, "fig4_combined_cfg.dot", {.graph_name = "fig4"});
-  std::printf("DOT written: fig2_original_cfg.dot fig3_selected_cfg.dot "
-              "fig4_combined_cfg.dot (render with `dot -Tpng`)\n\n");
+  std::filesystem::create_directories("artifacts");
+  graph::write_dot(cfg_org.graph, "artifacts/fig2_original_cfg.dot",
+                   {.graph_name = "fig2"});
+  graph::write_dot(cfg_sel.graph, "artifacts/fig3_selected_cfg.dot",
+                   {.graph_name = "fig3"});
+  graph::write_dot(cfg_merged.graph, "artifacts/fig4_combined_cfg.dot",
+                   {.graph_name = "fig4"});
+  std::printf("DOT written to artifacts/: fig2_original_cfg.dot "
+              "fig3_selected_cfg.dot fig4_combined_cfg.dot "
+              "(render with `dot -Tpng`)\n\n");
 
   std::printf("Combined program disassembly:\n%s\n",
               merged.disassemble().c_str());

@@ -5,6 +5,7 @@
 //
 //   $ ./examples/binary_analysis [program.asm]
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -88,7 +89,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.steps),
               result.trace.size());
 
-  gea::graph::write_dot(c.graph, "binary_analysis_cfg.dot");
-  std::printf("CFG written to binary_analysis_cfg.dot\n");
+  std::filesystem::create_directories("artifacts");
+  gea::graph::write_dot(c.graph, "artifacts/binary_analysis_cfg.dot");
+  std::printf("CFG written to artifacts/binary_analysis_cfg.dot\n");
   return 0;
 }

@@ -6,6 +6,7 @@
 //   $ ./examples/gea_campaign
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 
 #include "cfg/cfg.hpp"
 #include "core/pipeline.hpp"
@@ -72,10 +73,11 @@ int main() {
                equiv ? "yes" : "NO"});
     if (flipped) {
       evaded = true;
-      gea::graph::write_dot(merged_cfg.graph, "gea_evasive_sample.dot");
+      std::filesystem::create_directories("artifacts");
+      gea::graph::write_dot(merged_cfg.graph, "artifacts/gea_evasive_sample.dot");
       std::printf("%s\n", t.to_string().c_str());
       std::printf("evasion succeeded with a %zu-node benign graft; combined CFG "
-                  "written to gea_evasive_sample.dot\n",
+                  "written to artifacts/gea_evasive_sample.dot\n",
                   target.num_nodes());
       std::printf("the evasive binary still executes the malware: %s\n",
                   equiv ? "verified" : "VERIFICATION FAILED");

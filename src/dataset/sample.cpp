@@ -41,10 +41,14 @@ Sample generate_sample(std::uint32_t id, bingen::Family family, util::Rng& rng,
 }
 
 void featurize_sample(Sample& s) {
+  featurize_sample(s, features::FeatureEngine::local());
+}
+
+void featurize_sample(Sample& s, features::FeatureEngine& engine) {
   // Feature extraction follows the paper's convention: the CFG is the
   // entry function's graph (Figs. 2-4 are all `sym.main` graphs).
   s.cfg = cfg::extract_cfg(s.program, {.main_only = true});
-  s.features = features::extract_features(s.cfg.graph);
+  s.features = engine.extract(s.cfg.graph);
   maybe_corrupt(s);
 }
 

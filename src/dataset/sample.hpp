@@ -7,6 +7,7 @@
 
 #include "bingen/families.hpp"
 #include "cfg/cfg.hpp"
+#include "features/engine.hpp"
 #include "features/features.hpp"
 #include "isa/program.hpp"
 #include "util/status.hpp"
@@ -43,8 +44,14 @@ Sample generate_sample(std::uint32_t id, bingen::Family family, util::Rng& rng,
 
 /// Featurization half: disassemble the program into its CFG and extract
 /// features (plus any armed fault-point corruption). A pure function of
-/// s.program — safe to run concurrently across distinct samples.
+/// s.program — safe to run concurrently across distinct samples. Uses the
+/// calling thread's FeatureEngine.
 void featurize_sample(Sample& s);
+
+/// Same, through a caller-owned engine — parallel corpus synthesis holds
+/// one engine per worker so traversal scratch is reused across a whole
+/// chunk of samples. Results are identical to the thread-local overload.
+void featurize_sample(Sample& s, features::FeatureEngine& engine);
 
 /// Quarantine gate over a populated sample: the CFG must satisfy
 /// cfg::validate() (non-empty, no dangling edges, reachable exit) and every

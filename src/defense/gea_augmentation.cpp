@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "cfg/cfg.hpp"
+#include "features/engine.hpp"
 
 namespace gea::defense {
 
@@ -23,6 +24,9 @@ ml::LabeledData augment_with_gea(const dataset::Corpus& corpus,
     throw std::invalid_argument("augment_with_gea: need both classes in train");
   }
 
+  // One engine across the augmentation loop: every merged CFG reuses the
+  // same traversal scratch.
+  features::FeatureEngine engine;
   for (std::size_t k = 0; k < cfg.num_augmented; ++k) {
     const bool mal_source = k % 2 == 0;
     const auto& sources = mal_source ? malicious : benign;
@@ -31,7 +35,8 @@ ml::LabeledData augment_with_gea(const dataset::Corpus& corpus,
     const auto& tgt = corpus.samples()[rng.choice(targets)];
 
     const auto merged = aug::embed_program(src.program, tgt.program, cfg.embed);
-    const auto fv = features::extract_features(cfg::extract_cfg(merged, {.main_only = true}).graph);
+    const auto fv =
+        engine.extract(cfg::extract_cfg(merged, {.main_only = true}).graph);
     const auto scaled = scaler.transform(fv);
     data.rows.emplace_back(scaled.begin(), scaled.end());
     data.labels.push_back(src.label);  // the graft does not change behaviour

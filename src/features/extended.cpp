@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "features/engine.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/spectral.hpp"
 #include "util/stats.hpp"
@@ -10,7 +11,14 @@
 namespace gea::features {
 
 std::vector<double> extract_extended_features(const graph::DiGraph& g) {
-  const FeatureVector base = extract_features(g);
+  return extract_extended_features(g, FeatureEngine::local());
+}
+
+std::vector<double> extract_extended_features(const graph::DiGraph& g,
+                                              FeatureEngine& engine,
+                                              FeatureCache* cache) {
+  const FeatureVector base =
+      cache != nullptr ? engine.extract(g, cache) : engine.extract(g);
   std::vector<double> out(base.begin(), base.end());
   out.reserve(kNumExtendedFeatures);
 

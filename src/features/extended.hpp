@@ -24,10 +24,21 @@
 
 namespace gea::features {
 
+class FeatureCache;
+class FeatureEngine;
+
 inline constexpr std::size_t kNumExtendedFeatures = 41;
 
-/// Extract the 41-feature extended vector.
+/// Extract the 41-feature extended vector (base 23 via the calling
+/// thread's FeatureEngine).
 std::vector<double> extract_extended_features(const graph::DiGraph& g);
+
+/// Same, with an explicit engine (scratch reuse across calls) and an
+/// optional cache for the 23 base features — the spectral extras are
+/// always computed. The serving path uses this.
+std::vector<double> extract_extended_features(const graph::DiGraph& g,
+                                              FeatureEngine& engine,
+                                              FeatureCache* cache = nullptr);
 
 /// Name of extended feature `index` (indices < 23 defer to feature_name).
 std::string extended_feature_name(std::size_t index);

@@ -1,13 +1,9 @@
 #include "features/features.hpp"
 
 #include <cmath>
-#include <limits>
 #include <stdexcept>
 
-#include "graph/algorithms.hpp"
-#include "graph/centrality.hpp"
-#include "util/faultinject.hpp"
-#include "util/stats.hpp"
+#include "features/engine.hpp"
 
 namespace gea::features {
 
@@ -71,37 +67,9 @@ std::size_t category_size(Category c) {
 }
 
 FeatureVector extract_features(const graph::DiGraph& g) {
-  FeatureVector f{};
-
-  // Division-by-zero guard for degenerate graphs: summary5 yields zeros on
-  // empty populations (one-node CFG centralities, disconnected graphs with
-  // no reachable pairs), but a NaN produced by any upstream arithmetic would
-  // silently poison scaling and training — scrub each 5-tuple to zero here.
-  auto put5 = [&f](std::size_t base, const util::Summary5& s) {
-    const double vals[5] = {s.min, s.max, s.median, s.mean, s.stddev};
-    for (std::size_t i = 0; i < 5; ++i) {
-      f[base + i] = std::isfinite(vals[i]) ? vals[i] : 0.0;
-    }
-  };
-
-  put5(kBetweennessMin, util::summary5(graph::betweenness_centrality(g)));
-  put5(kClosenessMin, util::summary5(graph::closeness_centrality(g)));
-  put5(kDegreeMin, util::summary5(graph::degree_centrality(g)));
-  put5(kShortestPathMin, util::summary5(graph::all_shortest_path_lengths(g)));
-  f[kDensity] = g.num_nodes() < 2 ? 0.0 : g.density();
-  f[kNumEdges] = static_cast<double>(g.num_edges());
-  f[kNumNodes] = static_cast<double>(g.num_nodes());
-
-  // Fault points: a corrupted extractor (or a hostile sample engineered to
-  // overflow one) hands downstream stages a non-finite vector. The
-  // quarantine layer, not this function, is responsible for catching it.
-  if (util::fault(util::faults::kFeatureNaN)) {
-    f[kDensity] = std::numeric_limits<double>::quiet_NaN();
-  }
-  if (util::fault(util::faults::kFeatureInf)) {
-    f[kShortestPathMean] = std::numeric_limits<double>::infinity();
-  }
-  return f;
+  // The calling thread's engine: single-sweep traversal with scratch that
+  // persists across calls, fault points included (see features/engine.hpp).
+  return FeatureEngine::local().extract(g);
 }
 
 util::Status extract_features_batch(

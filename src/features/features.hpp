@@ -75,7 +75,10 @@ const char* category_name(Category c);
 /// Number of features per category (Table II's right column).
 std::size_t category_size(Category c);
 
-/// Extract all 23 features from a CFG graph.
+/// Extract all 23 features from a CFG graph. Delegates to the calling
+/// thread's features::FeatureEngine (see engine.hpp) — one traversal,
+/// reused scratch, no cache. Hot loops that want a shared FeatureCache
+/// hold an engine explicitly.
 FeatureVector extract_features(const graph::DiGraph& g);
 
 /// Per-sample extraction over a whole corpus, parallelized with chunked

@@ -1,0 +1,35 @@
+// Seed-era multi-pass featurization, retained verbatim as ground truth.
+//
+// These are the pre-FeatureEngine implementations: Brandes betweenness with
+// per-call allocation, one reverse BFS per closeness sink, and a third
+// all-sources BFS for the shortest-path population — three traversals where
+// the engine runs one. They exist only so that
+//  - tests/feature_engine_test.cpp can assert the engine is bitwise
+//    identical to what the repo shipped before the refactor, and
+//  - bench/featurize_bench.cpp can report the before/after throughput.
+// Production code must use features::FeatureEngine (or the free
+// extract_features, which delegates to it). No fault points fire here.
+#pragma once
+
+#include <vector>
+
+#include "features/features.hpp"
+#include "graph/digraph.hpp"
+
+namespace gea::features::reference {
+
+/// Seed Brandes betweenness (fresh queues/stacks per source).
+std::vector<double> betweenness_centrality(const graph::DiGraph& g);
+
+/// Seed closeness: one reverse BFS per sink, sources summed ascending.
+std::vector<double> closeness_centrality(const graph::DiGraph& g);
+
+/// Seed shortest-path population: one forward BFS per source, lengths
+/// emitted in (source, target) lexicographic order.
+std::vector<double> all_shortest_path_lengths(const graph::DiGraph& g);
+
+/// The full seed extract_features pipeline over the three passes above
+/// plus degree centrality. Bitwise ground truth for FeatureEngine.
+FeatureVector extract_features(const graph::DiGraph& g);
+
+}  // namespace gea::features::reference

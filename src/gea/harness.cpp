@@ -93,7 +93,11 @@ GeaRow GeaHarness::attack_with_target(std::uint8_t source_label,
           try {
             EmbedResult crafted =
                 embed_with_cfg(s.program, target.program, opts.embed);
-            slots[w].fv = features::extract_features(crafted.cfg.graph);
+            // Per-worker engine, harness-wide cache: a combined graph seen
+            // in an earlier row (same source spliced with the same graft)
+            // skips the traversal entirely.
+            slots[w].fv = features::FeatureEngine::local().extract(
+                crafted.cfg.graph, feature_cache_.get());
             if (!features::all_finite(slots[w].fv)) {
               throw std::runtime_error(
                   "non-finite feature " +

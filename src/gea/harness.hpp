@@ -13,7 +13,10 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "dataset/corpus.hpp"
+#include "features/engine.hpp"
 #include "features/scaler.hpp"
 #include "gea/embed.hpp"
 #include "gea/selection.hpp"
@@ -65,9 +68,20 @@ struct GeaHarnessOptions {
 
 class GeaHarness {
  public:
+  /// `feature_cache_capacity` bounds the harness-lifetime feature cache
+  /// (crafted-graph digest -> features). Size and density sweeps that
+  /// revisit a graft target re-featurize the exact same combined graphs;
+  /// those rows hit the cache and skip the traversal. 0 disables caching.
   GeaHarness(const dataset::Corpus& corpus, const features::FeatureScaler& scaler,
-             ml::DifferentiableClassifier& clf)
-      : corpus_(&corpus), scaler_(&scaler), clf_(&clf) {}
+             ml::DifferentiableClassifier& clf,
+             std::size_t feature_cache_capacity = 4096)
+      : corpus_(&corpus),
+        scaler_(&scaler),
+        clf_(&clf),
+        feature_cache_(feature_cache_capacity == 0
+                           ? nullptr
+                           : std::make_shared<features::FeatureCache>(
+                                 feature_cache_capacity)) {}
 
   /// Attack every sample of `source_label` using target sample
   /// `target_index` (a corpus index of the opposite class).
@@ -85,10 +99,16 @@ class GeaHarness {
                                     std::size_t variants = 3,
                                     const GeaHarnessOptions& opts = {}) const;
 
+  /// The harness-lifetime crafted-feature cache (null when disabled).
+  const std::shared_ptr<features::FeatureCache>& feature_cache() const {
+    return feature_cache_;
+  }
+
  private:
   const dataset::Corpus* corpus_;
   const features::FeatureScaler* scaler_;
   ml::DifferentiableClassifier* clf_;
+  std::shared_ptr<features::FeatureCache> feature_cache_;
 };
 
 }  // namespace gea::aug

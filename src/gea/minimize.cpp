@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "cfg/cfg.hpp"
+#include "features/engine.hpp"
 
 namespace gea::aug {
 
@@ -26,14 +27,16 @@ MinimizeResult find_minimal_target(const dataset::Corpus& corpus,
 
   MinimizeResult res;
   res.original_nodes = victim.num_nodes();
+  // One engine for the whole candidate scan: each merged CFG featurizes
+  // with scratch warmed by the previous candidate.
+  features::FeatureEngine engine;
   for (std::size_t ti : targets) {
     if (opts.max_targets != 0 && res.targets_tried >= opts.max_targets) break;
     ++res.targets_tried;
     const auto& target = corpus.samples()[ti];
     const auto merged = embed_program(victim.program, target.program, opts.embed);
     const auto merged_cfg = cfg::extract_cfg(merged, {.main_only = true});
-    const auto scaled =
-        scaler.transform(features::extract_features(merged_cfg.graph));
+    const auto scaled = scaler.transform(engine.extract(merged_cfg.graph));
     if (clf.predict({scaled.begin(), scaled.end()}) != victim.label) {
       res.evaded = true;
       res.target_index = ti;

@@ -2,6 +2,8 @@
 
 #include <deque>
 
+#include "graph/sweep.hpp"
+
 namespace gea::graph {
 
 namespace {
@@ -40,19 +42,13 @@ std::vector<std::uint32_t> bfs_distances_reverse(const DiGraph& g, NodeId sink) 
 
 std::vector<double> all_shortest_path_lengths(const DiGraph& g) {
   std::vector<double> lengths;
-  const std::size_t n = g.num_nodes();
-  for (std::size_t s = 0; s < n; ++s) {
-    const auto dist = bfs_distances(g, static_cast<NodeId>(s));
-    for (std::size_t t = 0; t < n; ++t) {
-      if (t != s && dist[t] != kUnreachable) {
-        lengths.push_back(static_cast<double>(dist[t]));
-      }
-    }
-  }
+  SweepScratch scratch;
+  single_sweep(g, scratch, {.path_lengths = &lengths});
   return lengths;
 }
 
 double average_shortest_path_length(const DiGraph& g) {
+  // Delegates to the single-sweep core via all_shortest_path_lengths.
   const auto lengths = all_shortest_path_lengths(g);
   if (lengths.empty()) return 0.0;
   double s = 0.0;

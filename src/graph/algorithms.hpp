@@ -25,6 +25,7 @@ std::vector<std::uint32_t> bfs_distances_reverse(const DiGraph& g, NodeId sink);
 /// All finite directed shortest-path lengths d(u,v), u != v, as a flat list.
 /// This is the "shortest path" feature population of Table II.
 /// O(V * (V + E)); fine for CFG-sized graphs.
+/// Delegates to the single-sweep core (graph/sweep.hpp).
 std::vector<double> all_shortest_path_lengths(const DiGraph& g);
 
 /// Average over all finite shortest paths; 0 if none exist.

@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
-#include <stack>
 
 #include "graph/algorithms.hpp"
+#include "graph/sweep.hpp"
 
 namespace gea::graph {
 
@@ -21,75 +20,16 @@ std::vector<double> degree_centrality(const DiGraph& g) {
 }
 
 std::vector<double> closeness_centrality(const DiGraph& g) {
-  const std::size_t n = g.num_nodes();
-  std::vector<double> c(n, 0.0);
-  if (n < 2) return c;
-  for (std::size_t v = 0; v < n; ++v) {
-    const auto dist = bfs_distances_reverse(g, static_cast<NodeId>(v));
-    double total = 0.0;
-    std::size_t reached = 0;  // nodes that can reach v, excluding v itself
-    for (std::size_t u = 0; u < n; ++u) {
-      if (u == v || dist[u] == kUnreachable) continue;
-      total += static_cast<double>(dist[u]);
-      ++reached;
-    }
-    if (reached == 0 || total == 0.0) continue;
-    const double r = static_cast<double>(reached);
-    c[v] = (r / total) * (r / static_cast<double>(n - 1));
-  }
+  std::vector<double> c;
+  SweepScratch scratch;
+  single_sweep(g, scratch, {.closeness = &c});
   return c;
 }
 
 std::vector<double> betweenness_centrality(const DiGraph& g) {
-  const std::size_t n = g.num_nodes();
-  std::vector<double> bc(n, 0.0);
-  if (n < 3) return bc;
-
-  // Brandes (2001), unweighted directed version.
-  std::vector<std::int64_t> sigma(n);      // shortest-path counts
-  std::vector<std::int64_t> dist(n);       // BFS distance, -1 = unvisited
-  std::vector<double> delta(n);            // dependency accumulator
-  std::vector<std::vector<NodeId>> pred(n);
-
-  for (std::size_t s = 0; s < n; ++s) {
-    std::fill(sigma.begin(), sigma.end(), 0);
-    std::fill(dist.begin(), dist.end(), -1);
-    std::fill(delta.begin(), delta.end(), 0.0);
-    for (auto& p : pred) p.clear();
-
-    std::stack<NodeId> order;
-    std::deque<NodeId> queue;
-    sigma[s] = 1;
-    dist[s] = 0;
-    queue.push_back(static_cast<NodeId>(s));
-    while (!queue.empty()) {
-      const NodeId u = queue.front();
-      queue.pop_front();
-      order.push(u);
-      for (NodeId w : g.out_neighbors(u)) {
-        if (dist[w] < 0) {
-          dist[w] = dist[u] + 1;
-          queue.push_back(w);
-        }
-        if (dist[w] == dist[u] + 1) {
-          sigma[w] += sigma[u];
-          pred[w].push_back(u);
-        }
-      }
-    }
-    while (!order.empty()) {
-      const NodeId w = order.top();
-      order.pop();
-      for (NodeId u : pred[w]) {
-        delta[u] += static_cast<double>(sigma[u]) /
-                    static_cast<double>(sigma[w]) * (1.0 + delta[w]);
-      }
-      if (w != s) bc[w] += delta[w];
-    }
-  }
-
-  const double norm = static_cast<double>(n - 1) * static_cast<double>(n - 2);
-  for (auto& b : bc) b /= norm;
+  std::vector<double> bc;
+  SweepScratch scratch;
+  single_sweep(g, scratch, {.betweenness = &bc});
   return bc;
 }
 

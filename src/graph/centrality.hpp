@@ -22,10 +22,12 @@ std::vector<double> degree_centrality(const DiGraph& g);
 ///   C(v) = ((r-1) / sum_{u in R} d(u,v)) * ((r-1) / (n-1))
 /// where R is the set of nodes that can reach v and r = |R|.
 /// Nodes nothing reaches get 0. O(V * (V + E)).
+/// Delegates to the single-sweep core (graph/sweep.hpp).
 std::vector<double> closeness_centrality(const DiGraph& g);
 
 /// Betweenness centrality per node via Brandes' algorithm (unit weights,
 /// directed, endpoints excluded), normalized by (n-1)(n-2). O(V*E).
+/// Delegates to the single-sweep core (graph/sweep.hpp).
 std::vector<double> betweenness_centrality(const DiGraph& g);
 
 /// Reference O(V^3)-ish betweenness for cross-checking Brandes in tests:

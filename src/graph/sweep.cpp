@@ -1,0 +1,168 @@
+#include "graph/sweep.hpp"
+
+#include <algorithm>
+
+namespace gea::graph {
+
+std::size_t SweepScratch::footprint_bytes() const {
+  return sigma.capacity() * sizeof(std::int64_t) +
+         dist.capacity() * sizeof(std::int64_t) +
+         delta.capacity() * sizeof(double) +
+         queue.capacity() * sizeof(NodeId) +
+         order.capacity() * sizeof(NodeId) +
+         close_total.capacity() * sizeof(double) +
+         close_reached.capacity() * sizeof(std::uint32_t);
+}
+
+void single_sweep(const DiGraph& g, SweepScratch& s, const SweepSinks& sinks) {
+  const std::size_t n = g.num_nodes();
+  const bool want_bc = sinks.betweenness != nullptr;
+  const bool want_cc = sinks.closeness != nullptr;
+  const bool want_sp = sinks.path_lengths != nullptr;
+  const bool want_hist = sinks.path_length_hist != nullptr;
+
+  if (want_bc) sinks.betweenness->assign(n, 0.0);
+  if (want_cc) sinks.closeness->assign(n, 0.0);
+  if (want_sp) sinks.path_lengths->clear();
+  if (want_hist) sinks.path_length_hist->assign(n, 0);
+
+  // Seed-path degenerate contract: betweenness is identically zero below
+  // three nodes (no interior vertices), closeness below two.
+  const bool brandes = want_bc && n >= 3;
+  const bool closeness = want_cc && n >= 2;
+  if (n == 0 || (!brandes && !closeness && !want_sp && !want_hist)) return;
+
+  // Grow-only sizing, maintaining the cross-call invariant that every
+  // element reads "untouched": dist == -1, sigma == 0, delta == 0. Each
+  // source restores the invariant for exactly the nodes it visited (the
+  // BFS queue), so per-source setup costs O(visited), not O(n) fills.
+  if (s.dist.size() < n) s.dist.resize(n, -1);
+  if (brandes) {
+    if (s.sigma.size() < n) s.sigma.resize(n, 0);
+    if (s.delta.size() < n) s.delta.resize(n, 0.0);
+  }
+  if (closeness) {
+    s.close_total.assign(n, 0.0);
+    s.close_reached.assign(n, 0);
+  }
+  s.queue.reserve(n);
+  s.order.reserve(n);
+
+  for (std::size_t src = 0; src < n; ++src) {
+    s.queue.clear();
+    s.order.clear();
+    std::size_t head = 0;
+    if (brandes) s.sigma[src] = 1;
+    s.dist[src] = 0;
+    s.queue.push_back(static_cast<NodeId>(src));
+    while (head < s.queue.size()) {
+      const NodeId u = s.queue[head++];
+      if (brandes) s.order.push_back(u);
+      for (NodeId w : g.out_neighbors(u)) {
+        if (s.dist[w] < 0) {
+          s.dist[w] = s.dist[u] + 1;
+          s.queue.push_back(w);
+        }
+        if (brandes && s.dist[w] == s.dist[u] + 1) {
+          s.sigma[w] += s.sigma[u];
+        }
+      }
+    }
+
+    // Forward distances feed the path population (seed emission order:
+    // sources ascending, targets ascending within a source) and the
+    // closeness accumulators (for target v, contributions arrive with s
+    // ascending — the seed's reverse-BFS summation order).
+    if (want_sp || want_hist || closeness) {
+      for (std::size_t t = 0; t < n; ++t) {
+        if (t == src || s.dist[t] < 0) continue;
+        const double d = static_cast<double>(s.dist[t]);
+        if (want_sp) sinks.path_lengths->push_back(d);
+        if (want_hist) {
+          ++(*sinks.path_length_hist)[static_cast<std::size_t>(s.dist[t])];
+        }
+        if (closeness) {
+          s.close_total[t] += d;
+          ++s.close_reached[t];
+        }
+      }
+    }
+
+    if (brandes) {
+      // Predecessors of w are recovered from the distance array
+      // (dist[u] + 1 == dist[w] over in-edges) instead of stored pred
+      // lists. The set is exactly Brandes' P(w); within one w every
+      // delta[u] is a distinct accumulator, so enumeration order cannot
+      // change any floating-point sum — output stays bitwise identical
+      // while the forward pass sheds its per-edge list appends.
+      while (!s.order.empty()) {
+        const NodeId w = s.order.back();
+        s.order.pop_back();
+        for (NodeId u : g.in_neighbors(w)) {
+          if (s.dist[u] >= 0 && s.dist[u] + 1 == s.dist[w]) {
+            s.delta[u] += static_cast<double>(s.sigma[u]) /
+                          static_cast<double>(s.sigma[w]) * (1.0 + s.delta[w]);
+          }
+        }
+        if (w != src) (*sinks.betweenness)[w] += s.delta[w];
+      }
+    }
+
+    // Restore the untouched invariant for the nodes this source visited.
+    for (NodeId v : s.queue) {
+      s.dist[v] = -1;
+      if (brandes) {
+        s.sigma[v] = 0;
+        s.delta[v] = 0.0;
+      }
+    }
+  }
+
+  if (brandes) {
+    const double norm =
+        static_cast<double>(n - 1) * static_cast<double>(n - 2);
+    for (auto& b : *sinks.betweenness) b /= norm;
+  }
+  if (closeness) {
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::uint32_t reached = s.close_reached[v];
+      const double total = s.close_total[v];
+      if (reached == 0 || total == 0.0) continue;
+      const double r = static_cast<double>(reached);
+      (*sinks.closeness)[v] =
+          (r / total) * (r / static_cast<double>(n - 1));
+    }
+  }
+}
+
+namespace {
+
+/// splitmix64 finalizer — the per-word mixer for both digest lanes.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+GraphDigest graph_digest(const DiGraph& g) {
+  GraphDigest d;
+  d.lo = 0x6a09e667f3bcc908ULL;  // distinct lane seeds
+  d.hi = 0xbb67ae8584caa73bULL;
+  auto feed = [&d](std::uint64_t x) {
+    d.lo = mix64(d.lo ^ x);
+    d.hi = mix64(d.hi + (x ^ 0xa5a5a5a5a5a5a5a5ULL));
+  };
+  const std::size_t n = g.num_nodes();
+  feed(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto out = g.out_neighbors(static_cast<NodeId>(u));
+    feed(out.size());
+    for (NodeId v : out) feed(v);
+  }
+  return d;
+}
+
+}  // namespace gea::graph

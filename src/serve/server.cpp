@@ -21,7 +21,11 @@ DetectionServer::DetectionServer(ModelRegistry& registry,
                                  const ServerConfig& config)
     : registry_(registry),
       config_(config),
-      queue_(config.queue_capacity == 0 ? 1 : config.queue_capacity) {
+      queue_(config.queue_capacity == 0 ? 1 : config.queue_capacity),
+      feature_cache_(config.feature_cache_capacity == 0
+                         ? nullptr
+                         : std::make_shared<features::FeatureCache>(
+                               config.feature_cache_capacity)) {
   if (config_.workers == 0) config_.workers = util::default_thread_count();
   if (config_.max_batch == 0) config_.max_batch = 1;
   workers_.reserve(config_.workers);
@@ -97,16 +101,20 @@ std::future<util::Result<Verdict>> DetectionServer::submit(
   }
   // Featurize on the caller's thread: keeps worker batches pure inference
   // and makes CFG-extraction cost visible to the client that pays for it.
+  // The thread-local engine reuses traversal scratch across submissions;
+  // the server-wide cache short-circuits resubmitted graphs.
   cfg::CfgOptions opts;
   opts.main_only = true;  // the paper's per-binary convention
   opts.label_blocks = false;
   std::vector<double> row;
   try {
     const cfg::Cfg graph = cfg::extract_cfg(program, opts);
+    auto& engine = features::FeatureEngine::local();
     if (ckpt->spec().input_dim == features::kNumExtendedFeatures) {
-      row = features::extract_extended_features(graph.graph);
+      row = features::extract_extended_features(graph.graph, engine,
+                                                feature_cache_.get());
     } else {
-      const auto fv = features::extract_features(graph.graph);
+      const auto fv = engine.extract(graph.graph, feature_cache_.get());
       row.assign(fv.begin(), fv.end());
     }
   } catch (const std::invalid_argument& e) {

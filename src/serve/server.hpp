@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "features/engine.hpp"
 #include "isa/program.hpp"
 #include "serve/queue.hpp"
 #include "serve/registry.hpp"
@@ -52,6 +53,11 @@ struct ServerConfig {
   /// Deadline applied when submit() is called with deadline_ms < 0;
   /// 0 = no deadline.
   double default_deadline_ms = 0.0;
+  /// Server-lifetime feature cache (graph digest -> 23 features) shared by
+  /// every submitting thread: a resubmitted program skips the traversal.
+  /// 0 disables caching. Extended (41-dim) featurization caches only its
+  /// 23-feature base.
+  std::size_t feature_cache_capacity = 256;
 };
 
 /// One scored detection outcome.
@@ -109,6 +115,10 @@ class DetectionServer {
   ModelRegistry& registry() { return registry_; }
   std::size_t queue_depth() const { return queue_.size(); }
   StatsSnapshot stats() const { return stats_.snapshot(queue_.size()); }
+  /// The server-lifetime feature cache (null when disabled).
+  const std::shared_ptr<features::FeatureCache>& feature_cache() const {
+    return feature_cache_;
+  }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -128,6 +138,7 @@ class DetectionServer {
   ModelRegistry& registry_;
   ServerConfig config_;
   BoundedQueue<Request> queue_;
+  std::shared_ptr<features::FeatureCache> feature_cache_;
   ServerStats stats_;
   std::vector<std::thread> workers_;
   bool stopped_ = false;

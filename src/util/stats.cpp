@@ -22,9 +22,10 @@ double stddev(std::span<const double> xs) {
   return std::sqrt(acc / static_cast<double>(xs.size()));
 }
 
-double median(std::span<const double> xs) {
-  if (xs.empty()) return 0.0;
-  std::vector<double> v(xs.begin(), xs.end());
+namespace {
+
+/// Shared kernel for both median overloads: selects in place on `v`.
+double median_of(std::vector<double>& v) {
   const std::size_t n = v.size();
   const std::size_t mid = n / 2;
   std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
@@ -32,6 +33,20 @@ double median(std::span<const double> xs) {
   if (n % 2 == 1) return hi;
   double lo = *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
   return (lo + hi) / 2.0;
+}
+
+}  // namespace
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  return median_of(v);
+}
+
+double median(std::span<const double> xs, std::vector<double>& scratch) {
+  if (xs.empty()) return 0.0;
+  scratch.assign(xs.begin(), xs.end());
+  return median_of(scratch);
 }
 
 double min_of(std::span<const double> xs) {
@@ -50,6 +65,17 @@ Summary5 summary5(std::span<const double> xs) {
   s.min = min_of(xs);
   s.max = max_of(xs);
   s.median = median(xs);
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  return s;
+}
+
+Summary5 summary5(std::span<const double> xs, std::vector<double>& scratch) {
+  Summary5 s;
+  if (xs.empty()) return s;
+  s.min = min_of(xs);
+  s.max = max_of(xs);
+  s.median = median(xs, scratch);
   s.mean = mean(xs);
   s.stddev = stddev(xs);
   return s;

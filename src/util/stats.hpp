@@ -30,6 +30,10 @@ double mean(std::span<const double> xs);
 double stddev(std::span<const double> xs);
 /// Median with the usual midpoint rule for even sizes. Copies its input.
 double median(std::span<const double> xs);
+/// Median into a caller-owned scratch copy: identical result, but the copy
+/// reuses `scratch`'s capacity so hot paths (the feature engine) allocate
+/// nothing once warmed up.
+double median(std::span<const double> xs, std::vector<double>& scratch);
 double min_of(std::span<const double> xs);
 double max_of(std::span<const double> xs);
 
@@ -37,6 +41,10 @@ double max_of(std::span<const double> xs);
 /// An empty input yields all zeros, mirroring how degenerate CFGs (single
 /// block, no edges) are featurized.
 Summary5 summary5(std::span<const double> xs);
+
+/// summary5 with the median's working copy placed in caller-owned scratch
+/// (see median above). Bitwise-identical to the allocating overload.
+Summary5 summary5(std::span<const double> xs, std::vector<double>& scratch);
 
 /// Linear-interpolated p-th percentile, p in [0,100]. Copies its input.
 double percentile(std::span<const double> xs, double p);

@@ -258,7 +258,10 @@ TEST(Trace, RingIsBoundedAndCountsDrops) {
   SKIP_IF_NOOP();
   TraceRecorder rec(4);
   for (int i = 0; i < 10; ++i) {
-    TraceSpan span("s" + std::to_string(i), rec);
+    // Two-step concat: GCC 12's -Wrestrict misfires on `"s" + to_string(i)`.
+    std::string name("s");
+    name += std::to_string(i);
+    TraceSpan span(name, rec);
   }
   const auto events = rec.events();
   ASSERT_EQ(events.size(), 4u);
