@@ -12,7 +12,14 @@
 // path is bitwise-identical to per-sample forward; tests/serve_test.cpp),
 // so this is pure throughput.
 //
-//   $ ./bench/serve_load [--smoke] [--threads N]   (N = client threads)
+// With --loopback the closed loop is repeated over the real wire: a
+// TransportServer on 127.0.0.1 with one RemoteClient per client thread,
+// reported as loopback_slowdown_8w (in-process QPS / loopback QPS). With
+// --chaos the loopback run repeats with all five net.* fault points armed
+// probabilistically; the gate is zero crashes and a bounded error rate
+// (>= 90% of requests still produce a verdict through retry/quarantine).
+//
+//   $ ./bench/serve_load [--smoke] [--loopback] [--chaos] [--threads N]
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -29,6 +36,8 @@
 #include "serve/checkpoint.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
+#include "serve/transport.hpp"
+#include "util/faultinject.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/threadpool.hpp"
@@ -83,6 +92,10 @@ struct RunResult {
   double qps = 0.0;
   double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
   double mean_batch = 0.0;
+  // Wire-path extras (loopback/chaos modes only).
+  std::uint64_t retries = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t shed = 0;
 };
 
 serve::ServerConfig server_config(std::size_t workers, std::size_t max_batch,
@@ -203,6 +216,100 @@ RunResult run_open(serve::ModelRegistry& registry, std::size_t workers,
   return res;
 }
 
+/// Closed loop over the real wire: a TransportServer on loopback with one
+/// RemoteClient per client thread. With `chaos`, all five net.* fault
+/// points are armed probabilistically (deterministic seeds) on the server
+/// side; clients must recover through retry/backoff, the server through
+/// quarantine/shed/timeout — crashing or hanging is the only failure.
+RunResult run_loopback(serve::ModelRegistry& registry, std::size_t workers,
+                       std::size_t max_batch, std::size_t clients,
+                       std::size_t per_client,
+                       const std::vector<std::vector<double>>& rows,
+                       bool chaos, double* ok_fraction_out) {
+  serve::DetectionServer server(
+      registry, server_config(workers, max_batch, clients * 2));
+  serve::TransportConfig tcfg;
+  tcfg.fault_injection = chaos;
+  if (chaos) tcfg.read_timeout_ms = 250.0;  // mop up desyncs fast
+  serve::TransportServer transport(server, tcfg);
+  if (auto st = transport.start(); !st.is_ok()) {
+    std::fprintf(stderr, "%s\n", st.to_string().c_str());
+    std::exit(1);
+  }
+
+  if (chaos) {
+    auto& inj = util::FaultInjector::instance();
+    inj.arm_random(util::faults::kNetAcceptFail, 0.10, 101);
+    inj.arm_random(util::faults::kNetReadShort, 0.01, 102);
+    inj.arm_random(util::faults::kNetFrameCorrupt, 0.02, 103);
+    inj.arm_random(util::faults::kNetWriteStall, 0.02, 104);
+    inj.arm_random(util::faults::kNetConnDrop, 0.01, 105);
+  }
+
+  util::LatencyRecorder latency;
+  std::mutex latency_mu;
+  std::atomic<std::uint64_t> ok{0}, failed{0}, retries{0};
+  util::Stopwatch wall;
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      serve::ClientConfig ccfg;
+      ccfg.port = transport.port();
+      ccfg.request_timeout_ms = 2'000.0;
+      ccfg.max_retries = chaos ? 5 : 3;
+      ccfg.jitter_seed = 0x6a17 + c;
+      serve::RemoteClient client(ccfg);
+      std::vector<double> local;
+      local.reserve(per_client);
+      for (std::size_t i = 0; i < per_client; ++i) {
+        util::Stopwatch sw;
+        auto r = client.detect(rows[(c * per_client + i) % rows.size()]);
+        if (r.is_ok()) {
+          local.push_back(sw.elapsed_ms());  // client-observed, wire included
+          ok.fetch_add(1);
+        } else {
+          failed.fetch_add(1);
+        }
+      }
+      retries.fetch_add(client.stats().retries);
+      std::lock_guard<std::mutex> lock(latency_mu);
+      for (double v : local) latency.record(v);
+    });
+  }
+  for (auto& t : pool) t.join();
+  const double wall_s = wall.elapsed_ms() / 1000.0;
+  transport.stop();
+  const auto net = transport.stats();
+  server.stop();
+  if (chaos) util::FaultInjector::instance().reset();
+
+  const std::uint64_t total = ok.load() + failed.load();
+  if (ok_fraction_out) {
+    *ok_fraction_out =
+        total > 0 ? static_cast<double>(ok.load()) / total : 0.0;
+  }
+
+  RunResult res;
+  res.mode = chaos ? "chaos" : "loopback";
+  res.workers = workers;
+  res.max_batch = max_batch;
+  res.clients = clients;
+  res.completed = ok.load();
+  res.rejected = failed.load();
+  res.wall_s = wall_s;
+  res.qps = wall_s > 0 ? static_cast<double>(ok.load()) / wall_s : 0.0;
+  const auto lat = latency.summarize();
+  res.p50_ms = lat.p50;
+  res.p95_ms = lat.p95;
+  res.p99_ms = lat.p99;
+  res.mean_batch = server.stats().mean_batch();
+  res.retries = retries.load();
+  res.quarantined = net.quarantined;
+  res.shed = net.shed;
+  return res;
+}
+
 void print_result(const RunResult& r) {
   std::printf(
       "%-6s workers=%zu batch=%-2zu  qps=%8.1f  p50=%6.2fms p95=%6.2fms "
@@ -210,9 +317,16 @@ void print_result(const RunResult& r) {
       r.mode.c_str(), r.workers, r.max_batch, r.qps, r.p50_ms, r.p95_ms,
       r.p99_ms, static_cast<unsigned long long>(r.completed),
       static_cast<unsigned long long>(r.rejected), r.mean_batch);
+  if (r.mode == "loopback" || r.mode == "chaos") {
+    std::printf("       retries=%llu quarantined=%llu shed=%llu\n",
+                static_cast<unsigned long long>(r.retries),
+                static_cast<unsigned long long>(r.quarantined),
+                static_cast<unsigned long long>(r.shed));
+  }
 }
 
 void write_json(const std::vector<RunResult>& results, double speedup_8w,
+                double loopback_slowdown_8w, double chaos_ok_fraction,
                 bool smoke) {
   std::ofstream out("BENCH_serve.json");
   out << "{\n  \"benchmark\": \"serve_load\",\n"
@@ -227,17 +341,23 @@ void write_json(const std::vector<RunResult>& results, double speedup_8w,
         << ", \"wall_s\": " << r.wall_s << ", \"qps\": " << r.qps
         << ", \"p50_ms\": " << r.p50_ms << ", \"p95_ms\": " << r.p95_ms
         << ", \"p99_ms\": " << r.p99_ms << ", \"mean_batch\": " << r.mean_batch
+        << ", \"retries\": " << r.retries
+        << ", \"quarantined\": " << r.quarantined << ", \"shed\": " << r.shed
         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  out << "  ],\n  \"batched_speedup_8w\": " << speedup_8w << "\n}\n";
+  out << "  ],\n  \"batched_speedup_8w\": " << speedup_8w
+      << ",\n  \"loopback_slowdown_8w\": " << loopback_slowdown_8w
+      << ",\n  \"chaos_ok_fraction\": " << chaos_ok_fraction << "\n}\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
+  bool smoke = false, loopback = false, chaos = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--loopback") == 0) loopback = true;
+    if (std::strcmp(argv[i], "--chaos") == 0) chaos = true;
   }
   const std::size_t clients = util::threads_from_cli(argc, argv, 48);
   const std::size_t per_client = smoke ? 12 : 120;
@@ -280,8 +400,36 @@ int main(int argc, char** argv) {
   const double speedup =
       qps_8w_unbatched > 0 ? qps_8w_batched / qps_8w_unbatched : 0.0;
   std::printf("batched speedup at 8 workers: %.2fx\n", speedup);
-  write_json(results, speedup, smoke);
+
+  double loopback_slowdown = 0.0, chaos_ok_fraction = 0.0;
+  if (loopback) {
+    auto r = run_loopback(registry, 8, 16, clients, per_client, rows,
+                          /*chaos=*/false, nullptr);
+    print_result(r);
+    loopback_slowdown = r.qps > 0 ? qps_8w_batched / r.qps : 0.0;
+    std::printf("loopback slowdown at 8 workers: %.2fx\n", loopback_slowdown);
+    results.push_back(std::move(r));
+  }
+  int rc = 0;
+  if (chaos) {
+    auto r = run_loopback(registry, 8, 16, clients, per_client, rows,
+                          /*chaos=*/true, &chaos_ok_fraction);
+    print_result(r);
+    std::printf("chaos ok fraction: %.3f (gate: >= 0.90, no crashes)\n",
+                chaos_ok_fraction);
+    // The whole point of the chaos stage: under all five wire faults at
+    // once the system degrades but does not fall over. Reaching this line
+    // proves no crash; the fraction bounds the error rate.
+    if (chaos_ok_fraction < 0.90) {
+      std::fprintf(stderr, "chaos gate FAILED: ok fraction %.3f < 0.90\n",
+                   chaos_ok_fraction);
+      rc = 1;
+    }
+    results.push_back(std::move(r));
+  }
+
+  write_json(results, speedup, loopback_slowdown, chaos_ok_fraction, smoke);
   std::printf("wrote BENCH_serve.json\n");
   std::filesystem::remove_all(dir);
-  return 0;
+  return rc;
 }

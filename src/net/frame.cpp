@@ -1,0 +1,140 @@
+#include "net/frame.hpp"
+
+#include "net/wire.hpp"
+#include "util/faultinject.hpp"
+
+namespace gea::net {
+
+using util::ErrorCode;
+using util::Status;
+
+std::uint32_t checksum32(std::span<const std::uint8_t> data) {
+  std::uint32_t h = 0x811c9dc5u;  // FNV offset basis
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x01000193u;  // FNV prime
+  }
+  return h;
+}
+
+const char* frame_type_name(FrameType type) {
+  switch (type) {
+    case FrameType::kDetectRequest:
+      return "detect_request";
+    case FrameType::kDetectResponse:
+      return "detect_response";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool known_type(std::uint16_t t) {
+  return t == static_cast<std::uint16_t>(FrameType::kDetectRequest) ||
+         t == static_cast<std::uint16_t>(FrameType::kDetectResponse);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame, bool inject_fault) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + frame.payload.size());
+  wire::Writer w(out);
+  w.put_u32(kMagic);
+  w.put_u16(kProtocolVersion);
+  w.put_u16(static_cast<std::uint16_t>(frame.type));
+  w.put_u64(frame.request_id);
+  w.put_u64(frame.deadline_budget_us);
+  w.put_u32(static_cast<std::uint32_t>(frame.payload.size()));
+  w.put_u32(checksum32(frame.payload));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  if (inject_fault && !frame.payload.empty() &&
+      util::fault(util::faults::kNetFrameCorrupt)) {
+    out[kHeaderBytes + frame.payload.size() / 2] ^= 0x40;
+  }
+  return out;
+}
+
+DecodeResult decode_frame(std::span<const std::uint8_t> data,
+                          std::size_t max_payload, bool inject_fault) {
+  DecodeResult res;
+  if (data.size() < kHeaderBytes) return res;  // kNeedMore
+
+  wire::Reader r(data);
+  const std::uint32_t magic = r.get_u32();
+  const std::uint16_t version = r.get_u16();
+  const std::uint16_t type = r.get_u16();
+  const std::uint64_t request_id = r.get_u64();
+  const std::uint64_t budget_us = r.get_u64();
+  const std::uint32_t payload_len = r.get_u32();
+  const std::uint32_t payload_crc = r.get_u32();
+
+  if (magic != kMagic) {
+    // Frame boundaries are lost: nothing downstream of a bad magic can be
+    // trusted, so the connection must be closed (unrecoverable).
+    res.kind = DecodeResult::Kind::kError;
+    res.status = Status::error(ErrorCode::kParseError, "bad frame magic");
+    res.recoverable = false;
+    res.consumed = data.size();
+    return res;
+  }
+  if (payload_len > max_payload) {
+    res.kind = DecodeResult::Kind::kError;
+    res.status = Status::error(
+        ErrorCode::kResourceExhausted,
+        "frame payload length " + std::to_string(payload_len) +
+            " exceeds limit " + std::to_string(max_payload));
+    res.recoverable = false;
+    res.consumed = data.size();
+    return res;
+  }
+  const std::size_t total = kHeaderBytes + payload_len;
+  if (data.size() < total) return res;  // kNeedMore
+
+  // The frame's extent is known from here on, so every further failure is
+  // recoverable: report the full extent as consumed and the stream resyncs
+  // at the next header. The parsed header fields are surfaced even on a
+  // recoverable error so a server can echo the request id when it answers
+  // with an error frame.
+  res.consumed = total;
+  res.frame.request_id = request_id;
+  res.frame.deadline_budget_us = budget_us;
+  if (version != kProtocolVersion) {
+    res.kind = DecodeResult::Kind::kError;
+    res.status = Status::error(ErrorCode::kInvalidArgument,
+                               "unsupported protocol version " +
+                                   std::to_string(version));
+    res.recoverable = true;
+    return res;
+  }
+  if (!known_type(type)) {
+    res.kind = DecodeResult::Kind::kError;
+    res.status = Status::error(ErrorCode::kInvalidArgument,
+                               "unknown frame type " + std::to_string(type));
+    res.recoverable = true;
+    return res;
+  }
+
+  std::vector<std::uint8_t> payload(data.begin() + kHeaderBytes,
+                                    data.begin() + total);
+  if (inject_fault && !payload.empty() &&
+      util::fault(util::faults::kNetFrameCorrupt)) {
+    payload[payload.size() / 2] ^= 0x40;
+  }
+  if (checksum32(payload) != payload_crc) {
+    res.kind = DecodeResult::Kind::kError;
+    res.status =
+        Status::error(ErrorCode::kCorruptData, "frame checksum mismatch");
+    res.recoverable = true;
+    return res;
+  }
+
+  res.kind = DecodeResult::Kind::kFrame;
+  res.frame.type = static_cast<FrameType>(type);
+  res.frame.request_id = request_id;
+  res.frame.deadline_budget_us = budget_us;
+  res.frame.payload = std::move(payload);
+  return res;
+}
+
+}  // namespace gea::net

@@ -1,0 +1,101 @@
+// Length-prefixed binary frame protocol for the remote serving transport.
+//
+// Every message on a connection is one frame:
+//
+//   offset  size  field
+//        0     4  magic               0x31414547 ("GEA1", LE)
+//        4     2  version             kProtocolVersion (1)
+//        6     2  type                FrameType
+//        8     8  request id          client-chosen correlation id
+//       16     8  deadline budget µs  remaining end-to-end budget (0 = none)
+//       24     4  payload length      bytes following the header
+//       28     4  payload checksum    FNV-1a 32 over the payload bytes
+//   [32 .. 32+len)  payload
+//
+// The decoder is incremental (feed it a growing receive buffer; it answers
+// "need more", "here is a frame", or an error) and *strict*: it validates
+// magic, version, type, length bound, and checksum before a frame is
+// surfaced. Errors are classified by whether the byte stream can be
+// resynchronized:
+//
+//  - recoverable (valid magic + sane length, but bad version/type/checksum):
+//    the whole frame's extent is known, so the decoder reports how many
+//    bytes to skip and the connection can continue — the transport
+//    quarantines the frame (counted, never fatal) in lenient mode;
+//  - unrecoverable (bad magic, or a length field past the configured
+//    ceiling): frame boundaries are lost or the peer is asking for an
+//    absurd allocation; the only safe degradation is closing that one
+//    connection.
+//
+// This mirrors the lenient/strict quarantine discipline used everywhere
+// else in the pipeline (ROBUSTNESS.md): damage is detected, counted, and
+// contained at the smallest possible blast radius.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace gea::net {
+
+inline constexpr std::uint32_t kMagic = 0x31414547u;  // "GEA1" little-endian
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 32;
+/// Ceiling on payload length a peer may declare. A 23- or 41-feature
+/// request is ~350 bytes; 1 MiB leaves headroom for future payloads while
+/// refusing length-field attacks outright.
+inline constexpr std::size_t kMaxPayloadBytes = 1 << 20;
+
+enum class FrameType : std::uint16_t {
+  kDetectRequest = 1,   // payload: feature vector (serve/transport codec)
+  kDetectResponse = 2,  // payload: status code + verdict or error message
+};
+
+struct Frame {
+  FrameType type = FrameType::kDetectRequest;
+  std::uint64_t request_id = 0;
+  std::uint64_t deadline_budget_us = 0;  // 0 = no deadline
+  std::vector<std::uint8_t> payload;
+};
+
+/// FNV-1a 32-bit over `data` — the payload checksum. Deterministic,
+/// dependency-free, and plenty to catch truncation/bit-flip corruption
+/// (this is an integrity check against accidents and fuzzed input, not a
+/// cryptographic MAC).
+std::uint32_t checksum32(std::span<const std::uint8_t> data);
+
+/// Serialize header + payload. With `inject_fault` set (the server side),
+/// the `net.frame.corrupt` fault point may flip one payload byte *after*
+/// the checksum is computed, synthesizing in-flight corruption the peer's
+/// validator must catch.
+std::vector<std::uint8_t> encode_frame(const Frame& frame,
+                                       bool inject_fault = false);
+
+/// One step of the incremental decoder.
+struct DecodeResult {
+  enum class Kind {
+    kNeedMore,  // buffer holds less than one full frame; read more bytes
+    kFrame,     // `frame` is valid; drop `consumed` bytes from the buffer
+    kError,     // malformed; see `status`/`recoverable`, drop `consumed`
+  };
+  Kind kind = Kind::kNeedMore;
+  Frame frame;
+  util::Status status;      // set iff kind == kError
+  bool recoverable = false; // kError only: true = skip frame, keep the conn
+  std::size_t consumed = 0; // bytes to drop from the front of the buffer
+};
+
+/// Try to extract one frame from the front of `data`. `max_payload` caps
+/// the length field (kMaxPayloadBytes for servers; clients may use less).
+/// With `inject_fault` set, `net.frame.corrupt` may flip a payload byte
+/// before validation so the checksum path is deterministically testable.
+DecodeResult decode_frame(std::span<const std::uint8_t> data,
+                          std::size_t max_payload = kMaxPayloadBytes,
+                          bool inject_fault = false);
+
+const char* frame_type_name(FrameType type);
+
+}  // namespace gea::net

@@ -1,0 +1,250 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/faultinject.hpp"
+
+namespace gea::net {
+
+using util::ErrorCode;
+using util::Status;
+
+namespace {
+
+Status errno_status(const char* what) {
+  return Status::error(ErrorCode::kUnavailable,
+                       std::string(what) + ": " + ::strerror(errno));
+}
+
+}  // namespace
+
+Socket::Socket(Socket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      inject_(std::exchange(other.inject_, false)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    inject_ = std::exchange(other.inject_, false);
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Socket::set_nonblocking() {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return errno_status("fcntl(O_NONBLOCK)");
+  }
+  return Status::ok();
+}
+
+IoResult Socket::read_some(std::uint8_t* buf, std::size_t len) {
+  IoResult res;
+  if (inject_ && util::fault(util::faults::kNetConnDrop)) {
+    // Synthesized peer reset: surface as an orderly-looking EOF so the
+    // caller tears the connection down through its normal path.
+    res.eof = true;
+    return res;
+  }
+  ssize_t n;
+  do {
+    n = ::recv(fd_, buf, len, 0);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      res.would_block = true;
+      return res;
+    }
+    if (errno == ECONNRESET) {
+      res.eof = true;
+      return res;
+    }
+    res.status = errno_status("recv");
+    return res;
+  }
+  if (n == 0) {
+    res.eof = true;
+    return res;
+  }
+  res.bytes = static_cast<std::size_t>(n);
+  if (inject_ && res.bytes > 1 && util::fault(util::faults::kNetReadShort)) {
+    // Keep a truncated prefix and *drop* the tail: the bytes already left
+    // the kernel buffer, so the frame stream is now desynchronized and the
+    // decoder/timeout layer must contain the damage.
+    res.bytes /= 2;
+  }
+  return res;
+}
+
+IoResult Socket::write_some(const std::uint8_t* buf, std::size_t len) {
+  IoResult res;
+  if (inject_ && util::fault(util::faults::kNetWriteStall)) {
+    res.would_block = true;  // kernel "accepted" nothing this round
+    return res;
+  }
+  ssize_t n;
+  do {
+    n = ::send(fd_, buf, len, MSG_NOSIGNAL);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      res.would_block = true;
+      return res;
+    }
+    if (errno == EPIPE || errno == ECONNRESET) {
+      res.eof = true;
+      return res;
+    }
+    res.status = errno_status("send");
+    return res;
+  }
+  res.bytes = static_cast<std::size_t>(n);
+  return res;
+}
+
+util::Result<short> Socket::poll_one(short events, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd_;
+  pfd.events = events;
+  pfd.revents = 0;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return errno_status("poll");
+  return static_cast<short>(rc == 0 ? 0 : pfd.revents);
+}
+
+Status ListenSocket::listen(const std::string& host, std::uint16_t port,
+                            int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket");
+  Socket sock(fd);
+
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "not an IPv4 address: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return errno_status("bind");
+  }
+  if (::listen(fd, backlog) < 0) return errno_status("listen");
+  if (auto st = sock.set_nonblocking(); !st.is_ok()) return st;
+
+  // Learn the ephemeral port the kernel picked for port 0.
+  struct sockaddr_in bound;
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &blen) <
+      0) {
+    return errno_status("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  sock_ = std::move(sock);
+  return Status::ok();
+}
+
+ListenSocket::AcceptResult ListenSocket::accept_one() {
+  AcceptResult res;
+  if (sock_.fault_injection() && util::fault(util::faults::kNetAcceptFail)) {
+    // Synthesized transient failure: the pending connection stays in the
+    // kernel backlog; the caller counts the failure and polls again.
+    res.status = Status::error(ErrorCode::kUnavailable,
+                               "accept: injected transient failure");
+    return res;
+  }
+  int fd;
+  do {
+    fd = ::accept(sock_.fd(), nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      res.would_block = true;
+      return res;
+    }
+    // ECONNABORTED and friends: that one connection is gone, the listener
+    // is fine. Report as a transient accept failure.
+    res.status = errno_status("accept");
+    return res;
+  }
+  Socket sock(fd);
+  sock.set_fault_injection(sock_.fault_injection());
+  if (auto st = sock.set_nonblocking(); !st.is_ok()) {
+    res.status = std::move(st);
+    return res;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  res.socket = std::move(sock);
+  return res;
+}
+
+util::Result<Socket> connect_to(const std::string& host, std::uint16_t port,
+                                int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket");
+  Socket sock(fd);
+  if (auto st = sock.set_nonblocking(); !st.is_ok()) return st;
+
+  struct sockaddr_in addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "not an IPv4 address: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0 && errno != EINPROGRESS) return errno_status("connect");
+  if (rc < 0) {
+    // Handshake in progress: wait for writability, then check SO_ERROR.
+    auto ev = sock.poll_one(POLLOUT, timeout_ms);
+    if (!ev.is_ok()) return ev.status();
+    if (ev.value() == 0) {
+      return Status::error(ErrorCode::kDeadlineExceeded,
+                           "connect timed out to " + host + ":" +
+                               std::to_string(port));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      errno = err != 0 ? err : errno;
+      return errno_status("connect");
+    }
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+}  // namespace gea::net

@@ -1,0 +1,166 @@
+// Bounds-checked little-endian wire primitives shared by the frame codec
+// and the payload codecs in serve/transport.
+//
+// Everything on the wire is explicit little-endian, serialized byte by
+// byte, so the format does not depend on host endianness or struct layout.
+// The Reader never trusts a length field: every get_* checks remaining()
+// first and flips the reader into a sticky failed state instead of reading
+// out of bounds, so a truncated or hostile payload degrades into one
+// kParseError Status, never UB.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace gea::net::wire {
+
+/// Append-only little-endian serializer over a caller-owned byte vector.
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void put_u8(std::uint8_t v) { out_.push_back(v); }
+
+  void put_u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  /// IEEE-754 bit pattern, little-endian — bitwise round trip, no rounding.
+  void put_f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u64(bits);
+  }
+
+  /// u32 length prefix + raw bytes.
+  void put_string(const std::string& s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  /// u32 count prefix + f64 elements.
+  void put_f64_vector(const std::vector<double>& xs) {
+    put_u32(static_cast<std::uint32_t>(xs.size()));
+    for (double x : xs) put_f64(x);
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Bounds-checked deserializer. After any failed read the reader is
+/// *sticky-failed*: every later get_* returns a zero value and ok() stays
+/// false, so decoders can read a whole struct and check ok() once.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+
+  std::uint8_t get_u8() {
+    if (!take(1)) return 0;
+    return data_[pos_ - 1];
+  }
+
+  std::uint16_t get_u16() {
+    if (!take(2)) return 0;
+    const std::size_t p = pos_ - 2;
+    return static_cast<std::uint16_t>(data_[p] |
+                                      (static_cast<std::uint16_t>(data_[p + 1])
+                                       << 8));
+  }
+
+  std::uint32_t get_u32() {
+    if (!take(4)) return 0;
+    const std::size_t p = pos_ - 4;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[p + i]) << (8 * i);
+    }
+    return v;
+  }
+
+  std::uint64_t get_u64() {
+    if (!take(8)) return 0;
+    const std::size_t p = pos_ - 8;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[p + i]) << (8 * i);
+    }
+    return v;
+  }
+
+  double get_f64() {
+    const std::uint64_t bits = get_u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  /// u32 length prefix + raw bytes; fails (without allocating) when the
+  /// declared length exceeds the bytes actually present.
+  std::string get_string() {
+    const std::uint32_t n = get_u32();
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_.data()) + pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  /// u32 count prefix + f64 elements; same no-trust rule as get_string.
+  std::vector<double> get_f64_vector() {
+    const std::uint32_t n = get_u32();
+    if (!ok_ || static_cast<std::size_t>(n) * 8 > remaining()) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<double> xs(n);
+    for (auto& x : xs) x = get_f64();
+    return xs;
+  }
+
+  /// The one Status every payload decoder returns on a failed reader.
+  util::Status parse_error(const char* what) const {
+    return util::Status::error(util::ErrorCode::kParseError,
+                               std::string("truncated or malformed ") + what);
+  }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace gea::net::wire

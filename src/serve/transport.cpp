@@ -1,0 +1,790 @@
+#include "serve/transport.hpp"
+
+#include <poll.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <deque>
+#include <thread>
+#include <utility>
+
+#include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+#include "util/threadpool.hpp"
+#include "util/timer.hpp"
+
+namespace gea::serve {
+
+using util::ErrorCode;
+using util::Status;
+
+// --- Payload codecs --------------------------------------------------------
+
+std::vector<std::uint8_t> encode_detect_request_payload(
+    const std::vector<double>& features) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + features.size() * 8);
+  net::wire::Writer w(out);
+  w.put_f64_vector(features);
+  return out;
+}
+
+util::Result<std::vector<double>> decode_detect_request_payload(
+    std::span<const std::uint8_t> payload) {
+  net::wire::Reader r(payload);
+  auto features = r.get_f64_vector();
+  if (!r.ok()) return r.parse_error("detect request payload");
+  if (r.remaining() != 0) {
+    return Status::error(ErrorCode::kParseError,
+                         "trailing bytes after detect request payload");
+  }
+  return features;
+}
+
+std::vector<std::uint8_t> encode_detect_response_payload(
+    const util::Result<Verdict>& result) {
+  std::vector<std::uint8_t> out;
+  net::wire::Writer w(out);
+  if (!result.is_ok()) {
+    w.put_u32(static_cast<std::uint32_t>(result.status().code()));
+    w.put_string(result.status().to_string());
+    return out;
+  }
+  const Verdict& v = result.value();
+  w.put_u32(0);  // ErrorCode::kOk
+  w.put_u32(static_cast<std::uint32_t>(v.predicted));
+  w.put_u32(static_cast<std::uint32_t>(v.batch_size));
+  w.put_string(v.model_version);
+  w.put_f64_vector(v.logits);
+  w.put_f64_vector(v.probabilities);
+  w.put_f64(v.queue_ms);
+  w.put_f64(v.infer_ms);
+  w.put_f64(v.total_ms);
+  return out;
+}
+
+util::Result<Verdict> decode_detect_response_payload(
+    std::span<const std::uint8_t> payload) {
+  net::wire::Reader r(payload);
+  const std::uint32_t code = r.get_u32();
+  if (!r.ok()) return r.parse_error("detect response payload");
+  if (code != 0) {
+    if (code > static_cast<std::uint32_t>(ErrorCode::kDeadlineExceeded)) {
+      return Status::error(ErrorCode::kParseError,
+                           "detect response carries unknown error code " +
+                               std::to_string(code));
+    }
+    const std::string message = r.get_string();
+    if (!r.ok()) return r.parse_error("detect response payload");
+    return Status::error(static_cast<ErrorCode>(code), message);
+  }
+  Verdict v;
+  v.predicted = r.get_u32();
+  v.batch_size = r.get_u32();
+  v.model_version = r.get_string();
+  v.logits = r.get_f64_vector();
+  v.probabilities = r.get_f64_vector();
+  v.queue_ms = r.get_f64();
+  v.infer_ms = r.get_f64();
+  v.total_ms = r.get_f64();
+  if (!r.ok() || r.remaining() != 0) {
+    return r.parse_error("detect response payload");
+  }
+  return v;
+}
+
+// --- TransportServer -------------------------------------------------------
+
+namespace {
+
+/// Per-connection state owned by the event loop thread.
+struct Conn {
+  net::Socket sock;
+  std::vector<std::uint8_t> rbuf;  // received, not yet decoded
+  std::vector<std::uint8_t> wbuf;  // encoded, not yet flushed
+  std::size_t woff = 0;            // flushed prefix of wbuf
+
+  struct Pending {
+    std::uint64_t id = 0;
+    std::future<util::Result<Verdict>> fut;
+    util::Stopwatch since;  // request receipt -> response enqueued
+  };
+  std::deque<Pending> inflight;
+
+  util::Stopwatch idle;     // reset whenever bytes move either way
+  util::Stopwatch partial;  // reset when an incomplete frame starts
+  bool has_partial = false;
+  bool close_after_flush = false;
+  bool dead = false;
+
+  std::size_t wbuf_pending() const { return wbuf.size() - woff; }
+};
+
+}  // namespace
+
+struct TransportServer::Impl {
+  DetectionServer& server;
+  TransportConfig config;
+  net::ListenSocket listener;
+
+  std::atomic<bool> started{false};
+  std::atomic<bool> stop_requested{false};
+  std::atomic<bool> loop_running{false};
+
+  struct Counters {
+    std::atomic<std::uint64_t> accepted{0}, closed{0}, accept_failures{0},
+        frames_read{0}, frames_written{0}, bytes_read{0}, bytes_written{0},
+        quarantined{0}, shed{0}, idle_timeouts{0}, read_timeouts{0},
+        requests{0}, responses_ok{0}, responses_error{0};
+    std::atomic<std::size_t> active{0};
+  } c;
+
+  // Registry mirrors ("net.*"), resolved once; shared across instances by
+  // design (the registry aggregates the process, stats() isolates this
+  // server).
+  obs::Counter* m_accepted;
+  obs::Counter* m_closed;
+  obs::Counter* m_accept_failures;
+  obs::Counter* m_frames_read;
+  obs::Counter* m_frames_written;
+  obs::Counter* m_quarantined;
+  obs::Counter* m_shed;
+  obs::Counter* m_idle_timeouts;
+  obs::Counter* m_read_timeouts;
+  obs::Counter* m_requests;
+  obs::Gauge* m_active;
+  obs::Histogram* m_request_ms;
+
+  std::vector<std::unique_ptr<Conn>> conns;
+
+  // The event loop runs as the single task of a dedicated util::ThreadPool,
+  // so transport shutdown reuses the pool's drain-then-join discipline.
+  util::ThreadPool io_pool{1};
+
+  Impl(DetectionServer& s, const TransportConfig& cfg)
+      : server(s), config(cfg) {
+    auto& reg = obs::MetricsRegistry::global();
+    m_accepted = &reg.counter("net.connections_accepted_total");
+    m_closed = &reg.counter("net.connections_closed_total");
+    m_accept_failures = &reg.counter("net.accept_failures_total");
+    m_frames_read = &reg.counter("net.frames_read_total");
+    m_frames_written = &reg.counter("net.frames_written_total");
+    m_quarantined = &reg.counter("net.frames_quarantined_total");
+    m_shed = &reg.counter("net.requests_shed_total");
+    m_idle_timeouts = &reg.counter("net.idle_timeouts_total");
+    m_read_timeouts = &reg.counter("net.read_timeouts_total");
+    m_requests = &reg.counter("net.requests_total");
+    m_active = &reg.gauge("net.active_connections");
+    m_request_ms = &reg.histogram("net.request_ms");
+  }
+
+  void close_conn(Conn& conn) {
+    if (conn.dead) return;
+    conn.dead = true;
+    conn.sock.close();
+    c.closed.fetch_add(1, std::memory_order_relaxed);
+    m_closed->inc();
+  }
+
+  /// Append an encoded frame to the connection's write buffer, enforcing
+  /// the hard 2x cap: a peer that is not draining responses is closed
+  /// rather than buffered for.
+  void enqueue_frame(Conn& conn, const net::Frame& frame) {
+    const auto bytes = net::encode_frame(frame, config.fault_injection);
+    conn.wbuf.insert(conn.wbuf.end(), bytes.begin(), bytes.end());
+    c.frames_written.fetch_add(1, std::memory_order_relaxed);
+    m_frames_written->inc();
+    if (conn.wbuf_pending() > 2 * config.write_buffer_limit) {
+      util::log_warn("net: closing connection over hard write-buffer cap (",
+                     conn.wbuf_pending(), " bytes pending)");
+      close_conn(conn);
+    }
+  }
+
+  void respond(Conn& conn, std::uint64_t id,
+               const util::Result<Verdict>& result) {
+    net::Frame f;
+    f.type = net::FrameType::kDetectResponse;
+    f.request_id = id;
+    f.payload = encode_detect_response_payload(result);
+    enqueue_frame(conn, f);
+    if (result.is_ok()) {
+      c.responses_ok.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      c.responses_error.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void respond_error(Conn& conn, std::uint64_t id, Status status) {
+    respond(conn, id,
+            util::Result<Verdict>(
+                std::move(status.with_context("TransportServer"))));
+  }
+
+  void shed(Conn& conn, std::uint64_t id, const char* why) {
+    c.shed.fetch_add(1, std::memory_order_relaxed);
+    m_shed->inc();
+    respond_error(conn, id, Status::error(ErrorCode::kUnavailable, why));
+  }
+
+  /// A malformed frame: count it, then either answer-and-continue
+  /// (lenient + recoverable) or close the connection (strict, or the
+  /// stream cannot be resynchronized).
+  void quarantine(Conn& conn, std::uint64_t id, const Status& status,
+                  bool recoverable) {
+    c.quarantined.fetch_add(1, std::memory_order_relaxed);
+    m_quarantined->inc();
+    util::log_warn("net: quarantined frame: ", status.to_string());
+    if (!recoverable || config.strict) {
+      close_conn(conn);
+      return;
+    }
+    respond_error(conn, id, status);
+  }
+
+  void dispatch_frame(Conn& conn, net::Frame&& frame) {
+    if (frame.type != net::FrameType::kDetectRequest) {
+      quarantine(conn, frame.request_id,
+                 Status::error(ErrorCode::kInvalidArgument,
+                               std::string("unexpected frame type ") +
+                                   net::frame_type_name(frame.type)),
+                 /*recoverable=*/true);
+      return;
+    }
+    c.requests.fetch_add(1, std::memory_order_relaxed);
+    m_requests->inc();
+
+    // Per-connection admission control, layered in front of the queue's
+    // global admission control: shed instead of buffering unboundedly.
+    if (conn.inflight.size() >= config.max_inflight_per_conn) {
+      shed(conn, frame.request_id, "connection in-flight limit reached");
+      return;
+    }
+    if (conn.wbuf_pending() > config.write_buffer_limit) {
+      shed(conn, frame.request_id, "connection write buffer full");
+      return;
+    }
+
+    auto features = decode_detect_request_payload(frame.payload);
+    if (!features.is_ok()) {
+      respond_error(conn, frame.request_id,
+                    Status(features.status()).with_context("detect request"));
+      return;
+    }
+
+    // 0 budget on the wire = no deadline from the client; inherit the
+    // server's default (-1) rather than forcing "none".
+    const double deadline_ms =
+        frame.deadline_budget_us > 0
+            ? static_cast<double>(frame.deadline_budget_us) / 1000.0
+            : -1.0;
+    Conn::Pending p;
+    p.id = frame.request_id;
+    p.fut = server.submit(std::move(features).value(), deadline_ms);
+    conn.inflight.push_back(std::move(p));
+  }
+
+  /// Drain readable bytes, then decode as many frames as arrived.
+  void read_conn(Conn& conn) {
+    std::uint8_t chunk[16 * 1024];
+    std::size_t round = 0;
+    while (round < 256 * 1024) {  // fairness cap per poll round
+      auto io = conn.sock.read_some(chunk, sizeof(chunk));
+      if (!io.ok()) {
+        util::log_warn("net: read error: ", io.status.to_string());
+        close_conn(conn);
+        return;
+      }
+      if (io.eof) {
+        close_conn(conn);
+        return;
+      }
+      if (io.would_block) break;
+      conn.rbuf.insert(conn.rbuf.end(), chunk, chunk + io.bytes);
+      round += io.bytes;
+      c.bytes_read.fetch_add(io.bytes, std::memory_order_relaxed);
+      conn.idle.reset();
+      if (io.bytes < sizeof(chunk)) break;  // likely drained
+    }
+
+    std::size_t off = 0;
+    while (!conn.dead) {
+      auto res = net::decode_frame(
+          std::span<const std::uint8_t>(conn.rbuf.data() + off,
+                                        conn.rbuf.size() - off),
+          config.max_payload_bytes, config.fault_injection);
+      if (res.kind == net::DecodeResult::Kind::kNeedMore) break;
+      off += res.consumed;
+      if (res.kind == net::DecodeResult::Kind::kError) {
+        quarantine(conn, res.frame.request_id, res.status, res.recoverable);
+        if (conn.dead) break;
+        continue;
+      }
+      c.frames_read.fetch_add(1, std::memory_order_relaxed);
+      m_frames_read->inc();
+      dispatch_frame(conn, std::move(res.frame));
+    }
+    if (off > 0) conn.rbuf.erase(conn.rbuf.begin(), conn.rbuf.begin() + off);
+
+    // Track how long an incomplete frame has been dribbling in (slow loris).
+    if (conn.rbuf.empty()) {
+      conn.has_partial = false;
+    } else if (!conn.has_partial) {
+      conn.has_partial = true;
+      conn.partial.reset();
+    }
+  }
+
+  /// Move completed verdicts from the in-flight set into the write buffer.
+  void pump_completions(Conn& conn) {
+    for (auto it = conn.inflight.begin();
+         it != conn.inflight.end() && !conn.dead;) {
+      if (it->fut.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        ++it;
+        continue;
+      }
+      auto result = it->fut.get();
+      m_request_ms->observe(it->since.elapsed_ms());
+      respond(conn, it->id, result);
+      it = conn.inflight.erase(it);
+    }
+  }
+
+  void write_conn(Conn& conn) {
+    while (conn.wbuf_pending() > 0) {
+      auto io = conn.sock.write_some(conn.wbuf.data() + conn.woff,
+                                     conn.wbuf_pending());
+      if (io.would_block) break;
+      if (io.eof || !io.ok()) {
+        close_conn(conn);
+        return;
+      }
+      conn.woff += io.bytes;
+      c.bytes_written.fetch_add(io.bytes, std::memory_order_relaxed);
+      conn.idle.reset();
+    }
+    if (conn.wbuf_pending() == 0 && !conn.wbuf.empty()) {
+      // Frame accounting on flush completion: pending/2 would be a guess,
+      // so count frames when the buffer fully drains instead of per write.
+      conn.wbuf.clear();
+      conn.woff = 0;
+      if (conn.close_after_flush) close_conn(conn);
+    } else if (conn.woff > 64 * 1024) {
+      conn.wbuf.erase(conn.wbuf.begin(), conn.wbuf.begin() + conn.woff);
+      conn.woff = 0;
+    }
+  }
+
+  void accept_ready() {
+    while (true) {
+      auto res = listener.accept_one();
+      if (res.would_block) break;
+      if (!res.status.is_ok()) {
+        c.accept_failures.fetch_add(1, std::memory_order_relaxed);
+        m_accept_failures->inc();
+        break;  // retry on the next poll round
+      }
+      if (conns.size() >= config.max_connections) {
+        // Admission control for connection storms: accept to drain the
+        // backlog, then close immediately — counted, bounded, no hang.
+        c.shed.fetch_add(1, std::memory_order_relaxed);
+        m_shed->inc();
+        continue;  // res.socket closes on scope exit
+      }
+      auto conn = std::make_unique<Conn>();
+      conn->sock = std::move(res.socket);
+      conns.push_back(std::move(conn));
+      c.accepted.fetch_add(1, std::memory_order_relaxed);
+      m_accepted->inc();
+    }
+  }
+
+  void scan_timeouts() {
+    for (auto& conn : conns) {
+      if (conn->dead) continue;
+      if (conn->has_partial &&
+          conn->partial.elapsed_ms() > config.read_timeout_ms) {
+        c.read_timeouts.fetch_add(1, std::memory_order_relaxed);
+        m_read_timeouts->inc();
+        util::log_warn("net: closing slow-loris connection (partial frame ",
+                       conn->partial.elapsed_ms(), " ms old)");
+        close_conn(*conn);
+        continue;
+      }
+      if (conn->inflight.empty() &&
+          conn->idle.elapsed_ms() > config.idle_timeout_ms) {
+        c.idle_timeouts.fetch_add(1, std::memory_order_relaxed);
+        m_idle_timeouts->inc();
+        close_conn(*conn);
+      }
+    }
+  }
+
+  void reap_dead() {
+    std::erase_if(conns, [](const std::unique_ptr<Conn>& conn) {
+      return conn->dead;
+    });
+    c.active.store(conns.size(), std::memory_order_relaxed);
+    m_active->set(static_cast<double>(conns.size()));
+  }
+
+  void loop() {
+    loop_running.store(true, std::memory_order_release);
+    bool draining = false;
+    util::Stopwatch drain_sw;
+    std::vector<struct pollfd> pfds;
+    std::vector<Conn*> pfd_conns;
+
+    while (true) {
+      if (!draining && stop_requested.load(std::memory_order_acquire)) {
+        // Graceful drain: stop accepting first; in-flight requests finish
+        // and flush below, then connections close.
+        draining = true;
+        drain_sw.reset();
+        listener.close();
+      }
+      if (draining) {
+        bool busy = false;
+        for (auto& conn : conns) {
+          if (!conn->dead &&
+              (!conn->inflight.empty() || conn->wbuf_pending() > 0)) {
+            busy = true;
+            break;
+          }
+        }
+        if (!busy || drain_sw.elapsed_ms() > config.drain_timeout_ms) break;
+      }
+
+      pfds.clear();
+      pfd_conns.clear();
+      if (!draining && listener.valid()) {
+        pfds.push_back({listener.fd(), POLLIN, 0});
+        pfd_conns.push_back(nullptr);
+      }
+      bool any_inflight = false;
+      for (auto& conn : conns) {
+        if (conn->dead) continue;
+        short events = 0;
+        // During drain no new requests are read; only responses flush out.
+        if (!draining) events |= POLLIN;
+        if (conn->wbuf_pending() > 0) events |= POLLOUT;
+        if (!conn->inflight.empty()) any_inflight = true;
+        if (events == 0 && conn->inflight.empty()) continue;
+        if (events == 0) continue;  // in-flight only: completions pump below
+        pfds.push_back({conn->sock.fd(), events, 0});
+        pfd_conns.push_back(conn.get());
+      }
+
+      // In-flight verdicts are detected by polling their futures, so the
+      // poll timeout doubles as the completion latency bound: tight while
+      // work is outstanding, relaxed when the loop is only watching fds.
+      const int timeout_ms = any_inflight || draining ? 1 : 20;
+      int rc;
+      do {
+        rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+      } while (rc < 0 && errno == EINTR);
+      if (rc < 0) {
+        util::log_error("net: poll failed: ", std::strerror(errno));
+        break;
+      }
+
+      for (std::size_t i = 0; i < pfds.size(); ++i) {
+        if (pfds[i].revents == 0) continue;
+        if (pfd_conns[i] == nullptr) {
+          accept_ready();
+          continue;
+        }
+        Conn& conn = *pfd_conns[i];
+        if (conn.dead) continue;
+        if (pfds[i].revents & (POLLERR | POLLNVAL)) {
+          close_conn(conn);
+          continue;
+        }
+        if (pfds[i].revents & (POLLIN | POLLHUP)) read_conn(conn);
+      }
+
+      for (auto& conn : conns) {
+        if (conn->dead) continue;
+        pump_completions(*conn);
+        if (!conn->dead && conn->wbuf_pending() > 0) write_conn(*conn);
+      }
+      if (!draining) scan_timeouts();
+      reap_dead();
+    }
+
+    for (auto& conn : conns) close_conn(*conn);
+    reap_dead();
+    listener.close();
+    loop_running.store(false, std::memory_order_release);
+  }
+
+  TransportSnapshot snapshot() const {
+    TransportSnapshot s;
+    s.accepted = c.accepted.load(std::memory_order_relaxed);
+    s.closed = c.closed.load(std::memory_order_relaxed);
+    s.accept_failures = c.accept_failures.load(std::memory_order_relaxed);
+    s.frames_read = c.frames_read.load(std::memory_order_relaxed);
+    s.frames_written = c.frames_written.load(std::memory_order_relaxed);
+    s.bytes_read = c.bytes_read.load(std::memory_order_relaxed);
+    s.bytes_written = c.bytes_written.load(std::memory_order_relaxed);
+    s.quarantined = c.quarantined.load(std::memory_order_relaxed);
+    s.shed = c.shed.load(std::memory_order_relaxed);
+    s.idle_timeouts = c.idle_timeouts.load(std::memory_order_relaxed);
+    s.read_timeouts = c.read_timeouts.load(std::memory_order_relaxed);
+    s.requests = c.requests.load(std::memory_order_relaxed);
+    s.responses_ok = c.responses_ok.load(std::memory_order_relaxed);
+    s.responses_error = c.responses_error.load(std::memory_order_relaxed);
+    s.active_connections = c.active.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+TransportServer::TransportServer(DetectionServer& server,
+                                 const TransportConfig& config)
+    : impl_(std::make_unique<Impl>(server, config)) {}
+
+TransportServer::~TransportServer() { stop(); }
+
+util::Status TransportServer::start() {
+  if (impl_->started.exchange(true)) {
+    return Status::error(ErrorCode::kFailedPrecondition,
+                         "TransportServer already started");
+  }
+  auto st = impl_->listener.listen(impl_->config.host, impl_->config.port);
+  if (!st.is_ok()) {
+    impl_->started.store(false);
+    return st.with_context("TransportServer::start");
+  }
+  impl_->listener.set_fault_injection(impl_->config.fault_injection);
+  impl_->io_pool.submit([this] { impl_->loop(); });
+  return Status::ok();
+}
+
+void TransportServer::stop() {
+  impl_->stop_requested.store(true, std::memory_order_release);
+  impl_->io_pool.wait_idle();
+}
+
+bool TransportServer::running() const {
+  return impl_->loop_running.load(std::memory_order_acquire);
+}
+
+std::uint16_t TransportServer::port() const { return impl_->listener.port(); }
+
+const TransportConfig& TransportServer::config() const {
+  return impl_->config;
+}
+
+TransportSnapshot TransportServer::stats() const { return impl_->snapshot(); }
+
+// --- RemoteClient ----------------------------------------------------------
+
+namespace {
+
+obs::Counter& client_counter(const char* name) {
+  return obs::MetricsRegistry::global().counter(name);
+}
+
+}  // namespace
+
+RemoteClient::RemoteClient(const ClientConfig& config)
+    : config_(config), jitter_(config.jitter_seed) {}
+
+RemoteClient::~RemoteClient() = default;
+
+void RemoteClient::disconnect() {
+  sock_.close();
+  rbuf_.clear();
+}
+
+util::Status RemoteClient::ensure_connected(double budget_ms) {
+  if (sock_.valid()) return Status::ok();
+  const int timeout =
+      static_cast<int>(std::ceil(std::max(budget_ms, 1.0)));
+  auto sock = net::connect_to(config_.host, config_.port, timeout);
+  if (!sock.is_ok()) {
+    return Status(sock.status()).with_context("RemoteClient::connect");
+  }
+  sock_ = std::move(sock).value();
+  rbuf_.clear();
+  if (stats_.attempts > 0) {
+    ++stats_.reconnects;
+    client_counter("net.client.reconnects_total").inc();
+  }
+  return Status::ok();
+}
+
+RemoteClient::Attempt RemoteClient::attempt_once(
+    const std::vector<double>& features, std::uint64_t request_id,
+    double budget_ms, bool has_deadline) {
+  ++stats_.attempts;
+  client_counter("net.client.attempts_total").inc();
+
+  const auto transport_fail = [this](Status st) {
+    disconnect();
+    ++stats_.transport_errors;
+    client_counter("net.client.transport_errors_total").inc();
+    return Attempt(util::Result<Verdict>(
+                       std::move(st.with_context("RemoteClient"))),
+                   /*transport=*/true);
+  };
+
+  net::Frame f;
+  f.type = net::FrameType::kDetectRequest;
+  f.request_id = request_id;
+  // The remaining deadline budget rides the header, so the server's queue
+  // deadline is exactly what the client has left — not what it started with.
+  f.deadline_budget_us = has_deadline
+                             ? static_cast<std::uint64_t>(budget_ms * 1000.0)
+                             : 0;
+  f.payload = encode_detect_request_payload(features);
+  const auto bytes = net::encode_frame(f, /*inject_fault=*/false);
+
+  util::Stopwatch sw;
+  const auto remaining = [&] { return budget_ms - sw.elapsed_ms(); };
+
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    if (remaining() <= 0.0) {
+      return transport_fail(Status::error(ErrorCode::kDeadlineExceeded,
+                                          "send timed out"));
+    }
+    auto io = sock_.write_some(bytes.data() + off, bytes.size() - off);
+    if (!io.ok()) return transport_fail(std::move(io.status));
+    if (io.eof) {
+      return transport_fail(
+          Status::error(ErrorCode::kUnavailable, "connection reset by peer"));
+    }
+    off += io.bytes;
+    if (io.would_block) {
+      auto ev = sock_.poll_one(
+          POLLOUT, static_cast<int>(std::ceil(std::max(remaining(), 1.0))));
+      if (!ev.is_ok()) return transport_fail(Status(ev.status()));
+    }
+  }
+
+  while (true) {
+    // Decode whatever is buffered before waiting for more bytes.
+    std::size_t consumed = 0;
+    while (true) {
+      auto res = net::decode_frame(
+          std::span<const std::uint8_t>(rbuf_.data() + consumed,
+                                        rbuf_.size() - consumed),
+          net::kMaxPayloadBytes, /*inject_fault=*/false);
+      if (res.kind == net::DecodeResult::Kind::kNeedMore) break;
+      consumed += res.consumed;
+      if (res.kind == net::DecodeResult::Kind::kError) {
+        // Any malformed response frame means the stream cannot be trusted;
+        // drop the connection and let the retry layer rebuild it.
+        rbuf_.clear();
+        return transport_fail(
+            Status(res.status).with_context("response frame"));
+      }
+      if (res.frame.type != net::FrameType::kDetectResponse ||
+          res.frame.request_id != request_id) {
+        continue;  // stale response from an abandoned attempt; skip it
+      }
+      rbuf_.erase(rbuf_.begin(), rbuf_.begin() + consumed);
+      auto verdict = decode_detect_response_payload(res.frame.payload);
+      if (!verdict.is_ok() &&
+          verdict.status().code() == ErrorCode::kParseError) {
+        return transport_fail(Status(verdict.status()));
+      }
+      return Attempt(std::move(verdict), /*transport=*/false);
+    }
+    if (consumed > 0) rbuf_.erase(rbuf_.begin(), rbuf_.begin() + consumed);
+
+    if (remaining() <= 0.0) {
+      return transport_fail(Status::error(ErrorCode::kDeadlineExceeded,
+                                          "response timed out"));
+    }
+    auto ev = sock_.poll_one(
+        POLLIN, static_cast<int>(std::ceil(std::max(remaining(), 1.0))));
+    if (!ev.is_ok()) return transport_fail(Status(ev.status()));
+    if (ev.value() == 0) continue;  // timeout slice; remaining() re-checks
+    std::uint8_t chunk[16 * 1024];
+    auto io = sock_.read_some(chunk, sizeof(chunk));
+    if (!io.ok()) return transport_fail(std::move(io.status));
+    if (io.eof) {
+      return transport_fail(Status::error(ErrorCode::kUnavailable,
+                                          "connection closed by server"));
+    }
+    if (!io.would_block) {
+      rbuf_.insert(rbuf_.end(), chunk, chunk + io.bytes);
+    }
+  }
+}
+
+util::Result<Verdict> RemoteClient::detect(const std::vector<double>& features,
+                                           double deadline_ms) {
+  ++stats_.requests;
+  const bool has_deadline = deadline_ms > 0.0;
+  util::Stopwatch overall;
+  Status last = Status::error(ErrorCode::kUnavailable, "no attempt made");
+
+  for (std::size_t attempt = 0;; ++attempt) {
+    double budget = has_deadline ? deadline_ms - overall.elapsed_ms()
+                                 : config_.request_timeout_ms;
+    if (has_deadline && budget <= 0.0) {
+      return Status::error(ErrorCode::kDeadlineExceeded,
+                           "deadline exhausted after " +
+                               std::to_string(attempt) + " attempts; last: " +
+                               last.to_string())
+          .with_context("RemoteClient::detect");
+    }
+
+    Attempt a = [&] {
+      auto st = ensure_connected(std::min(budget, config_.connect_timeout_ms));
+      if (!st.is_ok()) {
+        ++stats_.attempts;
+        client_counter("net.client.attempts_total").inc();
+        ++stats_.transport_errors;
+        client_counter("net.client.transport_errors_total").inc();
+        return Attempt(util::Result<Verdict>(std::move(st)),
+                       /*transport=*/true);
+      }
+      // A fresh id per attempt: a late response to an abandoned attempt can
+      // then never be mistaken for the current one.
+      return attempt_once(features, next_id_++, budget, has_deadline);
+    }();
+
+    if (a.result.is_ok()) return a.result;
+    const ErrorCode code = a.result.status().code();
+    // Retriable: everything transport-level, the server's transient
+    // refusals (kUnavailable: queue full / no model / shed), and
+    // kCorruptData (the request was damaged in flight — resend it).
+    const bool retriable = a.transport || code == ErrorCode::kUnavailable ||
+                           code == ErrorCode::kCorruptData;
+    if (!retriable) return a.result;
+    last = a.result.status();
+
+    if (attempt >= config_.max_retries) {
+      return Status(last).with_context("RemoteClient::detect: retries exhausted");
+    }
+    double backoff =
+        std::min(config_.backoff_initial_ms *
+                     std::pow(config_.backoff_multiplier,
+                              static_cast<double>(attempt)),
+                 config_.backoff_max_ms);
+    backoff *= 1.0 + config_.backoff_jitter * (2.0 * jitter_.uniform() - 1.0);
+    if (has_deadline) {
+      const double rem = deadline_ms - overall.elapsed_ms();
+      // Too little budget left to fund the backoff plus a useful attempt.
+      if (rem <= backoff + 1.0) {
+        return Status::error(ErrorCode::kDeadlineExceeded,
+                             "deadline cannot fund another retry; last: " +
+                                 last.to_string())
+            .with_context("RemoteClient::detect");
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(backoff));
+    ++stats_.retries;
+    client_counter("net.client.retries_total").inc();
+  }
+}
+
+}  // namespace gea::serve

@@ -38,6 +38,28 @@ inline constexpr const char* kCfgDisconnectedExit = "cfg.disconnected_exit";
 inline constexpr const char* kModelTruncate = "model.truncate";
 inline constexpr const char* kScalerTruncate = "scaler.truncate";
 inline constexpr const char* kAllocOversize = "alloc.oversize";
+
+// Wire-path fault points (src/net + src/serve/transport). Each synthesizes
+// a hostile transport condition at the instrumented syscall or codec
+// boundary; the transport layer must degrade (quarantine, shed, retry,
+// close one connection) without crashing or corrupting other connections.
+// They fire only on sockets that opted in via Socket::set_fault_injection
+// (the server side), so a client sharing the process stays clean and tests
+// are deterministic.
+/// accept() synthesizes a transient failure; the pending connection stays
+/// in the backlog and is retried on the next poll round.
+inline constexpr const char* kNetAcceptFail = "net.accept.fail";
+/// recv() delivers only a truncated prefix of what arrived (the tail is
+/// dropped), desynchronizing the frame stream mid-message.
+inline constexpr const char* kNetReadShort = "net.read.short";
+/// A frame's payload byte flips between checksumming and validation; the
+/// strict frame validator must quarantine it as a checksum mismatch.
+inline constexpr const char* kNetFrameCorrupt = "net.frame.corrupt";
+/// send() accepts zero bytes (peer stopped draining); the bounded write
+/// buffer must absorb or shed, never grow without limit.
+inline constexpr const char* kNetWriteStall = "net.write.stall";
+/// The connection is torn down mid-request as if the peer reset it.
+inline constexpr const char* kNetConnDrop = "net.conn.drop";
 }  // namespace faults
 
 class FaultInjector {

@@ -1,0 +1,317 @@
+// Frame codec tests: round-trip property coverage plus a deterministic
+// malformed-input corpus (truncated header, oversized length, bad
+// magic/version/type, checksum mismatch, zero-length payload) asserting the
+// quarantine-not-crash contract of the strict validator, and the payload
+// codecs' no-trust bounds checking.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/wire.hpp"
+#include "serve/transport.hpp"
+#include "util/faultinject.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gea;
+using net::DecodeResult;
+using net::Frame;
+using net::FrameType;
+using gea::util::ErrorCode;
+
+std::span<const std::uint8_t> as_span(const std::vector<std::uint8_t>& v) {
+  return {v.data(), v.size()};
+}
+
+Frame random_frame(util::Rng& rng) {
+  Frame f;
+  f.type = rng.chance(0.5) ? FrameType::kDetectRequest
+                           : FrameType::kDetectResponse;
+  f.request_id = rng.next_u64();
+  f.deadline_budget_us = rng.next_u64() % 1'000'000;
+  const auto len = static_cast<std::size_t>(rng.uniform_int(0, 4096));
+  f.payload.resize(len);
+  for (auto& b : f.payload) {
+    b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  return f;
+}
+
+// --- Round-trip properties -------------------------------------------------
+
+TEST(FrameCodec, RoundTripProperty) {
+  util::Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    const Frame f = random_frame(rng);
+    const auto bytes = net::encode_frame(f);
+    ASSERT_EQ(bytes.size(), net::kHeaderBytes + f.payload.size());
+
+    const auto res = net::decode_frame(as_span(bytes));
+    ASSERT_EQ(res.kind, DecodeResult::Kind::kFrame) << "iteration " << i;
+    EXPECT_EQ(res.consumed, bytes.size());
+    EXPECT_EQ(res.frame.type, f.type);
+    EXPECT_EQ(res.frame.request_id, f.request_id);
+    EXPECT_EQ(res.frame.deadline_budget_us, f.deadline_budget_us);
+    EXPECT_EQ(res.frame.payload, f.payload);
+  }
+}
+
+TEST(FrameCodec, ZeroLengthPayloadRoundTrips) {
+  Frame f;
+  f.type = FrameType::kDetectRequest;
+  f.request_id = 7;
+  const auto bytes = net::encode_frame(f);
+  EXPECT_EQ(bytes.size(), net::kHeaderBytes);
+  const auto res = net::decode_frame(as_span(bytes));
+  ASSERT_EQ(res.kind, DecodeResult::Kind::kFrame);
+  EXPECT_TRUE(res.frame.payload.empty());
+  EXPECT_EQ(res.frame.request_id, 7u);
+}
+
+TEST(FrameCodec, IncrementalDecodeNeedsWholeFrame) {
+  util::Rng rng(3);
+  const Frame f = random_frame(rng);
+  const auto bytes = net::encode_frame(f);
+  // Every strict prefix — including a truncated header — asks for more
+  // bytes instead of guessing.
+  for (std::size_t n = 0; n < bytes.size(); n += 97) {
+    const auto res =
+        net::decode_frame(std::span<const std::uint8_t>(bytes.data(), n));
+    EXPECT_EQ(res.kind, DecodeResult::Kind::kNeedMore) << "prefix " << n;
+    EXPECT_EQ(res.consumed, 0u);
+  }
+  EXPECT_EQ(net::decode_frame(as_span(bytes)).kind,
+            DecodeResult::Kind::kFrame);
+}
+
+TEST(FrameCodec, BackToBackFramesDecodeInOrder) {
+  util::Rng rng(5);
+  const Frame a = random_frame(rng);
+  const Frame b = random_frame(rng);
+  auto bytes = net::encode_frame(a);
+  const auto second = net::encode_frame(b);
+  bytes.insert(bytes.end(), second.begin(), second.end());
+
+  const auto first = net::decode_frame(as_span(bytes));
+  ASSERT_EQ(first.kind, DecodeResult::Kind::kFrame);
+  EXPECT_EQ(first.frame.request_id, a.request_id);
+  const auto rest = net::decode_frame(std::span<const std::uint8_t>(
+      bytes.data() + first.consumed, bytes.size() - first.consumed));
+  ASSERT_EQ(rest.kind, DecodeResult::Kind::kFrame);
+  EXPECT_EQ(rest.frame.request_id, b.request_id);
+  EXPECT_EQ(rest.frame.payload, b.payload);
+}
+
+// --- Malformed-input corpus ------------------------------------------------
+
+TEST(FrameCodec, BadMagicIsUnrecoverable) {
+  Frame f;
+  f.payload = {1, 2, 3};
+  auto bytes = net::encode_frame(f);
+  bytes[0] ^= 0xff;
+  const auto res = net::decode_frame(as_span(bytes));
+  ASSERT_EQ(res.kind, DecodeResult::Kind::kError);
+  EXPECT_FALSE(res.recoverable);
+  EXPECT_EQ(res.status.code(), ErrorCode::kParseError);
+}
+
+TEST(FrameCodec, OversizedLengthIsUnrecoverable) {
+  Frame f;
+  auto bytes = net::encode_frame(f);
+  // Rewrite the length field (offset 24) to an absurd value; the declared
+  // size is refused before any allocation happens.
+  const std::uint32_t huge = 0x7fffffff;
+  for (int i = 0; i < 4; ++i) {
+    bytes[24 + i] = static_cast<std::uint8_t>(huge >> (8 * i));
+  }
+  const auto res = net::decode_frame(as_span(bytes));
+  ASSERT_EQ(res.kind, DecodeResult::Kind::kError);
+  EXPECT_FALSE(res.recoverable);
+  EXPECT_EQ(res.status.code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(FrameCodec, PayloadOverCallerLimitIsUnrecoverable) {
+  Frame f;
+  f.payload.assign(2048, 0xab);
+  const auto bytes = net::encode_frame(f);
+  const auto res = net::decode_frame(as_span(bytes), /*max_payload=*/1024);
+  ASSERT_EQ(res.kind, DecodeResult::Kind::kError);
+  EXPECT_FALSE(res.recoverable);
+  EXPECT_EQ(res.status.code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(FrameCodec, BadVersionIsRecoverableAndSkipsWholeFrame) {
+  Frame f;
+  f.request_id = 99;
+  f.payload = {9, 9};
+  auto bytes = net::encode_frame(f);
+  bytes[4] = 0x7f;  // version low byte
+  const auto res = net::decode_frame(as_span(bytes));
+  ASSERT_EQ(res.kind, DecodeResult::Kind::kError);
+  EXPECT_TRUE(res.recoverable);
+  EXPECT_EQ(res.status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(res.consumed, bytes.size());  // stream resyncs at the next frame
+  EXPECT_EQ(res.frame.request_id, 99u);   // id surfaced for the error echo
+}
+
+TEST(FrameCodec, UnknownTypeIsRecoverable) {
+  Frame f;
+  auto bytes = net::encode_frame(f);
+  bytes[6] = 0xee;  // type low byte
+  const auto res = net::decode_frame(as_span(bytes));
+  ASSERT_EQ(res.kind, DecodeResult::Kind::kError);
+  EXPECT_TRUE(res.recoverable);
+  EXPECT_EQ(res.status.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(FrameCodec, ChecksumMismatchIsRecoverable) {
+  Frame f;
+  f.request_id = 41;
+  f.payload = {10, 20, 30, 40};
+  auto bytes = net::encode_frame(f);
+  bytes[net::kHeaderBytes + 1] ^= 0x01;  // flip one payload bit
+  const auto res = net::decode_frame(as_span(bytes));
+  ASSERT_EQ(res.kind, DecodeResult::Kind::kError);
+  EXPECT_TRUE(res.recoverable);
+  EXPECT_EQ(res.status.code(), ErrorCode::kCorruptData);
+  EXPECT_EQ(res.consumed, bytes.size());
+  EXPECT_EQ(res.frame.request_id, 41u);
+}
+
+TEST(FrameCodec, CorpusNeverCrashesOnMutatedBytes) {
+  // Fuzz-ish determinism: random single-byte mutations of valid frames must
+  // always land in one of the three decoder outcomes, never crash.
+  util::Rng rng(1234);
+  for (int i = 0; i < 300; ++i) {
+    Frame f = random_frame(rng);
+    auto bytes = net::encode_frame(f);
+    const auto pos =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+    bytes[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform_int(0, 254));
+    const auto res = net::decode_frame(as_span(bytes));
+    if (res.kind == DecodeResult::Kind::kError) {
+      EXPECT_FALSE(res.status.is_ok());
+    }
+  }
+}
+
+TEST(FrameCodec, FaultPointSynthesizesChecksumMismatch) {
+  Frame f;
+  f.payload = {1, 2, 3, 4};
+  const auto bytes = net::encode_frame(f);
+  util::ScopedFault fault(util::faults::kNetFrameCorrupt);
+  const auto res = net::decode_frame(as_span(bytes), net::kMaxPayloadBytes,
+                                     /*inject_fault=*/true);
+  ASSERT_EQ(res.kind, DecodeResult::Kind::kError);
+  EXPECT_EQ(res.status.code(), ErrorCode::kCorruptData);
+  EXPECT_TRUE(res.recoverable);
+  EXPECT_GE(fault.fired(), 1u);
+  // Without the opt-in flag the same armed point never fires.
+  const auto clean = net::decode_frame(as_span(bytes));
+  EXPECT_EQ(clean.kind, DecodeResult::Kind::kFrame);
+}
+
+// --- Payload codecs --------------------------------------------------------
+
+TEST(PayloadCodec, DetectRequestRoundTrips) {
+  std::vector<double> features = {0.0, 1.5, -3.25, 1e300, 23.0};
+  const auto payload = serve::encode_detect_request_payload(features);
+  auto decoded = serve::decode_detect_request_payload(as_span(payload));
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value(), features);  // bitwise: doubles ride as bits
+}
+
+TEST(PayloadCodec, TruncatedRequestPayloadIsParseError) {
+  const auto payload =
+      serve::encode_detect_request_payload({1.0, 2.0, 3.0});
+  for (std::size_t n = 0; n < payload.size(); n += 3) {
+    auto decoded = serve::decode_detect_request_payload(
+        std::span<const std::uint8_t>(payload.data(), n));
+    ASSERT_FALSE(decoded.is_ok()) << "prefix " << n;
+    EXPECT_EQ(decoded.status().code(), ErrorCode::kParseError);
+  }
+}
+
+TEST(PayloadCodec, RequestWithLyingCountIsParseError) {
+  std::vector<std::uint8_t> payload;
+  net::wire::Writer w(payload);
+  w.put_u32(1'000'000);  // claims a million doubles, provides none
+  auto decoded = serve::decode_detect_request_payload(as_span(payload));
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kParseError);
+}
+
+TEST(PayloadCodec, VerdictResponseRoundTrips) {
+  serve::Verdict v;
+  v.predicted = 1;
+  v.batch_size = 8;
+  v.model_version = "ckpt-3";
+  v.logits = {-0.25, 1.75};
+  v.probabilities = {0.119, 0.881};
+  v.queue_ms = 0.5;
+  v.infer_ms = 1.25;
+  v.total_ms = 2.0;
+  const auto payload =
+      serve::encode_detect_response_payload(util::Result<serve::Verdict>(v));
+  auto decoded = serve::decode_detect_response_payload(as_span(payload));
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  const auto& d = decoded.value();
+  EXPECT_EQ(d.predicted, v.predicted);
+  EXPECT_EQ(d.batch_size, v.batch_size);
+  EXPECT_EQ(d.model_version, v.model_version);
+  EXPECT_EQ(d.logits, v.logits);
+  EXPECT_EQ(d.probabilities, v.probabilities);
+  EXPECT_EQ(d.queue_ms, v.queue_ms);
+  EXPECT_EQ(d.infer_ms, v.infer_ms);
+  EXPECT_EQ(d.total_ms, v.total_ms);
+}
+
+TEST(PayloadCodec, ErrorResponseRoundTripsCodeAndMessage) {
+  auto status = util::Status::error(ErrorCode::kUnavailable, "queue full")
+                    .with_context("DetectionServer::submit");
+  const auto payload = serve::encode_detect_response_payload(
+      util::Result<serve::Verdict>(status));
+  auto decoded = serve::decode_detect_response_payload(as_span(payload));
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kUnavailable);
+  EXPECT_NE(decoded.status().message().find("queue full"), std::string::npos);
+}
+
+TEST(PayloadCodec, ResponseWithUnknownCodeIsParseError) {
+  std::vector<std::uint8_t> payload;
+  net::wire::Writer w(payload);
+  w.put_u32(250);  // outside the ErrorCode domain
+  w.put_string("gibberish");
+  auto decoded = serve::decode_detect_response_payload(as_span(payload));
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kParseError);
+}
+
+TEST(WirePrimitives, ReaderIsStickyOnUnderflow) {
+  std::vector<std::uint8_t> bytes = {1, 2};
+  net::wire::Reader r(as_span(bytes));
+  EXPECT_EQ(r.get_u64(), 0u);  // underflow: zero value, failed state
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.get_u32(), 0u);  // sticky: later reads stay failed
+  EXPECT_TRUE(r.get_string().empty());
+  EXPECT_TRUE(r.get_f64_vector().empty());
+}
+
+TEST(WirePrimitives, ChecksumDetectsEverySingleBitFlip) {
+  std::vector<std::uint8_t> data = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x42};
+  const auto base = net::checksum32(as_span(data));
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto mutated = data;
+      mutated[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_NE(net::checksum32(as_span(mutated)), base)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+}  // namespace
