@@ -1,0 +1,346 @@
+// Streaming-corpus benchmark + gates, written to BENCH_corpus.json.
+//
+// Exercises the sharded corpus layer (dataset/shard.hpp, dataset/stream.hpp)
+// end to end at a scale the in-memory Corpus cannot hold:
+//
+//   1. write  — synthesize N samples straight to shards (bounded memory:
+//      one open chunk);
+//   2. cold   — stream-featurize the whole corpus with a persistent
+//      feature tier, populating one cache segment per shard;
+//   3. warm   — stream it again: every record must be answered by the
+//      persistent tier, no traversals;
+//   4. gates  — peak RSS (read BEFORE the unbounded baseline phase) must
+//      stay under --rss-cap-mb regardless of corpus size; the warm run
+//      must be >= 99% cache-served; and a bounded cross-check corpus
+//      streamed from disk must match the in-memory Corpus bit for bit.
+//
+// Any gate failure exits 1 — the release CI lane runs `--smoke` and
+// tools/bench_check compares the JSON against bench/baselines.
+//
+//   $ ./bench/corpus_bench [--smoke] [--samples N] [--crosscheck N]
+//                          [--shard N] [--threads N] [--rss-cap-mb N]
+//                          [--dir PATH] [--keep]
+//
+// All output lands under the working directory (build tree), never the
+// source tree: the corpus in --dir (default corpus_bench.data/, removed on
+// success unless --keep) and BENCH_corpus.json beside it.
+#include <bit>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dataset/corpus.hpp"
+#include "dataset/stream.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace gea;
+namespace fs = std::filesystem;
+
+struct Options {
+  std::size_t samples = 1'000'000;
+  std::size_t crosscheck = 10'000;
+  std::size_t shard = 4096;
+  std::size_t threads = 0;
+  std::size_t rss_cap_mb = 1024;
+  std::string dir = "corpus_bench.data";
+  bool keep = false;
+  bool smoke = false;
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  auto num = [&](int& i) -> std::size_t {
+    return i + 1 < argc ? std::strtoull(argv[++i], nullptr, 10) : 0;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      o.smoke = true;
+    } else if (std::strcmp(argv[i], "--samples") == 0) {
+      o.samples = num(i);
+    } else if (std::strcmp(argv[i], "--crosscheck") == 0) {
+      o.crosscheck = num(i);
+    } else if (std::strcmp(argv[i], "--shard") == 0) {
+      o.shard = num(i);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      o.threads = num(i);
+    } else if (std::strcmp(argv[i], "--rss-cap-mb") == 0) {
+      o.rss_cap_mb = num(i);
+    } else if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      o.dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--keep") == 0) {
+      o.keep = true;
+    } else {
+      std::fprintf(stderr, "corpus_bench: unknown flag %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  if (o.smoke) {
+    // CI profile: small enough for the sanitizer-free release lane, large
+    // enough to span several shards and exercise every phase.
+    o.samples = 4000;
+    o.crosscheck = 2000;
+    o.shard = 512;
+    o.rss_cap_mb = std::min<std::size_t>(o.rss_cap_mb, 512);
+  }
+  if (o.samples < 10) o.samples = 10;
+  if (o.crosscheck < 10) o.crosscheck = 10;
+  return o;
+}
+
+dataset::CorpusConfig config_for(std::size_t samples, std::size_t threads) {
+  dataset::CorpusConfig cfg;
+  // Keep the paper's ~10:1 malicious:benign skew at any scale.
+  cfg.num_benign = samples / 10;
+  if (cfg.num_benign == 0) cfg.num_benign = 1;
+  cfg.num_malicious = samples - cfg.num_benign;
+  cfg.threads = threads;
+  return cfg;
+}
+
+bool bitwise_equal(const features::FeatureVector& a,
+                   const features::FeatureVector& b) {
+  for (std::size_t i = 0; i < features::kNumFeatures; ++i) {
+    if (std::bit_cast<std::uint64_t>(a[i]) !=
+        std::bit_cast<std::uint64_t>(b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Order-sensitive FNV-1a over the streamed results: lets the cold and warm
+/// passes prove they produced identical output without retaining either.
+struct StreamFingerprint {
+  std::uint64_t h = 1469598103934665603ull;
+  void mix(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void add(const dataset::StreamRecord& r) {
+    mix(&r.id, sizeof(r.id));
+    mix(&r.label, sizeof(r.label));
+    mix(r.features.data(), r.features.size() * sizeof(double));
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  const dataset::CorpusConfig cfg = config_for(opt.samples, opt.threads);
+  const std::string cache_dir = (fs::path(opt.dir) / "cache").string();
+
+  std::printf("corpus bench: %zu samples, %zu records/shard%s\n", opt.samples,
+              opt.shard, opt.smoke ? " [smoke]" : "");
+
+  // Phase 1: write the sharded corpus.
+  dataset::SyntheticWriteReport wrep;
+  util::Stopwatch write_sw;
+  if (auto st = dataset::write_synthetic_corpus(
+          opt.dir, cfg, {.records_per_shard = opt.shard}, &wrep);
+      !st.is_ok()) {
+    std::fprintf(stderr, "corpus_bench: write failed: %s\n",
+                 st.to_string().c_str());
+    return 1;
+  }
+  const double write_ms = write_sw.elapsed_ms();
+  std::printf("write: %zu records, %" PRIu64 " bytes, %zu quarantined, "
+              "%.0f ms\n",
+              wrep.written, wrep.bytes_written, wrep.quarantined, write_ms);
+
+  auto corpus = dataset::ShardedCorpus::open(opt.dir);
+  if (!corpus.is_ok()) {
+    std::fprintf(stderr, "corpus_bench: open failed: %s\n",
+                 corpus.status().to_string().c_str());
+    return 1;
+  }
+
+  dataset::StreamOptions sopts;
+  sopts.threads = opt.threads;
+  sopts.cache_dir = cache_dir;
+
+  // Phase 2: cold streaming featurization (populates the cache segments).
+  StreamFingerprint cold_fp;
+  dataset::StreamReport cold;
+  if (auto st = corpus.value().featurize(
+          [&](const dataset::StreamRecord& r) { cold_fp.add(r); }, &cold,
+          sopts);
+      !st.is_ok()) {
+    std::fprintf(stderr, "corpus_bench: cold stream failed: %s\n",
+                 st.to_string().c_str());
+    return 1;
+  }
+  std::printf("cold: %zu records, %.0f ms (%.0f rec/s), %" PRIu64
+              " tier hits / %" PRIu64 " misses, %" PRIu64 " entries written\n",
+              cold.records_streamed, cold.wall_ms,
+              1000.0 * static_cast<double>(cold.records_streamed) /
+                  std::max(cold.wall_ms, 1e-9),
+              cold.disk_cache_hits, cold.disk_cache_misses,
+              cold.disk_cache_entries_written);
+
+  // Phase 3: warm re-run — the tier must answer (fraction of records that
+  // needed no traversal; duplicates inside a shard count via the in-memory
+  // LRU above the tier, genuine recomputes show up as tier misses).
+  StreamFingerprint warm_fp;
+  dataset::StreamReport warm;
+  if (auto st = corpus.value().featurize(
+          [&](const dataset::StreamRecord& r) { warm_fp.add(r); }, &warm,
+          sopts);
+      !st.is_ok()) {
+    std::fprintf(stderr, "corpus_bench: warm stream failed: %s\n",
+                 st.to_string().c_str());
+    return 1;
+  }
+  const double warm_hit_fraction =
+      warm.records_streamed == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(warm.disk_cache_misses) /
+                      static_cast<double>(warm.records_streamed);
+  const double warm_speedup =
+      warm.wall_ms > 0.0 ? cold.wall_ms / warm.wall_ms : 0.0;
+  std::printf("warm: %zu records, %.0f ms, %.2fx vs cold, cache-served "
+              "fraction %.4f\n",
+              warm.records_streamed, warm.wall_ms, warm_speedup,
+              warm_hit_fraction);
+
+  // RSS gate — read BEFORE the in-memory baseline below, which is allowed
+  // to use whatever it likes (ru_maxrss is a high-water mark, so reading
+  // later would charge the streaming phases for the baseline's memory).
+  const std::size_t peak_rss = util::peak_rss_bytes();
+  const double peak_rss_mb = static_cast<double>(peak_rss) / (1024.0 * 1024.0);
+  std::printf("peak RSS through streaming phases: %.1f MiB (cap %zu MiB)\n",
+              peak_rss_mb, opt.rss_cap_mb);
+
+  // Phase 4: bounded cross-check — a small corpus streamed from shards must
+  // match the in-memory Corpus bit for bit (same config => same SampleStream
+  // => same samples; the streamed features must agree exactly).
+  const dataset::CorpusConfig xcfg = config_for(opt.crosscheck, opt.threads);
+  const std::string xdir = (fs::path(opt.dir) / "crosscheck").string();
+  bool bitwise_ok = true;
+  std::size_t crosschecked = 0;
+  {
+    if (auto st = dataset::write_synthetic_corpus(
+            xdir, xcfg, {.records_per_shard = opt.shard});
+        !st.is_ok()) {
+      std::fprintf(stderr, "corpus_bench: crosscheck write failed: %s\n",
+                   st.to_string().c_str());
+      return 1;
+    }
+    auto xcorpus = dataset::ShardedCorpus::open(xdir);
+    if (!xcorpus.is_ok()) {
+      std::fprintf(stderr, "corpus_bench: crosscheck open failed: %s\n",
+                   xcorpus.status().to_string().c_str());
+      return 1;
+    }
+    std::vector<dataset::StreamRecord> streamed;
+    streamed.reserve(opt.crosscheck);
+    dataset::StreamOptions xopts;
+    xopts.threads = opt.threads;
+    if (auto st = xcorpus.value().featurize(
+            [&](const dataset::StreamRecord& r) { streamed.push_back(r); },
+            nullptr, xopts);
+        !st.is_ok()) {
+      std::fprintf(stderr, "corpus_bench: crosscheck stream failed: %s\n",
+                   st.to_string().c_str());
+      return 1;
+    }
+    auto baseline = dataset::Corpus::generate_checked(xcfg);
+    if (!baseline.is_ok()) {
+      std::fprintf(stderr, "corpus_bench: crosscheck baseline failed: %s\n",
+                   baseline.status().to_string().c_str());
+      return 1;
+    }
+    const auto& mem = baseline.value().samples();
+    if (streamed.size() != mem.size()) {
+      std::fprintf(stderr,
+                   "corpus_bench: crosscheck count mismatch: streamed %zu, "
+                   "in-memory %zu\n",
+                   streamed.size(), mem.size());
+      bitwise_ok = false;
+    }
+    for (std::size_t i = 0; bitwise_ok && i < streamed.size(); ++i) {
+      if (streamed[i].id != mem[i].id ||
+          streamed[i].family != mem[i].family ||
+          streamed[i].label != mem[i].label ||
+          !bitwise_equal(streamed[i].features, mem[i].features)) {
+        std::fprintf(stderr,
+                     "corpus_bench: crosscheck diverges at record %zu "
+                     "(id %u vs %u)\n",
+                     i, streamed[i].id, mem[i].id);
+        bitwise_ok = false;
+      }
+    }
+    crosschecked = streamed.size();
+  }
+  std::printf("crosscheck: %zu records streamed-vs-in-memory: %s\n",
+              crosschecked, bitwise_ok ? "bitwise identical" : "MISMATCH");
+
+  // Gates.
+  bool failed = false;
+  if (!bitwise_ok) failed = true;
+  if (cold_fp.h != warm_fp.h) {
+    std::fprintf(stderr,
+                 "corpus_bench: GATE: warm output diverges from cold "
+                 "(fingerprint %016" PRIx64 " vs %016" PRIx64 ")\n",
+                 cold_fp.h, warm_fp.h);
+    failed = true;
+  }
+  if (warm_hit_fraction < 0.99) {
+    std::fprintf(stderr,
+                 "corpus_bench: GATE: warm cache-served fraction %.4f < "
+                 "0.99\n",
+                 warm_hit_fraction);
+    failed = true;
+  }
+  if (peak_rss > 0 && peak_rss_mb > static_cast<double>(opt.rss_cap_mb)) {
+    std::fprintf(stderr,
+                 "corpus_bench: GATE: peak RSS %.1f MiB exceeds cap %zu "
+                 "MiB\n",
+                 peak_rss_mb, opt.rss_cap_mb);
+    failed = true;
+  }
+
+  std::ofstream out("BENCH_corpus.json");
+  out << "{\n  \"benchmark\": \"corpus\",\n"
+      << "  \"smoke\": " << (opt.smoke ? "true" : "false") << ",\n"
+      << "  \"samples\": " << opt.samples << ",\n"
+      << "  \"records_per_shard\": " << opt.shard << ",\n"
+      << "  \"shards\": " << corpus.value().manifest().shards.size() << ",\n"
+      << "  \"corpus_bytes\": " << wrep.bytes_written << ",\n"
+      << "  \"write_ms\": " << write_ms << ",\n"
+      << "  \"cold_ms\": " << cold.wall_ms << ",\n"
+      << "  \"warm_ms\": " << warm.wall_ms << ",\n"
+      << "  \"warm_speedup\": " << warm_speedup << ",\n"
+      << "  \"warm_hit_fraction\": " << warm_hit_fraction << ",\n"
+      << "  \"cold_tier_misses\": " << cold.disk_cache_misses << ",\n"
+      << "  \"warm_tier_hits\": " << warm.disk_cache_hits << ",\n"
+      << "  \"records_quarantined\": " << cold.records_quarantined << ",\n"
+      << "  \"peak_rss_mb\": " << peak_rss_mb << ",\n"
+      << "  \"rss_cap_mb\": " << opt.rss_cap_mb << ",\n"
+      << "  \"crosscheck_records\": " << crosschecked << ",\n"
+      << "  \"bitwise\": " << (bitwise_ok ? 1 : 0) << "\n}\n";
+  std::printf("wrote BENCH_corpus.json\n");
+
+  if (!opt.keep) {
+    std::error_code ec;
+    fs::remove_all(opt.dir, ec);  // best-effort cleanup of the data dir
+  }
+  if (failed) {
+    std::fprintf(stderr, "corpus_bench: FAILED one or more gates\n");
+    return 1;
+  }
+  std::printf("corpus bench: all gates passed\n");
+  return 0;
+}

@@ -11,6 +11,65 @@
 
 namespace gea::dataset {
 
+namespace {
+
+using FamilyMix = std::vector<std::pair<bingen::Family, double>>;
+
+// Benign mix: utilities dominate OpenWRT userland, then network tools,
+// then daemons.
+const FamilyMix& benign_mix() {
+  static const FamilyMix mix = {
+      {bingen::Family::kBenignUtility, 0.50},
+      {bingen::Family::kBenignNetTool, 0.30},
+      {bingen::Family::kBenignDaemon, 0.20},
+  };
+  return mix;
+}
+
+// Malicious mix mirroring the CSoNet'18 IoT dataset's family skew.
+const FamilyMix& mal_mix() {
+  static const FamilyMix mix = {
+      {bingen::Family::kGafgytLike, 0.55},
+      {bingen::Family::kMiraiLike, 0.35},
+      {bingen::Family::kTsunamiLike, 0.10},
+  };
+  return mix;
+}
+
+bingen::Family draw_family(util::Rng& rng, const FamilyMix& mix) {
+  double u = rng.uniform();
+  for (const auto& [family, p] : mix) {
+    if (u < p) return family;
+    u -= p;
+  }
+  return mix.back().first;
+}
+
+}  // namespace
+
+SampleStream::SampleStream(const CorpusConfig& cfg)
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      total_(cfg.num_benign + cfg.num_malicious) {}
+
+util::Status SampleStream::next(Sample& out) {
+  using util::ErrorCode;
+  using util::Status;
+  const bingen::Family family = draw_family(
+      rng_, produced_ < cfg_.num_benign ? benign_mix() : mal_mix());
+  ++produced_;
+  Status st;
+  try {
+    out = generate_sample(next_id_++, family, rng_, cfg_.gen);
+  } catch (const std::exception& e) {
+    st = Status::error(ErrorCode::kInternal, e.what());
+    out = Sample{};
+    out.id = next_id_ - 1;
+    out.family = family;
+  }
+  return st;
+}
+
 Corpus Corpus::generate(const CorpusConfig& cfg) {
   auto res = generate_checked(cfg);
   if (!res.is_ok()) throw std::runtime_error(res.status().to_string());
@@ -23,34 +82,8 @@ util::Result<Corpus> Corpus::generate_checked(const CorpusConfig& cfg,
   using util::ErrorCode;
   using util::Status;
 
-  util::Rng rng(cfg.seed);
   Corpus c;
   c.samples_.reserve(cfg.num_benign + cfg.num_malicious);
-  std::uint32_t next_id = 0;
-
-  // Benign mix: utilities dominate OpenWRT userland, then network tools,
-  // then daemons.
-  const std::vector<std::pair<bingen::Family, double>> benign_mix = {
-      {bingen::Family::kBenignUtility, 0.50},
-      {bingen::Family::kBenignNetTool, 0.30},
-      {bingen::Family::kBenignDaemon, 0.20},
-  };
-  // Malicious mix mirroring the CSoNet'18 IoT dataset's family skew.
-  const std::vector<std::pair<bingen::Family, double>> mal_mix = {
-      {bingen::Family::kGafgytLike, 0.55},
-      {bingen::Family::kMiraiLike, 0.35},
-      {bingen::Family::kTsunamiLike, 0.10},
-  };
-
-  auto draw_family =
-      [&](const std::vector<std::pair<bingen::Family, double>>& mix) {
-        double u = rng.uniform();
-        for (const auto& [family, p] : mix) {
-          if (u < p) return family;
-          u -= p;
-        }
-        return mix.back().first;
-      };
 
   SynthesisReport local;
   SynthesisReport& rep = report != nullptr ? *report : local;
@@ -64,33 +97,21 @@ util::Result<Corpus> Corpus::generate_checked(const CorpusConfig& cfg,
   // gone haywire (or the alloc.oversize fault) must not OOM the corpus.
   constexpr std::size_t kMaxProgramLen = 4'000'000;
 
-  // Phase 1 (serial): draw families and generate programs. Generation is
-  // the only Rng consumer, so the sample stream — and therefore every
-  // surviving sample — is bitwise identical to a fully serial run. A
-  // generation exception fails only its own slot; the Rng is consumed
-  // identically either way, so quarantining sample k never perturbs
-  // samples k+1..n.
+  // Phase 1 (serial): draw families and generate programs via the shared
+  // SampleStream — the only Rng consumer, so the sample stream (and
+  // therefore every surviving sample) is bitwise identical to a fully
+  // serial run and to the sharded on-disk writer. A generation exception
+  // fails only its own slot; the Rng is consumed identically either way,
+  // so quarantining sample k never perturbs samples k+1..n.
+  SampleStream stream(cfg);
   std::vector<Sample> pending;
   pending.reserve(rep.requested);
   std::vector<Status> verdicts(rep.requested);
-  auto generate_one = [&](bingen::Family family) {
-    Status st;
+  while (!stream.done()) {
     Sample s;
-    try {
-      s = generate_sample(next_id++, family, rng, cfg.gen);
-    } catch (const std::exception& e) {
-      st = Status::error(ErrorCode::kInternal, e.what());
-      s.id = next_id - 1;
-      s.family = family;
-    }
+    Status st = stream.next(s);
     verdicts[pending.size()] = std::move(st);
     pending.push_back(std::move(s));
-  };
-  for (std::size_t i = 0; i < cfg.num_benign; ++i) {
-    generate_one(draw_family(benign_mix));
-  }
-  for (std::size_t i = 0; i < cfg.num_malicious; ++i) {
-    generate_one(draw_family(mal_mix));
   }
 
   // Phase 2 (parallel): featurize, guard, validate into per-slot verdicts.

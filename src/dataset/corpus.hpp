@@ -42,6 +42,34 @@ struct SynthesisReport {
   std::size_t threads_used = 1;
 };
 
+/// Serial generator of the deterministic corpus sample stream: family draws
+/// plus program synthesis, in the exact order Corpus::generate uses (the
+/// benign block first, then malicious). This is the only Rng consumer in
+/// corpus construction, so every consumer — the in-memory Corpus, the
+/// sharded on-disk writer (dataset/stream.hpp) — sees bitwise-identical
+/// samples for a given config, which is what the streamed-vs-in-memory
+/// cross-check in bench/corpus_bench keys on.
+class SampleStream {
+ public:
+  explicit SampleStream(const CorpusConfig& cfg);
+
+  std::size_t total() const { return total_; }
+  std::size_t produced() const { return produced_; }
+  bool done() const { return produced_ >= total_; }
+
+  /// Generate the next sample into `out` (program only, not featurized).
+  /// A generation failure returns that slot's error; the Rng is consumed
+  /// identically either way, so sample k's failure never perturbs k+1..n.
+  util::Status next(Sample& out);
+
+ private:
+  CorpusConfig cfg_;
+  util::Rng rng_;
+  std::size_t total_;
+  std::size_t produced_ = 0;
+  std::uint32_t next_id_ = 0;
+};
+
 class Corpus {
  public:
   /// Generate a full corpus. Family mix within each class is drawn to

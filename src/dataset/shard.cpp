@@ -1,0 +1,462 @@
+#include "dataset/shard.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "net/frame.hpp"  // checksum32
+#include "net/wire.hpp"
+#include "util/faultinject.hpp"
+
+namespace gea::dataset {
+
+namespace fs = std::filesystem;
+using util::ErrorCode;
+using util::Status;
+
+namespace {
+
+// The last Opcode enumerator; anything above is a corrupt record.
+constexpr std::uint8_t kMaxOpcode = static_cast<std::uint8_t>(isa::Opcode::kHalt);
+constexpr std::uint8_t kMaxFamily =
+    static_cast<std::uint8_t>(bingen::Family::kTsunamiLike);
+
+util::Result<std::vector<std::uint8_t>> read_file_bytes(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::error(ErrorCode::kNotFound, "cannot open " + path);
+  }
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(size);
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(bytes.data()),
+               static_cast<std::streamsize>(size))) {
+    return Status::error(ErrorCode::kParseError, "short read on " + path);
+  }
+  return bytes;
+}
+
+/// Write via a sibling temp file + rename, so a crash mid-write leaves
+/// either the old file or nothing — never a torn final file.
+Status write_file_atomic(const std::string& path,
+                         std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::error(ErrorCode::kUnavailable, "cannot open " + tmp);
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      return Status::error(ErrorCode::kUnavailable, "write failed on " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::error(ErrorCode::kUnavailable,
+                         "rename " + tmp + " -> " + path + ": " + ec.message());
+  }
+  return Status::ok();
+}
+
+void put_header(net::wire::Writer& w, std::uint32_t magic,
+                std::uint64_t count) {
+  w.put_u32(magic);
+  w.put_u16(kShardFormatVersion);
+  w.put_u16(0);  // reserved
+  w.put_u64(count);
+}
+
+/// Shared magic/version check for shard and manifest headers.
+Status check_header(net::wire::Reader& r, std::uint32_t magic,
+                    const char* what, std::uint64_t& count) {
+  const std::uint32_t got_magic = r.get_u32();
+  const std::uint16_t version = r.get_u16();
+  r.get_u16();  // reserved
+  count = r.get_u64();
+  if (!r.ok()) {
+    return Status::error(ErrorCode::kParseError,
+                         std::string("truncated ") + what + " header");
+  }
+  if (got_magic != magic) {
+    return Status::error(ErrorCode::kParseError,
+                         std::string("bad ") + what + " magic");
+  }
+  if (version != kShardFormatVersion) {
+    return Status::error(ErrorCode::kParseError,
+                         std::string(what) + " version " +
+                             std::to_string(version) + " unsupported");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+void encode_record(const ShardRecord& rec, std::vector<std::uint8_t>& out) {
+  net::wire::Writer w(out);
+  w.put_u32(rec.id);
+  w.put_u8(static_cast<std::uint8_t>(rec.family));
+  w.put_u8(rec.label);
+  const auto& code = rec.program.code();
+  w.put_u32(static_cast<std::uint32_t>(code.size()));
+  for (const auto& ins : code) {
+    w.put_u8(static_cast<std::uint8_t>(ins.op));
+    w.put_u8(ins.rd);
+    w.put_u8(ins.rs);
+    w.put_u64(static_cast<std::uint64_t>(ins.imm));
+    w.put_u32(ins.target);
+  }
+  const auto& funcs = rec.program.functions();
+  w.put_u32(static_cast<std::uint32_t>(funcs.size()));
+  for (const auto& f : funcs) {
+    w.put_string(f.name);
+    w.put_u32(f.begin);
+    w.put_u32(f.end);
+  }
+}
+
+util::Status decode_record(std::span<const std::uint8_t> payload,
+                           ShardRecord& out) {
+  net::wire::Reader r(payload);
+  out.id = r.get_u32();
+  const std::uint8_t family = r.get_u8();
+  out.label = r.get_u8();
+  if (!r.ok()) return r.parse_error("record header");
+  if (family > kMaxFamily) {
+    return Status::error(ErrorCode::kCorruptData,
+                         "record family " + std::to_string(family) +
+                             " out of range");
+  }
+  out.family = static_cast<bingen::Family>(family);
+  if (out.label > 1) {
+    return Status::error(ErrorCode::kCorruptData,
+                         "record label " + std::to_string(out.label) +
+                             " out of range");
+  }
+
+  constexpr std::size_t kInstructionBytes = 15;  // op+rd+rs+imm+target
+  const std::uint32_t code_count = r.get_u32();
+  if (!r.ok() || code_count > r.remaining() / kInstructionBytes) {
+    return r.parse_error("record code");
+  }
+  out.program = isa::Program{};
+  auto& code = out.program.code();
+  code.resize(code_count);
+  for (auto& ins : code) {
+    const std::uint8_t op = r.get_u8();
+    if (op > kMaxOpcode) {
+      return Status::error(ErrorCode::kCorruptData,
+                           "record opcode " + std::to_string(op) +
+                               " out of range");
+    }
+    ins.op = static_cast<isa::Opcode>(op);
+    ins.rd = r.get_u8();
+    ins.rs = r.get_u8();
+    ins.imm = static_cast<std::int64_t>(r.get_u64());
+    ins.target = r.get_u32();
+  }
+
+  constexpr std::size_t kMinFunctionBytes = 12;  // empty name + begin + end
+  const std::uint32_t func_count = r.get_u32();
+  if (!r.ok() || func_count > r.remaining() / kMinFunctionBytes) {
+    return r.parse_error("record functions");
+  }
+  auto& funcs = out.program.functions();
+  funcs.resize(func_count);
+  for (auto& f : funcs) {
+    f.name = r.get_string();
+    f.begin = r.get_u32();
+    f.end = r.get_u32();
+  }
+  if (!r.ok()) return r.parse_error("record");
+  if (r.remaining() != 0) {
+    return Status::error(ErrorCode::kParseError,
+                         "record has trailing garbage");
+  }
+  if (auto err = out.program.validate()) {
+    return Status::error(ErrorCode::kCorruptData, "record program: " + *err);
+  }
+  return Status::ok();
+}
+
+util::Status write_manifest(const std::string& dir, const Manifest& m) {
+  std::vector<std::uint8_t> bytes;
+  net::wire::Writer w(bytes);
+  put_header(w, kManifestMagic, m.total_records);
+  w.put_u32(static_cast<std::uint32_t>(m.shards.size()));
+  for (const auto& s : m.shards) {
+    w.put_string(s.file);
+    w.put_u64(s.records);
+    w.put_u64(s.bytes);
+    w.put_u32(s.checksum);
+  }
+  w.put_u32(net::checksum32(bytes));
+  return write_file_atomic((fs::path(dir) / kManifestFileName).string(), bytes)
+      .with_context("write_manifest");
+}
+
+util::Result<Manifest> read_manifest(const std::string& dir) {
+  const std::string path = (fs::path(dir) / kManifestFileName).string();
+  auto bytes = read_file_bytes(path);
+  if (!bytes.is_ok()) {
+    return Status(bytes.status()).with_context("read_manifest");
+  }
+  const auto& data = bytes.value();
+  if (data.size() < 4) {
+    return Status::error(ErrorCode::kParseError, "manifest truncated")
+        .with_context("read_manifest " + path);
+  }
+  // Trailing checksum covers every byte before it; a stale or bit-rotted
+  // manifest fails here before any entry is trusted.
+  const std::span<const std::uint8_t> body(data.data(), data.size() - 4);
+  net::wire::Reader tail(
+      std::span<const std::uint8_t>(data.data() + body.size(), 4));
+  if (tail.get_u32() != net::checksum32(body)) {
+    return Status::error(ErrorCode::kCorruptData, "manifest checksum mismatch")
+        .with_context("read_manifest " + path);
+  }
+
+  net::wire::Reader r(body);
+  Manifest m;
+  std::uint64_t count = 0;
+  if (auto st = check_header(r, kManifestMagic, "manifest", m.total_records);
+      !st.is_ok()) {
+    return st.with_context("read_manifest " + path);
+  }
+  count = r.get_u32();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ShardInfo info;
+    info.file = r.get_string();
+    info.records = r.get_u64();
+    info.bytes = r.get_u64();
+    info.checksum = r.get_u32();
+    if (!r.ok() || info.file.empty() ||
+        info.file.find('/') != std::string::npos) {
+      return Status::error(ErrorCode::kParseError,
+                           "manifest entry " + std::to_string(i) + " malformed")
+          .with_context("read_manifest " + path);
+    }
+    m.shards.push_back(std::move(info));
+  }
+  if (!r.ok() || r.remaining() != 0) {
+    return Status::error(ErrorCode::kParseError, "manifest truncated")
+        .with_context("read_manifest " + path);
+  }
+  return m;
+}
+
+util::Status read_shard(const std::string& path, const ShardInfo* expect,
+                        std::vector<ShardRecord>& out, ShardReadReport& report,
+                        bool strict) {
+  auto bytes = read_file_bytes(path);
+  if (!bytes.is_ok()) return Status(bytes.status()).with_context("read_shard");
+  const auto& data = bytes.value();
+
+  auto diag = [&](const std::string& msg) {
+    if (report.diagnostics.size() < report.max_diagnostics) {
+      report.diagnostics.push_back(path + ": " + msg);
+    }
+  };
+
+  if (expect != nullptr) {
+    // Manifest cross-checks. A failed whole-file checksum is not yet fatal
+    // in lenient mode: the per-record CRCs localize the damage below.
+    if (expect->bytes != data.size()) {
+      const std::string msg = "size " + std::to_string(data.size()) +
+                              " != manifest " + std::to_string(expect->bytes);
+      if (strict) {
+        return Status::error(ErrorCode::kCorruptData, msg)
+            .with_context("read_shard " + path);
+      }
+      diag(msg);
+    }
+    if (net::checksum32(data) != expect->checksum) {
+      const std::string msg = "file checksum mismatch vs manifest";
+      if (strict) {
+        return Status::error(ErrorCode::kCorruptData, msg)
+            .with_context("read_shard " + path);
+      }
+      diag(msg);
+    }
+  }
+
+  net::wire::Reader header(
+      std::span<const std::uint8_t>(data.data(),
+                                    std::min(data.size(), kShardHeaderBytes)));
+  std::uint64_t declared = 0;
+  if (auto st = check_header(header, kShardMagic, "shard", declared);
+      !st.is_ok()) {
+    return st.with_context("read_shard " + path);
+  }
+
+  // Record loop: framing (length + CRC) is only trusted after it is
+  // checked, so a bit flip inside one payload quarantines that record and
+  // the stream resyncs at the next frame; anything that destroys framing
+  // quarantines the rest of the file.
+  std::size_t pos = kShardHeaderBytes;
+  std::uint64_t seen = 0;
+  Status first_record_error;
+  while (pos < data.size()) {
+    if (data.size() - pos < 8) {
+      diag("truncated record header at offset " + std::to_string(pos));
+      break;
+    }
+    net::wire::Reader fr(std::span<const std::uint8_t>(data.data() + pos, 8));
+    const std::uint32_t len = fr.get_u32();
+    const std::uint32_t crc = fr.get_u32();
+    if (len > kMaxRecordBytes) {
+      diag("absurd record length " + std::to_string(len) + " at offset " +
+           std::to_string(pos));
+      break;  // framing cannot be trusted past this point
+    }
+    if (data.size() - pos - 8 < len) {
+      diag("truncated record payload at offset " + std::to_string(pos));
+      break;
+    }
+    const std::span<const std::uint8_t> payload(data.data() + pos + 8, len);
+    pos += 8 + len;
+    ++seen;
+
+    ShardRecord rec;
+    Status st;
+    if (net::checksum32(payload) != crc) {
+      st = Status::error(ErrorCode::kCorruptData,
+                         "record " + std::to_string(seen - 1) +
+                             " checksum mismatch");
+    } else {
+      st = decode_record(payload, rec)
+               .with_context("record " + std::to_string(seen - 1));
+    }
+    if (st.is_ok()) {
+      out.push_back(std::move(rec));
+      ++report.records_loaded;
+    } else {
+      ++report.records_quarantined;
+      diag(st.to_string());
+      if (first_record_error.is_ok()) first_record_error = std::move(st);
+    }
+  }
+
+  // Records the framing lost (truncated tail) are quarantined by count.
+  if (seen < declared) {
+    report.records_quarantined += static_cast<std::size_t>(declared - seen);
+    diag("header declares " + std::to_string(declared) + " records, found " +
+         std::to_string(seen));
+    if (first_record_error.is_ok()) {
+      first_record_error = Status::error(
+          ErrorCode::kCorruptData, "shard truncated: " + std::to_string(seen) +
+                                       "/" + std::to_string(declared) +
+                                       " records present");
+    }
+  } else if (seen > declared) {
+    const std::string msg = "header declares " + std::to_string(declared) +
+                            " records, found " + std::to_string(seen);
+    diag(msg);
+    if (first_record_error.is_ok()) {
+      first_record_error = Status::error(ErrorCode::kCorruptData, msg);
+    }
+  }
+  if (expect != nullptr && expect->records != seen) {
+    const std::string msg = "manifest declares " +
+                            std::to_string(expect->records) +
+                            " records, shard frames " + std::to_string(seen);
+    diag(msg);
+    if (first_record_error.is_ok()) {
+      first_record_error = Status::error(ErrorCode::kCorruptData, msg);
+    }
+  }
+
+  if (strict && !first_record_error.is_ok()) {
+    return first_record_error.with_context("read_shard " + path);
+  }
+  return Status::ok();
+}
+
+util::Result<ShardedCorpusWriter> ShardedCorpusWriter::open(
+    std::string dir, ShardWriterOptions opts) {
+  if (opts.records_per_shard == 0) opts.records_per_shard = 1;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::error(ErrorCode::kUnavailable,
+                         "cannot create " + dir + ": " + ec.message())
+        .with_context("ShardedCorpusWriter::open");
+  }
+  return ShardedCorpusWriter(std::move(dir), std::move(opts));
+}
+
+util::Status ShardedCorpusWriter::append(const ShardRecord& rec) {
+  if (finished_) {
+    return Status::error(ErrorCode::kFailedPrecondition,
+                         "append after finish")
+        .with_context("ShardedCorpusWriter::append");
+  }
+  payload_.clear();
+  encode_record(rec, payload_);
+  const std::uint32_t crc = net::checksum32(payload_);
+  if (util::fault(util::faults::kShardCorruptRecord) && !payload_.empty()) {
+    // Bit rot after checksumming: the reader's per-record CRC must catch it.
+    payload_[payload_.size() / 2] ^= 0x20;
+  }
+  net::wire::Writer w(chunk_);
+  w.put_u32(static_cast<std::uint32_t>(payload_.size()));
+  w.put_u32(crc);
+  chunk_.insert(chunk_.end(), payload_.begin(), payload_.end());
+  ++chunk_records_;
+  if (chunk_records_ >= opts_.records_per_shard) return seal_chunk();
+  return Status::ok();
+}
+
+util::Status ShardedCorpusWriter::seal_chunk() {
+  if (chunk_records_ == 0) return Status::ok();
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s-%05zu.gsd", opts_.prefix.c_str(),
+                manifest_.shards.size());
+
+  std::vector<std::uint8_t> file;
+  file.reserve(kShardHeaderBytes + chunk_.size());
+  net::wire::Writer w(file);
+  put_header(w, kShardMagic, chunk_records_);
+  file.insert(file.end(), chunk_.begin(), chunk_.end());
+
+  ShardInfo info;
+  info.file = name;
+  info.records = chunk_records_;
+  info.bytes = file.size();
+  info.checksum = net::checksum32(file);
+  if (util::fault(util::faults::kManifestStaleCount)) {
+    // Manifest drifts from its shard: claims one record too many.
+    info.records += 1;
+  }
+  if (util::fault(util::faults::kShardTruncate) && file.size() > 8) {
+    // Torn write: the tail never reached disk. The manifest still records
+    // the intended size/checksum, so both cross-checks must fire.
+    file.resize(file.size() - 8);
+  }
+
+  if (auto st = write_file_atomic((fs::path(dir_) / name).string(), file);
+      !st.is_ok()) {
+    return st.with_context("seal shard " + std::string(name));
+  }
+  manifest_.total_records += chunk_records_;
+  manifest_.shards.push_back(std::move(info));
+  bytes_ += file.size();
+  chunk_.clear();
+  chunk_records_ = 0;
+  return Status::ok();
+}
+
+util::Status ShardedCorpusWriter::finish() {
+  if (finished_) return Status::ok();
+  if (auto st = seal_chunk(); !st.is_ok()) return st;
+  if (auto st = write_manifest(dir_, manifest_); !st.is_ok()) return st;
+  finished_ = true;
+  return Status::ok();
+}
+
+}  // namespace gea::dataset

@@ -1,0 +1,167 @@
+// Sharded on-disk corpus format: self-describing chunk files + a manifest.
+//
+// A sharded corpus is a directory:
+//
+//   manifest.gsm     — shard table: file names, record counts, checksums
+//   shard-00000.gsd  — chunk files, each a fixed header + framed records
+//   shard-00001.gsd
+//   ...
+//   cache/           — optional persistent feature tier, one segment per
+//                      shard (see features/disk_cache.hpp)
+//
+// Shard file layout (all little-endian, written with net/wire primitives):
+//
+//   offset  size  field
+//        0     4  magic               0x53414547 ("GEAS", LE)
+//        4     2  version             kShardFormatVersion (1)
+//        6     2  reserved            0
+//        8     8  record count
+//   then, per record:
+//        0     4  payload length
+//        4     4  payload checksum    FNV-1a 32 (net::checksum32)
+//        8   len  payload             record codec below
+//
+// Record payload: u32 id | u8 family | u8 label | program (u32 code count,
+// instructions as u8 op, u8 rd, u8 rs, u64 imm bits, u32 target; u32
+// function count, functions as string name, u32 begin, u32 end). Features
+// are deliberately NOT persisted — they are recomputed by the streaming
+// reader or answered by the digest-keyed persistent cache, so a shard never
+// goes stale against a featurization change.
+//
+// Manifest layout: magic 0x4d414547 ("GEAM") | u16 version | u16 reserved
+// | u64 total records | u32 shard count | per shard (string file name, u64
+// records, u64 bytes, u32 file checksum) | u32 manifest checksum (FNV-1a
+// over every preceding byte).
+//
+// The reader follows the net/wire bounds-checked Reader discipline and the
+// repository-wide lenient/strict quarantine taxonomy (ROBUSTNESS.md):
+// damage whose extent is known (a record failing its CRC, a payload that
+// does not decode) quarantines just that record and the stream resyncs at
+// the next frame; damage that destroys framing (bad magic, absurd length,
+// a truncated tail) quarantines the rest of the shard; a manifest/header
+// record-count mismatch is reported as a Status. Nothing crashes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bingen/families.hpp"
+#include "isa/program.hpp"
+#include "util/status.hpp"
+
+namespace gea::dataset {
+
+inline constexpr std::uint32_t kShardMagic = 0x53414547u;     // "GEAS" LE
+inline constexpr std::uint32_t kManifestMagic = 0x4d414547u;  // "GEAM" LE
+inline constexpr std::uint16_t kShardFormatVersion = 1;
+inline constexpr std::size_t kShardHeaderBytes = 16;
+/// Ceiling on one record's declared payload length: a corrupt or hostile
+/// length field must not trigger an absurd allocation (same rule as
+/// net::kMaxPayloadBytes, sized for million-instruction programs).
+inline constexpr std::size_t kMaxRecordBytes = 64u << 20;
+inline constexpr const char* kManifestFileName = "manifest.gsm";
+
+/// One sample as stored in a shard: identity plus the program source.
+struct ShardRecord {
+  std::uint32_t id = 0;
+  bingen::Family family{};
+  std::uint8_t label = 0;
+  isa::Program program;
+};
+
+/// Append the record payload (no framing) to `out`.
+void encode_record(const ShardRecord& rec, std::vector<std::uint8_t>& out);
+
+/// Decode one record payload. Rejects truncated input, out-of-range family
+/// or label, and programs failing Program::validate() — a record that
+/// passes its CRC can still be hostile.
+util::Status decode_record(std::span<const std::uint8_t> payload,
+                           ShardRecord& out);
+
+/// Manifest entry for one chunk file.
+struct ShardInfo {
+  std::string file;            // name relative to the corpus directory
+  std::uint64_t records = 0;
+  std::uint64_t bytes = 0;     // whole-file size
+  std::uint32_t checksum = 0;  // FNV-1a 32 over the whole file
+};
+
+struct Manifest {
+  std::uint64_t total_records = 0;
+  std::vector<ShardInfo> shards;
+};
+
+/// Atomically (temp + rename) write `dir`/manifest.gsm.
+util::Status write_manifest(const std::string& dir, const Manifest& m);
+
+/// Read and validate `dir`/manifest.gsm (magic, version, trailing
+/// checksum, per-entry bounds). Any damage is an error — the manifest is
+/// the root of trust and has no record-level recovery.
+util::Result<Manifest> read_manifest(const std::string& dir);
+
+/// Quarantine accounting for one shard read.
+struct ShardReadReport {
+  std::size_t records_loaded = 0;
+  std::size_t records_quarantined = 0;  // CRC/decode failures + lost tail
+  std::vector<std::string> diagnostics;
+  std::size_t max_diagnostics = 8;
+};
+
+/// Read one chunk file. File-level damage (missing file, bad magic or
+/// version, oversized length field) fails with a Status in both modes —
+/// the caller quarantines the whole shard. Record-level damage quarantines
+/// into `report` (lenient) or fails on first occurrence (strict). When
+/// `expect` is non-null the file's size, checksum, and record count are
+/// verified against the manifest entry; a mismatch is strict-fatal and a
+/// lenient diagnostic.
+util::Status read_shard(const std::string& path, const ShardInfo* expect,
+                        std::vector<ShardRecord>& out, ShardReadReport& report,
+                        bool strict = false);
+
+struct ShardWriterOptions {
+  /// Records per chunk file. Bounds the streaming reader's resident set:
+  /// one decoded shard is the largest thing featurize() holds at once.
+  std::size_t records_per_shard = 4096;
+  /// Chunk file name prefix ("shard" -> shard-00000.gsd).
+  std::string prefix = "shard";
+};
+
+/// Streaming shard writer: records are buffered into the current chunk and
+/// spilled every records_per_shard appends, so writing a million-sample
+/// corpus holds one chunk in memory, never the corpus. finish() seals the
+/// tail chunk and writes the manifest; a writer abandoned before finish()
+/// leaves no manifest, which open() treats as "no corpus here" — the
+/// all-or-nothing discipline model/scaler checkpoints already follow.
+class ShardedCorpusWriter {
+ public:
+  /// `dir` is created if absent.
+  static util::Result<ShardedCorpusWriter> open(std::string dir,
+                                                ShardWriterOptions opts = {});
+
+  util::Status append(const ShardRecord& rec);
+  /// Seal the tail chunk and write the manifest. Idempotent.
+  util::Status finish();
+
+  const Manifest& manifest() const { return manifest_; }
+  std::uint64_t records_written() const { return manifest_.total_records; }
+  std::uint64_t bytes_written() const { return bytes_; }
+
+ private:
+  ShardedCorpusWriter(std::string dir, ShardWriterOptions opts)
+      : dir_(std::move(dir)), opts_(std::move(opts)) {}
+
+  util::Status seal_chunk();
+
+  std::string dir_;
+  ShardWriterOptions opts_;
+  std::vector<std::uint8_t> chunk_;  // framed records of the open chunk
+  std::uint64_t chunk_records_ = 0;
+  std::vector<std::uint8_t> payload_;  // per-append scratch
+  Manifest manifest_;
+  std::uint64_t bytes_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace gea::dataset

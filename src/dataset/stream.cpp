@@ -1,0 +1,269 @@
+#include "dataset/stream.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "features/disk_cache.hpp"
+#include "util/faultinject.hpp"
+#include "util/log.hpp"
+#include "util/threadpool.hpp"
+#include "util/timer.hpp"
+
+namespace gea::dataset {
+
+namespace fs = std::filesystem;
+using util::ErrorCode;
+using util::Status;
+
+namespace {
+
+// Same per-sample ceiling as Corpus::generate_checked, so a record that
+// would be quarantined in-memory is quarantined identically when streamed.
+constexpr std::size_t kMaxProgramLen = 4'000'000;
+
+/// "shard-00000.gsd" -> "shard-00000" (segment files drop the extension).
+std::string shard_stem(const std::string& file) {
+  const std::size_t dot = file.rfind('.');
+  return dot == std::string::npos ? file : file.substr(0, dot);
+}
+
+void add_diag(StreamReport& rep, std::size_t cap, std::string msg) {
+  if (rep.diagnostics.size() < cap) rep.diagnostics.push_back(std::move(msg));
+}
+
+}  // namespace
+
+util::Result<ShardedCorpus> ShardedCorpus::open(std::string dir) {
+  auto m = read_manifest(dir);
+  if (!m.is_ok()) {
+    return Status(m.status()).with_context("ShardedCorpus::open " + dir);
+  }
+  return ShardedCorpus(std::move(dir), std::move(m).value());
+}
+
+util::Status ShardedCorpus::featurize(
+    const std::function<void(const StreamRecord&)>& visit, StreamReport* report,
+    const StreamOptions& opts) const {
+  StreamReport local;
+  StreamReport& rep = report != nullptr ? *report : local;
+  rep.shards_total = manifest_.shards.size();
+
+  const std::size_t threads = util::resolve_threads(
+      {.threads = opts.threads, .label = "corpus streaming"});
+  rep.threads_used = threads;
+
+  // One in-memory cache for the whole pass; the persistent tier beneath it
+  // is swapped per shard. Capacity 0 with no cache_dir means "no caching".
+  std::shared_ptr<features::FeatureCache> cache;
+  if (opts.mem_cache_capacity > 0 || !opts.cache_dir.empty()) {
+    cache = std::make_shared<features::FeatureCache>(
+        opts.mem_cache_capacity > 0 ? opts.mem_cache_capacity : 1);
+  }
+  if (!opts.cache_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(opts.cache_dir, ec);
+    if (ec) {
+      return Status::error(ErrorCode::kUnavailable,
+                           "cannot create " + opts.cache_dir + ": " +
+                               ec.message())
+          .with_context("ShardedCorpus::featurize");
+    }
+  }
+
+  util::Stopwatch wall;
+  for (std::size_t si = 0; si < manifest_.shards.size(); ++si) {
+    const ShardInfo& info = manifest_.shards[si];
+    const std::string path = (fs::path(dir_) / info.file).string();
+
+    // Decode one shard. File-level damage quarantines the whole shard in
+    // lenient mode (every record the manifest claims is counted lost).
+    std::vector<ShardRecord> records;
+    ShardReadReport srep;
+    srep.max_diagnostics = opts.max_diagnostics;
+    if (auto st = read_shard(path, &info, records, srep, opts.strict);
+        !st.is_ok()) {
+      if (opts.strict) return st.with_context("ShardedCorpus::featurize");
+      ++rep.shards_quarantined;
+      rep.records_quarantined += static_cast<std::size_t>(info.records);
+      add_diag(rep, opts.max_diagnostics, st.to_string());
+      util::log_warn("sharded corpus: quarantined shard ", st.to_string());
+      continue;
+    }
+    rep.records_quarantined += srep.records_quarantined;
+    for (auto& d : srep.diagnostics) {
+      add_diag(rep, opts.max_diagnostics, std::move(d));
+    }
+
+    // Per-shard persistent tier. A segment that fails to load is rebuilt
+    // from scratch (its entries recompute) rather than trusted or fatal —
+    // except under strict, where damage is the caller's business.
+    std::shared_ptr<features::DiskFeatureCache> tier;
+    if (cache != nullptr && !opts.cache_dir.empty()) {
+      const std::string seg =
+          (fs::path(opts.cache_dir) / (shard_stem(info.file) + ".gfc"))
+              .string();
+      features::DiskCacheLoadReport crep;
+      crep.max_diagnostics = opts.max_diagnostics;
+      auto seg_cache = features::DiskFeatureCache::open(seg, &crep, opts.strict);
+      if (seg_cache.is_ok()) {
+        tier = std::make_shared<features::DiskFeatureCache>(
+            std::move(seg_cache).value());
+      } else {
+        if (opts.strict) {
+          return Status(seg_cache.status())
+              .with_context("ShardedCorpus::featurize");
+        }
+        add_diag(rep, opts.max_diagnostics, seg_cache.status().to_string());
+        util::log_warn("sharded corpus: rebuilding cache segment ",
+                       seg_cache.status().to_string());
+        // Quarantine the damaged file aside and rebuild in place, so the
+        // next warm run reads the fresh segment, not the corpse.
+        std::error_code ec;
+        fs::rename(seg, seg + ".quarantined", ec);  // best-effort
+        auto fresh = features::DiskFeatureCache::open(seg, nullptr, false);
+        if (fresh.is_ok()) {
+          tier = std::make_shared<features::DiskFeatureCache>(
+              std::move(fresh).value());
+        }
+      }
+      for (auto& d : crep.diagnostics) {
+        add_diag(rep, opts.max_diagnostics, std::move(d));
+      }
+      cache->set_persistent_tier(tier);
+    }
+
+    // Featurize this shard under the standard serial-merge discipline:
+    // parallel workers fill pre-sized slots, the visitor runs serially in
+    // record order below. Per-worker engines share `cache`, so a warm tier
+    // answers every repeat digest without a traversal.
+    std::vector<Sample> samples(records.size());
+    std::vector<Status> verdicts(records.size());
+    std::vector<double> chunk_ms(threads, 0.0);
+    const Status pst = util::parallel_for_ranges(
+        records.size(), threads,
+        [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+          util::Stopwatch sw;
+          features::FeatureEngine engine(cache);
+          for (std::size_t i = begin; i < end; ++i) {
+            Sample& s = samples[i];
+            s.id = records[i].id;
+            s.family = records[i].family;
+            s.label = records[i].label;
+            s.program = std::move(records[i].program);
+            try {
+              featurize_sample(s, engine);
+              Status v = util::check_allocation(s.program.size(),
+                                                kMaxProgramLen,
+                                                "sample program");
+              if (v.is_ok()) v = validate_sample(s);
+              verdicts[i] = std::move(v);
+            } catch (const std::exception& e) {
+              verdicts[i] = Status::error(ErrorCode::kInternal, e.what());
+            }
+          }
+          chunk_ms[chunk] += sw.elapsed_ms();
+          return Status::ok();
+        },
+        {.threads = opts.threads, .label = "corpus streaming"});
+    if (!pst.is_ok()) {
+      return Status(pst).with_context("ShardedCorpus::featurize");
+    }
+    for (double ms : chunk_ms) rep.worker_ms += ms;
+
+    // Serial in-order merge through the visitor.
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      Sample& s = samples[i];
+      if (verdicts[i].is_ok()) {
+        StreamRecord out;
+        out.id = s.id;
+        out.family = s.family;
+        out.label = s.label;
+        out.features = s.features;
+        out.shard = si;
+        visit(out);
+        ++rep.records_streamed;
+        continue;
+      }
+      Status verdict = std::move(verdicts[i]);
+      verdict.with_context(std::string("record ") + std::to_string(s.id) +
+                           " (" + bingen::family_name(s.family) + ")");
+      if (opts.strict) {
+        return verdict.with_context("ShardedCorpus::featurize");
+      }
+      ++rep.records_quarantined;
+      add_diag(rep, opts.max_diagnostics, verdict.to_string());
+      util::log_warn("sharded corpus: quarantined ", verdict.to_string());
+    }
+
+    // Seal this shard's cache segment before moving on: tier traffic is
+    // accounted, dirty entries flush atomically, and a flush failure (e.g.
+    // the simulated mid-write crash) degrades to "segment stays cold" in
+    // lenient mode — the old file on disk is still intact.
+    if (tier != nullptr) {
+      rep.disk_cache_hits += tier->hits();
+      rep.disk_cache_misses += tier->misses();
+      const std::uint64_t pending = tier->dirty() ? tier->size() : 0;
+      if (auto st = tier->flush(); !st.is_ok()) {
+        if (opts.strict) {
+          return st.with_context("ShardedCorpus::featurize");
+        }
+        add_diag(rep, opts.max_diagnostics, st.to_string());
+        util::log_warn("sharded corpus: cache flush failed ", st.to_string());
+      } else {
+        rep.disk_cache_entries_written += pending;
+      }
+      cache->set_persistent_tier(nullptr);
+    }
+    ++rep.shards_streamed;
+  }
+  rep.wall_ms = wall.elapsed_ms();
+  return Status::ok();
+}
+
+util::Status write_synthetic_corpus(const std::string& dir,
+                                    const CorpusConfig& cfg,
+                                    const ShardWriterOptions& shard_opts,
+                                    SyntheticWriteReport* report) {
+  SyntheticWriteReport local;
+  SyntheticWriteReport& rep = report != nullptr ? *report : local;
+
+  auto wres = ShardedCorpusWriter::open(dir, shard_opts);
+  if (!wres.is_ok()) {
+    return Status(wres.status()).with_context("write_synthetic_corpus");
+  }
+  ShardedCorpusWriter writer = std::move(wres).value();
+
+  util::Stopwatch wall;
+  SampleStream stream(cfg);
+  rep.requested = stream.total();
+  ShardRecord rec;
+  while (!stream.done()) {
+    Sample s;
+    if (Status st = stream.next(s); !st.is_ok()) {
+      // Generation failures are quarantined at the source — the reader
+      // never sees them — with the same accounting the in-memory path
+      // applies at its merge.
+      ++rep.quarantined;
+      if (rep.diagnostics.size() < rep.max_diagnostics) {
+        rep.diagnostics.push_back(st.to_string());
+      }
+      continue;
+    }
+    rec.id = s.id;
+    rec.family = s.family;
+    rec.label = s.label;
+    rec.program = std::move(s.program);
+    if (Status st = writer.append(rec); !st.is_ok()) {
+      return st.with_context("write_synthetic_corpus");
+    }
+  }
+  if (Status st = writer.finish(); !st.is_ok()) {
+    return st.with_context("write_synthetic_corpus");
+  }
+  rep.written = static_cast<std::size_t>(writer.records_written());
+  rep.bytes_written = writer.bytes_written();
+  rep.wall_ms = wall.elapsed_ms();
+  return Status::ok();
+}
+
+}  // namespace gea::dataset

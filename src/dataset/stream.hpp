@@ -1,0 +1,129 @@
+// Streaming featurization over a sharded on-disk corpus.
+//
+// The in-memory dataset::Corpus materializes every sample behind one CSV —
+// fine at the paper's 2,962 CFGs, hopeless at the million-sample scale the
+// ROADMAP targets. ShardedCorpus instead streams a corpus directory
+// (dataset/shard.hpp) shard by shard: one decoded chunk is the largest
+// thing resident at once, each chunk featurizes through per-worker
+// FeatureEngines under the deterministic parallel_for merge discipline, and
+// results are delivered to a visitor in record order — bitwise identical to
+// the in-memory path at any thread count.
+//
+// Persistent feature tier: with StreamOptions::cache_dir set, every shard
+// gets a digest-keyed DiskFeatureCache segment (cache_dir/<shard>.gfc)
+// attached beneath a small in-memory FeatureCache. A cold run computes and
+// writes through; a warm run answers ~every record from disk and skips the
+// traversal entirely. The 128-bit adjacency digest content-addresses each
+// graph, so cache invalidation is free — a regenerated shard simply stops
+// hitting — and corrupt or truncated segments quarantine and recompute,
+// never poison results (see ROBUSTNESS.md, dataset.* fault points).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dataset/corpus.hpp"
+#include "dataset/shard.hpp"
+#include "util/status.hpp"
+
+namespace gea::dataset {
+
+/// One featurized record as delivered to the visitor, in record order.
+struct StreamRecord {
+  std::uint32_t id = 0;
+  bingen::Family family{};
+  std::uint8_t label = 0;
+  features::FeatureVector features{};
+  std::size_t shard = 0;  // index into manifest().shards
+};
+
+struct StreamOptions {
+  /// Worker threads for per-shard featurization: 0 = auto (GEA_THREADS /
+  /// hardware_concurrency; serial while fault injection is armed).
+  std::size_t threads = 0;
+  /// Strict: the first damaged shard, record, or cache segment aborts the
+  /// stream with a Status. Lenient (default): damage quarantines into the
+  /// report and the stream continues.
+  bool strict = false;
+  /// Directory for the persistent feature tier ("" = no tier). Created on
+  /// demand; holds one .gfc segment per shard.
+  std::string cache_dir;
+  /// Capacity of the per-run in-memory FeatureCache above the persistent
+  /// tier (0 disables both caches when cache_dir is also empty). Repeated
+  /// graphs inside a shard — packed stubs all collapse to the same 1-node
+  /// CFG — hit here without touching the tier.
+  std::size_t mem_cache_capacity = 4096;
+  /// Cap on retained diagnostics (counts are always exact).
+  std::size_t max_diagnostics = 8;
+};
+
+/// Quarantine + cache accounting for one streaming pass.
+struct StreamReport {
+  std::size_t shards_total = 0;
+  std::size_t shards_streamed = 0;
+  std::size_t shards_quarantined = 0;  // unreadable wholesale
+  std::size_t records_streamed = 0;
+  std::size_t records_quarantined = 0;
+  /// Persistent-tier traffic (0/0 without a cache_dir). A warm re-run has
+  /// disk_cache_hits == records_streamed (bar fresh duplicates).
+  std::uint64_t disk_cache_hits = 0;
+  std::uint64_t disk_cache_misses = 0;
+  std::uint64_t disk_cache_entries_written = 0;
+  std::vector<std::string> diagnostics;
+  /// Featurization timing, mirroring SynthesisReport's convention.
+  double wall_ms = 0.0;
+  double worker_ms = 0.0;
+  std::size_t threads_used = 1;
+};
+
+/// Reader over a sharded corpus directory. open() trusts nothing: the
+/// manifest is checksummed, and every shard re-verifies its own header,
+/// per-record CRCs, and the manifest's record count as it streams.
+class ShardedCorpus {
+ public:
+  static util::Result<ShardedCorpus> open(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+  const Manifest& manifest() const { return manifest_; }
+  std::uint64_t total_records() const { return manifest_.total_records; }
+
+  /// Stream the whole corpus through featurization, shard by shard. The
+  /// visitor runs on the calling thread in record order. Lenient mode
+  /// returns OK with quarantine accounting in `report`; strict mode
+  /// returns the first failure.
+  util::Status featurize(const std::function<void(const StreamRecord&)>& visit,
+                         StreamReport* report = nullptr,
+                         const StreamOptions& opts = {}) const;
+
+ private:
+  ShardedCorpus(std::string dir, Manifest manifest)
+      : dir_(std::move(dir)), manifest_(std::move(manifest)) {}
+
+  std::string dir_;
+  Manifest manifest_;
+};
+
+/// Accounting for one synthetic corpus write.
+struct SyntheticWriteReport {
+  std::size_t requested = 0;
+  std::size_t written = 0;
+  std::size_t quarantined = 0;  // generation failures, skipped at the source
+  std::vector<std::string> diagnostics;
+  std::size_t max_diagnostics = 8;
+  double wall_ms = 0.0;
+  std::uint64_t bytes_written = 0;
+};
+
+/// Synthesize a corpus straight to shards: the SampleStream generator feeds
+/// the ShardedCorpusWriter one sample at a time, so a million-sample corpus
+/// is written in bounded memory (one open chunk), and the record stream is
+/// bitwise identical to Corpus::generate_checked's sample stream for the
+/// same config.
+util::Status write_synthetic_corpus(const std::string& dir,
+                                    const CorpusConfig& cfg,
+                                    const ShardWriterOptions& shard_opts = {},
+                                    SyntheticWriteReport* report = nullptr);
+
+}  // namespace gea::dataset

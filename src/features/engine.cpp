@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "features/disk_cache.hpp"
+
 #include "obs/metrics.hpp"
 #include "util/faultinject.hpp"
 #include "util/stats.hpp"
@@ -21,21 +23,36 @@ FeatureCache::FeatureCache(std::size_t capacity)
 bool FeatureCache::lookup(const graph::GraphDigest& key, FeatureVector& out) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++misses_;
-    obs_misses_->inc();
-    return false;
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to front
+    out = it->second->second;
+    ++hits_;
+    obs_hits_->inc();
+    return true;
   }
-  lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to front
-  out = it->second->second;
-  ++hits_;
-  obs_hits_->inc();
-  return true;
+  // Memory miss: consult the persistent tier and promote its answer. A
+  // promotion counts as a hit — the caller got features without a
+  // traversal — and is not written back through (the tier holds it).
+  if (tier_ != nullptr && tier_->lookup(key, out)) {
+    insert_locked(key, out);
+    ++hits_;
+    obs_hits_->inc();
+    return true;
+  }
+  ++misses_;
+  obs_misses_->inc();
+  return false;
 }
 
 void FeatureCache::insert(const graph::GraphDigest& key,
                           const FeatureVector& fv) {
   std::lock_guard<std::mutex> lock(mu_);
+  insert_locked(key, fv);
+  if (tier_ != nullptr) tier_->insert(key, fv);  // write-through
+}
+
+void FeatureCache::insert_locked(const graph::GraphDigest& key,
+                                 const FeatureVector& fv) {
   auto it = index_.find(key);
   if (it != index_.end()) {  // racing miss on another thread filled it first
     lru_.splice(lru_.begin(), lru_, it->second);
@@ -51,6 +68,11 @@ void FeatureCache::insert(const graph::GraphDigest& key,
   lru_.emplace_front(key, fv);
   index_.emplace(key, lru_.begin());
   obs_size_->set(static_cast<double>(lru_.size()));
+}
+
+void FeatureCache::set_persistent_tier(std::shared_ptr<DiskFeatureCache> tier) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tier_ = std::move(tier);
 }
 
 std::size_t FeatureCache::size() const {

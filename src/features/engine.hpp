@@ -41,9 +41,18 @@ class Gauge;
 
 namespace gea::features {
 
+class DiskFeatureCache;
+
 /// Thread-safe bounded LRU over graph digests. Capacity is clamped to at
 /// least one entry. All operations take one internal mutex — cheap next to
 /// the traversal a hit avoids; do not hold it across featurization.
+///
+/// An optional *persistent tier* (features/disk_cache.hpp) sits beneath the
+/// LRU: a memory miss consults the tier and promotes its answer (counted as
+/// a hit — the caller got data without a traversal), and every computed
+/// insert writes through, so warm re-runs over an on-disk corpus skip cold
+/// featurization entirely. Promotions do not write through (the tier
+/// already holds them).
 class FeatureCache {
  public:
   explicit FeatureCache(std::size_t capacity);
@@ -52,6 +61,13 @@ class FeatureCache {
   bool lookup(const graph::GraphDigest& key, FeatureVector& out);
   /// Insert or refresh; evicts the least recently used entry when full.
   void insert(const graph::GraphDigest& key, const FeatureVector& fv);
+
+  /// Attach/detach (nullptr) the persistent tier. The tier owns its own
+  /// durability (flush); the LRU only reads through and writes through.
+  void set_persistent_tier(std::shared_ptr<DiskFeatureCache> tier);
+  const std::shared_ptr<DiskFeatureCache>& persistent_tier() const {
+    return tier_;
+  }
 
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const;
@@ -67,11 +83,15 @@ class FeatureCache {
   };
   using Entry = std::pair<graph::GraphDigest, FeatureVector>;
 
+  /// Insert under mu_ without consulting or writing the tier.
+  void insert_locked(const graph::GraphDigest& key, const FeatureVector& fv);
+
   mutable std::mutex mu_;
   std::size_t capacity_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<graph::GraphDigest, std::list<Entry>::iterator, KeyHash>
       index_;
+  std::shared_ptr<DiskFeatureCache> tier_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;

@@ -60,6 +60,27 @@ inline constexpr const char* kNetFrameCorrupt = "net.frame.corrupt";
 inline constexpr const char* kNetWriteStall = "net.write.stall";
 /// The connection is torn down mid-request as if the peer reset it.
 inline constexpr const char* kNetConnDrop = "net.conn.drop";
+
+// Sharded-corpus fault points (src/dataset/shard+stream, src/features/
+// disk_cache). Each synthesizes the on-disk damage a real million-sample
+// corpus accumulates — torn writes, bit rot, manifests that drifted from
+// their shards — at the instrumented write site; the streaming reader and
+// the persistent cache must quarantine with a Status, never crash, and a
+// damaged cache entry must be recomputed, never served.
+/// Sealing a shard drops its final bytes (torn write / truncated copy).
+inline constexpr const char* kShardTruncate = "dataset.shard.truncate";
+/// A record's payload byte flips after its checksum was computed (bit rot
+/// the per-record CRC must catch, quarantining only that record).
+inline constexpr const char* kShardCorruptRecord = "dataset.shard.corrupt_record";
+/// The manifest records one more record than the shard actually holds
+/// (stale manifest next to a rewritten shard).
+inline constexpr const char* kManifestStaleCount = "dataset.manifest.stale_count";
+/// A persistent-cache entry's payload byte flips after checksumming; the
+/// next load must quarantine the entry and recompute, never serve it.
+inline constexpr const char* kCacheCorruptEntry = "dataset.cache.corrupt_entry";
+/// flush() dies mid-write: a truncated temp file is left behind and the
+/// rename never happens. The previous segment must stay intact.
+inline constexpr const char* kCachePartialWrite = "dataset.cache.partial_write";
 }  // namespace faults
 
 class FaultInjector {

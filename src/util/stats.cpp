@@ -5,6 +5,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace gea::util {
 
 double mean(std::span<const double> xs) {
@@ -115,6 +119,20 @@ LatencySummary LatencyRecorder::summarize() const {
   s.p99 = at_percentile(99.0);
   s.max = max_of(samples_);
   return s;
+}
+
+std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
 }
 
 }  // namespace gea::util

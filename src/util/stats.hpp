@@ -81,4 +81,10 @@ class LatencyRecorder {
   std::vector<double> samples_;
 };
 
+/// Peak resident set size of this process in bytes (getrusage ru_maxrss),
+/// 0 where unavailable. Monotonic over the process lifetime — the
+/// bounded-memory gates in bench/corpus_bench read it *before* running any
+/// deliberately-unbounded baseline phase.
+std::size_t peak_rss_bytes();
+
 }  // namespace gea::util
