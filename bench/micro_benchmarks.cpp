@@ -18,6 +18,7 @@
 #include "gea/embed.hpp"
 #include "graph/centrality.hpp"
 #include "graph/generators.hpp"
+#include "kernels/config.hpp"
 #include "isa/interpreter.hpp"
 #include "ml/trainer.hpp"
 #include "ml/zoo.hpp"
@@ -167,7 +168,8 @@ void write_parallel_bench() {
   out << "{\n  \"benchmark\": \"corpus_featurize\",\n"
       << "  \"samples\": 400,\n"
       << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
-      << ",\n  \"results\": [\n";
+      << ",\n  \"kernel_config\": \"" << kernels::active_config_summary()
+      << "\",\n  \"results\": [\n";
   for (std::size_t i = 0; i < counts.size(); ++i) {
     const double speedup = ms[i] > 0.0 ? ms[0] / ms[i] : 0.0;
     out << "    {\"threads\": " << counts[i] << ", \"featurize_wall_ms\": "

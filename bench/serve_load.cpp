@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "features/scaler.hpp"
+#include "kernels/config.hpp"
 #include "ml/zoo.hpp"
 #include "serve/checkpoint.hpp"
 #include "serve/registry.hpp"
@@ -332,7 +333,8 @@ void write_json(const std::vector<RunResult>& results, double speedup_8w,
   out << "{\n  \"benchmark\": \"serve_load\",\n"
       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
       << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
-      << ",\n  \"results\": [\n";
+      << ",\n  \"kernel_config\": \"" << kernels::active_config_summary()
+      << "\",\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     out << "    {\"mode\": \"" << r.mode << "\", \"workers\": " << r.workers

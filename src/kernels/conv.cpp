@@ -1,0 +1,238 @@
+#include "kernels/conv.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "kernels/gemm.hpp"
+#include "kernels/scratch.hpp"
+
+namespace gea::kernels {
+
+namespace {
+
+/// First input offset read by output position j: j + base + t for tap t.
+inline std::ptrdiff_t pad_base(const Conv1DShape& s) {
+  return s.same ? -static_cast<std::ptrdiff_t>(s.k / 2) : 0;
+}
+
+/// Write one im2col row: col_row[j] = x_row[j + base + t] for in-bounds
+/// positions, 0 at the padded edges. The in-bounds j range is computed
+/// once, so the interior is a straight memcpy — no per-element checks.
+inline void im2col_row(const float* x_row, std::size_t l_in,
+                       std::size_t l_out, std::ptrdiff_t shift,
+                       float* col_row) {
+  // In bounds when 0 <= j + shift < l_in.
+  const std::size_t j_lo = shift < 0 ? static_cast<std::size_t>(-shift) : 0;
+  const std::ptrdiff_t hi = static_cast<std::ptrdiff_t>(l_in) - shift;
+  const std::size_t j_hi =
+      hi <= 0 ? 0
+              : std::min(l_out, static_cast<std::size_t>(hi));
+  std::size_t j = 0;
+  for (; j < std::min(j_lo, l_out); ++j) col_row[j] = 0.0f;
+  if (j_hi > j) {
+    std::memcpy(col_row + j, x_row + static_cast<std::ptrdiff_t>(j) + shift,
+                (j_hi - j) * sizeof(float));
+    j = j_hi;
+  }
+  for (; j < l_out; ++j) col_row[j] = 0.0f;
+}
+
+/// Materialize the column matrix for the whole batch: row (ic*k + t),
+/// column (i*l_out + j) holds x[i][ic][j + base + t] (0 when padded).
+/// k == 3 — every conv in the paper's CNN — takes an unrolled builder.
+void im2col(const Conv1DShape& s, const float* x, float* col) {
+  const std::size_t l_out = s.l_out();
+  const std::size_t ncols = s.n * l_out;
+  const std::ptrdiff_t base = pad_base(s);
+  for (std::size_t i = 0; i < s.n; ++i) {
+    for (std::size_t ic = 0; ic < s.in_ch; ++ic) {
+      const float* x_row = x + (i * s.in_ch + ic) * s.l_in;
+      float* col_base = col + (ic * s.k) * ncols + i * l_out;
+      if (s.k == 3) {
+        im2col_row(x_row, s.l_in, l_out, base + 0, col_base);
+        im2col_row(x_row, s.l_in, l_out, base + 1, col_base + ncols);
+        im2col_row(x_row, s.l_in, l_out, base + 2, col_base + 2 * ncols);
+      } else {
+        for (std::size_t t = 0; t < s.k; ++t) {
+          im2col_row(x_row, s.l_in, l_out, base + static_cast<std::ptrdiff_t>(t),
+                     col_base + t * ncols);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void conv1d_forward(const Conv1DShape& s, const float* x, const float* w,
+                    const float* b, float* y) {
+  const std::size_t l_out = s.l_out();
+  const std::size_t kdim = s.in_ch * s.k;
+  const std::size_t ncols = s.n * l_out;
+  if (ncols == 0 || s.out_ch == 0) return;
+  KernelScratch& scratch = KernelScratch::tls();
+  float* col = scratch.col(kdim * ncols);
+  im2col(s, x, col);
+
+  GemmSpec spec;
+  spec.m = s.out_ch;
+  spec.n = ncols;
+  spec.k = kdim;
+  spec.a = w;
+  spec.lda = kdim;
+  spec.b = col;
+  spec.ldb = ncols;
+  spec.ldc = ncols;
+  spec.bias_row = b;
+  if (s.n == 1) {
+    // Single sample: y is exactly the (out_ch x l_out) product, written in
+    // place — the attack-crafting per-candidate path pays no copy.
+    spec.c = y;
+    gemm(spec);
+    return;
+  }
+  float* cbuf = scratch.cbuf(s.out_ch * ncols);
+  spec.c = cbuf;
+  gemm(spec);
+  // De-interleave (out_ch, n*l_out) into (n, out_ch, l_out).
+  for (std::size_t i = 0; i < s.n; ++i) {
+    for (std::size_t oc = 0; oc < s.out_ch; ++oc) {
+      std::memcpy(y + (i * s.out_ch + oc) * l_out,
+                  cbuf + oc * ncols + i * l_out, l_out * sizeof(float));
+    }
+  }
+}
+
+void conv1d_backward(const Conv1DShape& s, const float* x, const float* w,
+                     const float* grad_out, float* grad_in, float* gw,
+                     float* gb) {
+  const std::size_t l_out = s.l_out();
+  const std::size_t kdim = s.in_ch * s.k;
+  const std::size_t ncols = s.n * l_out;
+  if (ncols == 0 || s.out_ch == 0) return;
+  const std::ptrdiff_t base = pad_base(s);
+
+  // Bias gradient in the seed's order (sample-major, position-ascending).
+  for (std::size_t i = 0; i < s.n; ++i) {
+    for (std::size_t oc = 0; oc < s.out_ch; ++oc) {
+      const float* g_row = grad_out + (i * s.out_ch + oc) * l_out;
+      float acc = gb[oc];
+      for (std::size_t j = 0; j < l_out; ++j) acc += g_row[j];
+      gb[oc] = acc;
+    }
+  }
+
+  KernelScratch& scratch = KernelScratch::tls();
+  float* col = scratch.col(kdim * ncols);
+  im2col(s, x, col);
+  float* dcol = scratch.dcol(kdim * l_out);
+
+  for (std::size_t i = 0; i < s.n; ++i) {
+    const float* g_i = grad_out + i * s.out_ch * l_out;
+
+    // gw += G_i * col_i^T: (out_ch x l_out) * (l_out x kdim), sample-major
+    // accumulation matching the seed loop's order.
+    GemmSpec wspec;
+    wspec.m = s.out_ch;
+    wspec.n = kdim;
+    wspec.k = l_out;
+    wspec.a = g_i;
+    wspec.lda = l_out;
+    wspec.b = col + i * l_out;  // column slice of sample i, transposed view
+    wspec.ldb = ncols;
+    wspec.trans_b = true;
+    wspec.c = gw;
+    wspec.ldc = kdim;
+    wspec.accumulate = true;
+    gemm(wspec);
+
+    // dcol = W^T * G_i: (kdim x out_ch) * (out_ch x l_out).
+    GemmSpec xspec;
+    xspec.m = kdim;
+    xspec.n = l_out;
+    xspec.k = s.out_ch;
+    xspec.a = w;
+    xspec.lda = kdim;
+    xspec.trans_a = true;
+    xspec.b = g_i;
+    xspec.ldb = l_out;
+    xspec.c = dcol;
+    xspec.ldc = l_out;
+    gemm(xspec);
+
+    // col2im: scatter-add dcol rows back into the padded input positions.
+    for (std::size_t ic = 0; ic < s.in_ch; ++ic) {
+      float* gx_row = grad_in + (i * s.in_ch + ic) * s.l_in;
+      for (std::size_t t = 0; t < s.k; ++t) {
+        const float* d_row = dcol + (ic * s.k + t) * l_out;
+        const std::ptrdiff_t shift = base + static_cast<std::ptrdiff_t>(t);
+        const std::size_t j_lo =
+            shift < 0 ? static_cast<std::size_t>(-shift) : 0;
+        const std::ptrdiff_t hi = static_cast<std::ptrdiff_t>(s.l_in) - shift;
+        const std::size_t j_hi =
+            hi <= 0 ? 0 : std::min(l_out, static_cast<std::size_t>(hi));
+        for (std::size_t j = j_lo; j < j_hi; ++j) {
+          gx_row[static_cast<std::ptrdiff_t>(j) + shift] += d_row[j];
+        }
+      }
+    }
+  }
+}
+
+void dense_forward(std::size_t n, std::size_t in, std::size_t out,
+                   const float* x, const float* w, const float* b, float* y) {
+  GemmSpec spec;
+  spec.m = n;
+  spec.n = out;
+  spec.k = in;
+  spec.a = x;
+  spec.lda = in;
+  spec.b = w;  // (out, in) row-major read as its (in, out) transpose
+  spec.ldb = in;
+  spec.trans_b = true;
+  spec.c = y;
+  spec.ldc = out;
+  spec.bias_col = b;
+  gemm(spec);
+}
+
+void dense_backward(std::size_t n, std::size_t in, std::size_t out,
+                    const float* x, const float* w, const float* grad_out,
+                    float* grad_in, float* gw, float* gb) {
+  // Bias gradient in the seed's sample-major order.
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* g_i = grad_out + i * out;
+    for (std::size_t o = 0; o < out; ++o) gb[o] += g_i[o];
+  }
+
+  // gw += G^T * X: (out x n) * (n x in); k' = n is the sample-major
+  // accumulation the seed loop performs.
+  GemmSpec wspec;
+  wspec.m = out;
+  wspec.n = in;
+  wspec.k = n;
+  wspec.a = grad_out;  // (n, out) read as its (out, n) transpose
+  wspec.lda = out;
+  wspec.trans_a = true;
+  wspec.b = x;
+  wspec.ldb = in;
+  wspec.c = gw;
+  wspec.ldc = in;
+  wspec.accumulate = true;
+  gemm(wspec);
+
+  // grad_in = G * W: (n x out) * (out x in).
+  GemmSpec xspec;
+  xspec.m = n;
+  xspec.n = in;
+  xspec.k = out;
+  xspec.a = grad_out;
+  xspec.lda = out;
+  xspec.b = w;
+  xspec.ldb = in;
+  xspec.c = grad_in;
+  xspec.ldc = in;
+  gemm(xspec);
+}
+
+}  // namespace gea::kernels

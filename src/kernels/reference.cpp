@@ -1,0 +1,100 @@
+#include "kernels/reference.hpp"
+
+namespace gea::kernels::reference {
+
+void conv1d_forward(const Conv1DShape& s, const float* x, const float* w,
+                    const float* b, float* y) {
+  const std::size_t l_out = s.l_out();
+  const std::ptrdiff_t base =
+      s.same ? -static_cast<std::ptrdiff_t>(s.k / 2) : 0;
+  for (std::size_t i = 0; i < s.n; ++i) {
+    for (std::size_t oc = 0; oc < s.out_ch; ++oc) {
+      float* yrow = y + (i * s.out_ch + oc) * l_out;
+      for (std::size_t j = 0; j < l_out; ++j) yrow[j] = b[oc];
+      for (std::size_t ic = 0; ic < s.in_ch; ++ic) {
+        const float* xrow = x + (i * s.in_ch + ic) * s.l_in;
+        const float* wrow = w + (oc * s.in_ch + ic) * s.k;
+        for (std::size_t j = 0; j < l_out; ++j) {
+          float acc = 0.0f;
+          for (std::size_t t = 0; t < s.k; ++t) {
+            const std::ptrdiff_t src = static_cast<std::ptrdiff_t>(j) + base +
+                                       static_cast<std::ptrdiff_t>(t);
+            if (src >= 0 && src < static_cast<std::ptrdiff_t>(s.l_in)) {
+              acc += wrow[t] * xrow[src];
+            }
+          }
+          yrow[j] += acc;
+        }
+      }
+    }
+  }
+}
+
+void conv1d_backward(const Conv1DShape& s, const float* x, const float* w,
+                     const float* grad_out, float* grad_in, float* gw,
+                     float* gb) {
+  const std::size_t l_out = s.l_out();
+  const std::ptrdiff_t base =
+      s.same ? -static_cast<std::ptrdiff_t>(s.k / 2) : 0;
+  for (std::size_t i = 0; i < s.n; ++i) {
+    for (std::size_t oc = 0; oc < s.out_ch; ++oc) {
+      const float* grow = grad_out + (i * s.out_ch + oc) * l_out;
+      for (std::size_t j = 0; j < l_out; ++j) gb[oc] += grow[j];
+      for (std::size_t ic = 0; ic < s.in_ch; ++ic) {
+        const float* xrow = x + (i * s.in_ch + ic) * s.l_in;
+        float* gxrow = grad_in + (i * s.in_ch + ic) * s.l_in;
+        const float* wrow = w + (oc * s.in_ch + ic) * s.k;
+        float* gwrow = gw + (oc * s.in_ch + ic) * s.k;
+        for (std::size_t j = 0; j < l_out; ++j) {
+          const float g = grow[j];
+          if (g == 0.0f) continue;
+          for (std::size_t t = 0; t < s.k; ++t) {
+            const std::ptrdiff_t src = static_cast<std::ptrdiff_t>(j) + base +
+                                       static_cast<std::ptrdiff_t>(t);
+            if (src >= 0 && src < static_cast<std::ptrdiff_t>(s.l_in)) {
+              gwrow[t] += g * xrow[src];
+              gxrow[src] += g * wrow[t];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void dense_forward(std::size_t n, std::size_t in, std::size_t out,
+                   const float* x, const float* w, const float* b, float* y) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* xi = x + i * in;
+    float* yi = y + i * out;
+    for (std::size_t o = 0; o < out; ++o) {
+      const float* wrow = w + o * in;
+      float acc = b[o];
+      for (std::size_t k = 0; k < in; ++k) acc += wrow[k] * xi[k];
+      yi[o] = acc;
+    }
+  }
+}
+
+void dense_backward(std::size_t n, std::size_t in, std::size_t out,
+                    const float* x, const float* w, const float* grad_out,
+                    float* grad_in, float* gw, float* gb) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* gi = grad_out + i * out;
+    const float* xi = x + i * in;
+    float* gx = grad_in + i * in;
+    for (std::size_t o = 0; o < out; ++o) {
+      const float g = gi[o];
+      if (g == 0.0f) continue;
+      gb[o] += g;
+      float* gwrow = gw + o * in;
+      const float* wrow = w + o * in;
+      for (std::size_t k = 0; k < in; ++k) {
+        gwrow[k] += g * xi[k];
+        gx[k] += g * wrow[k];
+      }
+    }
+  }
+}
+
+}  // namespace gea::kernels::reference

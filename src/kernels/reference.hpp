@@ -1,0 +1,39 @@
+// Seed-era Conv1D/Dense loops, preserved verbatim as the numeric contract
+// for the kernel layer (the PR-5 engine-vs-reference pattern: the old
+// implementation stays as an executable specification).
+//
+// These are the exact loop nests src/ml/conv1d.cpp and src/ml/dense.cpp
+// shipped with before the GEMM lowering, lifted onto raw pointers so tests
+// and bench/gemm_bench can run them against kernels::conv1d_* /
+// kernels::dense_* on identical buffers. tests/kernels_test.cpp pins the
+// ULP-bounded equivalence across a randomized shape sweep; gemm_bench
+// refuses to time a divergent kernel.
+#pragma once
+
+#include <cstddef>
+
+#include "kernels/conv.hpp"
+
+namespace gea::kernels::reference {
+
+/// Seed Conv1D::forward: per-(sample, out-channel, in-channel) tap loops
+/// with a per-element bounds check, grouping each input channel's k-tap
+/// dot product before adding it to the output row.
+void conv1d_forward(const Conv1DShape& shape, const float* x, const float* w,
+                    const float* b, float* y);
+
+/// Seed Conv1D::backward, including the g == 0 skip.
+void conv1d_backward(const Conv1DShape& shape, const float* x, const float* w,
+                     const float* grad_out, float* grad_in, float* gw,
+                     float* gb);
+
+/// Seed Dense::forward: row-major dot products, bias first.
+void dense_forward(std::size_t n, std::size_t in, std::size_t out,
+                   const float* x, const float* w, const float* b, float* y);
+
+/// Seed Dense::backward, including the g == 0 skip.
+void dense_backward(std::size_t n, std::size_t in, std::size_t out,
+                    const float* x, const float* w, const float* grad_out,
+                    float* grad_in, float* gw, float* gb);
+
+}  // namespace gea::kernels::reference

@@ -1,0 +1,10 @@
+#include "kernels/scratch.hpp"
+
+namespace gea::kernels {
+
+KernelScratch& KernelScratch::tls() {
+  thread_local KernelScratch scratch;
+  return scratch;
+}
+
+}  // namespace gea::kernels

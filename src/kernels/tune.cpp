@@ -1,0 +1,122 @@
+#include "kernels/tune.hpp"
+
+#include <algorithm>
+
+#include "kernels/gemm.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace gea::kernels {
+
+std::vector<TuneShape> paper_cnn_infer_shapes(std::size_t batch) {
+  // Fig. 5 architecture on a 23-long input; conv GEMMs are
+  // (out_ch) x (batch * l_out) x (in_ch * 3), dense GEMMs are
+  // batch x out x in. Lengths: 23 -same-> 23 -valid-> 21 -pool-> 10
+  // -same-> 10 -valid-> 8 -pool-> 4.
+  return {
+      {46, batch * 23, 1 * 3, "conv1"},
+      {46, batch * 21, 46 * 3, "conv2"},
+      {92, batch * 10, 46 * 3, "conv3"},
+      {92, batch * 8, 92 * 3, "conv4"},
+      {batch, 512, 368, "dense1"},
+      {batch, 2, 512, "dense2"},
+  };
+}
+
+namespace {
+
+/// One shape's operands, filled once and reused by every candidate.
+struct ShapeData {
+  TuneShape shape;
+  std::vector<float> a, b, bias, c;
+};
+
+double time_config(const KernelConfig& cfg, std::vector<ShapeData>& data,
+                   int reps, KernelScratch& scratch) {
+  double total = 0.0;
+  for (auto& d : data) {
+    GemmSpec spec;
+    spec.m = d.shape.m;
+    spec.n = d.shape.n;
+    spec.k = d.shape.k;
+    spec.a = d.a.data();
+    spec.lda = d.shape.k;
+    spec.b = d.b.data();
+    spec.ldb = d.shape.n;
+    spec.c = d.c.data();
+    spec.ldc = d.shape.n;
+    spec.bias_row = d.bias.data();
+    gemm(spec, cfg, scratch);  // warm-up: grows scratch, faults pages
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      util::Stopwatch sw;
+      gemm(spec, cfg, scratch);
+      const double ms = sw.elapsed_ms();
+      best = r == 0 ? ms : std::min(best, ms);
+    }
+    total += best;
+  }
+  return total;
+}
+
+}  // namespace
+
+TuneReport tune(const TuneOptions& options) {
+  const std::vector<TuneShape> shapes =
+      options.shapes.empty() ? paper_cnn_infer_shapes(16) : options.shapes;
+  const int reps = options.quick ? std::min(options.reps, 3) : options.reps;
+
+  util::Rng rng(20260809);
+  std::vector<ShapeData> data;
+  data.reserve(shapes.size());
+  for (const auto& sh : shapes) {
+    ShapeData d;
+    d.shape = sh;
+    d.a.resize(sh.m * sh.k);
+    d.b.resize(sh.k * sh.n);
+    d.bias.resize(sh.m);
+    d.c.resize(sh.m * sh.n);
+    for (auto& v : d.a) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (auto& v : d.b) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (auto& v : d.bias) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    data.push_back(std::move(d));
+  }
+
+  // Candidate grid: every microkernel at the default blocks; full mode
+  // crosses the winners' space with a small mc/kc sweep (nc rarely matters
+  // at these widths, so it stays fixed).
+  std::vector<KernelConfig> candidates;
+  for (const auto& [mr, nr] : microkernel_variants()) {
+    KernelConfig cfg = default_config();
+    cfg.mr = mr;
+    cfg.nr = nr;
+    cfg.source = KernelConfig::Source::kTuned;
+    candidates.push_back(cfg);
+    if (!options.quick) {
+      for (std::uint32_t mc : {32u, 128u}) {
+        for (std::uint32_t kc : {64u, 128u}) {
+          KernelConfig c2 = cfg;
+          c2.mc = mc;
+          c2.kc = kc;
+          candidates.push_back(c2);
+        }
+      }
+    }
+  }
+
+  KernelScratch scratch;
+  TuneReport report;
+  report.scalar_ms = time_config(scalar_config(), data, reps, scratch);
+  for (const auto& cfg : candidates) {
+    report.candidates.push_back({cfg, time_config(cfg, data, reps, scratch)});
+  }
+  std::sort(report.candidates.begin(), report.candidates.end(),
+            [](const TuneCandidate& a, const TuneCandidate& b) {
+              return a.total_ms < b.total_ms;
+            });
+  report.best = report.candidates.front().config;
+  report.best_ms = report.candidates.front().total_ms;
+  return report;
+}
+
+}  // namespace gea::kernels

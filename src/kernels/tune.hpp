@@ -1,0 +1,57 @@
+// Bench-driven search over the GEMM tuning space.
+//
+// The tuner times every compiled microkernel variant (optionally crossed
+// with a small cache-block grid) on a representative shape set — by
+// default the paper CNN's batched-inference GEMMs — and returns the
+// fastest KernelConfig along with the full candidate table and the scalar
+// fallback's time for reference. Callers persist the winner with
+// save_config() and install it with set_active_config(); processes on the
+// same machine then pick it up via GEA_KERNEL_CONFIG.
+//
+// Wall-clock timing only perturbs *speed*: every candidate produces
+// identical results by the gemm chain-order contract, so a mistuned
+// machine is slower, never wrong.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "kernels/config.hpp"
+
+namespace gea::kernels {
+
+struct TuneShape {
+  std::size_t m = 0, n = 0, k = 0;
+  std::string label;
+};
+
+/// The GEMM shapes behind one batched Model::infer of the paper CNN
+/// (conv layers lowered via im2col across the batch, dense layers direct)
+/// for a 23-feature input — the serving hot path the tuner optimizes.
+std::vector<TuneShape> paper_cnn_infer_shapes(std::size_t batch);
+
+struct TuneOptions {
+  /// Best-of reps per (candidate, shape); noise-damping.
+  int reps = 5;
+  /// Quick mode: microkernel sweep only at default blocks, fewer reps —
+  /// the gemm_bench --smoke / CI setting.
+  bool quick = false;
+  std::vector<TuneShape> shapes;  // empty = paper_cnn_infer_shapes(16)
+};
+
+struct TuneCandidate {
+  KernelConfig config;
+  double total_ms = 0.0;  // summed best-of-reps over all shapes
+};
+
+struct TuneReport {
+  KernelConfig best;            // source == kTuned
+  double best_ms = 0.0;
+  double scalar_ms = 0.0;       // fallback on the same shapes
+  std::vector<TuneCandidate> candidates;  // sorted fastest first
+};
+
+TuneReport tune(const TuneOptions& options);
+
+}  // namespace gea::kernels

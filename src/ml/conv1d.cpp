@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "kernels/conv.hpp"
+
 namespace gea::ml {
 
 Conv1D::Conv1D(std::size_t in_channels, std::size_t out_channels,
@@ -42,6 +44,20 @@ void Conv1D::init(util::Rng& rng) {
   for (auto& b : b_) b = 0.0f;
 }
 
+kernels::Conv1DShape Conv1D::shape_for(const Tensor& x) const {
+  kernels::Conv1DShape s;
+  s.n = x.dim(0);
+  s.in_ch = in_ch_;
+  s.l_in = x.dim(2);
+  s.out_ch = out_ch_;
+  s.k = k_;
+  s.same = padding_ == Padding::kSame;
+  if (!s.same && s.l_in < k_) {
+    throw std::invalid_argument("Conv1D: input shorter than kernel");
+  }
+  return s;
+}
+
 Tensor Conv1D::forward(const Tensor& x, bool /*training*/) {
   if (x.rank() != 3 || x.dim(1) != in_ch_) {
     throw std::invalid_argument("Conv1D::forward: expected (N, " +
@@ -49,36 +65,9 @@ Tensor Conv1D::forward(const Tensor& x, bool /*training*/) {
                                 x.shape_string());
   }
   last_input_ = x;
-  const std::size_t n = x.dim(0);
-  const std::size_t l_in = x.dim(2);
-  const std::size_t l_out = output_length(l_in);
-  // Offset of input position relative to output position: for `same`,
-  // position j reads x[j - k/2 .. j + k/2]; for `valid`, x[j .. j + k - 1].
-  const std::ptrdiff_t base =
-      padding_ == Padding::kSame ? -static_cast<std::ptrdiff_t>(k_ / 2) : 0;
-
-  Tensor y({n, out_ch_, l_out});
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
-      float* yrow = y.data() + (i * out_ch_ + oc) * l_out;
-      for (std::size_t j = 0; j < l_out; ++j) yrow[j] = b_[oc];
-      for (std::size_t ic = 0; ic < in_ch_; ++ic) {
-        const float* xrow = x.data() + (i * in_ch_ + ic) * l_in;
-        const float* wrow = w_.data() + (oc * in_ch_ + ic) * k_;
-        for (std::size_t j = 0; j < l_out; ++j) {
-          float acc = 0.0f;
-          for (std::size_t t = 0; t < k_; ++t) {
-            const std::ptrdiff_t src =
-                static_cast<std::ptrdiff_t>(j) + base + static_cast<std::ptrdiff_t>(t);
-            if (src >= 0 && src < static_cast<std::ptrdiff_t>(l_in)) {
-              acc += wrow[t] * xrow[src];
-            }
-          }
-          yrow[j] += acc;
-        }
-      }
-    }
-  }
+  const auto s = shape_for(x);
+  Tensor y({s.n, out_ch_, s.l_out()});
+  kernels::conv1d_forward(s, x.data(), w_.data(), b_.data(), y.data());
   return y;
 }
 
@@ -88,112 +77,22 @@ Tensor Conv1D::infer(const Tensor& x) {
                                 std::to_string(in_ch_) + ", L), got " +
                                 x.shape_string());
   }
-  const std::size_t n = x.dim(0);
-  const std::size_t l_in = x.dim(2);
-  const std::size_t l_out = output_length(l_in);
-  const std::ptrdiff_t base =
-      padding_ == Padding::kSame ? -static_cast<std::ptrdiff_t>(k_ / 2) : 0;
-
-  // Interior positions [lo, hi) have every kernel tap in bounds (all of
-  // them for valid padding), so their loop carries no boundary check; the
-  // per-tap accumulation order is exactly forward()'s, keeping the output
-  // bitwise identical.
-  std::size_t lo = 0;
-  std::size_t hi = l_out;
-  if (padding_ == Padding::kSame) {
-    const std::size_t h = k_ / 2;
-    lo = h < l_out ? h : l_out;
-    hi = l_out >= h ? l_out - h : 0;
-    if (hi < lo) hi = lo;
-  }
-
-  Tensor y({n, out_ch_, l_out});
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
-      float* yrow = y.data() + (i * out_ch_ + oc) * l_out;
-      for (std::size_t j = 0; j < l_out; ++j) yrow[j] = b_[oc];
-      for (std::size_t ic = 0; ic < in_ch_; ++ic) {
-        const float* xrow = x.data() + (i * in_ch_ + ic) * l_in;
-        const float* wrow = w_.data() + (oc * in_ch_ + ic) * k_;
-        auto edge = [&](std::size_t j0, std::size_t j1) {
-          for (std::size_t j = j0; j < j1; ++j) {
-            float acc = 0.0f;
-            for (std::size_t t = 0; t < k_; ++t) {
-              const std::ptrdiff_t src = static_cast<std::ptrdiff_t>(j) + base +
-                                         static_cast<std::ptrdiff_t>(t);
-              if (src >= 0 && src < static_cast<std::ptrdiff_t>(l_in)) {
-                acc += wrow[t] * xrow[src];
-              }
-            }
-            yrow[j] += acc;
-          }
-        };
-        edge(0, lo);
-        if (k_ == 3) {
-          // Fixed-tap body: each output position is an independent FP
-          // chain with the exact op sequence of forward(), so the compiler
-          // may vectorize across j without changing a single bit.
-          const float w0 = wrow[0], w1 = wrow[1], w2 = wrow[2];
-          for (std::size_t j = lo; j < hi; ++j) {
-            const float* xj = xrow + static_cast<std::ptrdiff_t>(j) + base;
-            float acc = 0.0f;
-            acc += w0 * xj[0];
-            acc += w1 * xj[1];
-            acc += w2 * xj[2];
-            yrow[j] += acc;
-          }
-        } else {
-          for (std::size_t j = lo; j < hi; ++j) {
-            const float* xj = xrow + static_cast<std::ptrdiff_t>(j) + base;
-            float acc = 0.0f;
-            for (std::size_t t = 0; t < k_; ++t) acc += wrow[t] * xj[t];
-            yrow[j] += acc;
-          }
-        }
-        edge(hi, l_out);
-      }
-    }
-  }
+  const auto s = shape_for(x);
+  Tensor y({s.n, out_ch_, s.l_out()});
+  kernels::conv1d_forward(s, x.data(), w_.data(), b_.data(), y.data());
   return y;
 }
 
 Tensor Conv1D::backward(const Tensor& grad_out) {
-  const std::size_t n = last_input_.dim(0);
-  const std::size_t l_in = last_input_.dim(2);
-  const std::size_t l_out = output_length(l_in);
-  if (grad_out.rank() != 3 || grad_out.dim(0) != n ||
-      grad_out.dim(1) != out_ch_ || grad_out.dim(2) != l_out) {
+  const auto s = shape_for(last_input_);
+  if (grad_out.rank() != 3 || grad_out.dim(0) != s.n ||
+      grad_out.dim(1) != out_ch_ || grad_out.dim(2) != s.l_out()) {
     throw std::invalid_argument("Conv1D::backward: bad gradient shape " +
                                 grad_out.shape_string());
   }
-  const std::ptrdiff_t base =
-      padding_ == Padding::kSame ? -static_cast<std::ptrdiff_t>(k_ / 2) : 0;
-
-  Tensor grad_in({n, in_ch_, l_in});
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
-      const float* grow = grad_out.data() + (i * out_ch_ + oc) * l_out;
-      for (std::size_t j = 0; j < l_out; ++j) gb_[oc] += grow[j];
-      for (std::size_t ic = 0; ic < in_ch_; ++ic) {
-        const float* xrow = last_input_.data() + (i * in_ch_ + ic) * l_in;
-        float* gxrow = grad_in.data() + (i * in_ch_ + ic) * l_in;
-        const float* wrow = w_.data() + (oc * in_ch_ + ic) * k_;
-        float* gwrow = gw_.data() + (oc * in_ch_ + ic) * k_;
-        for (std::size_t j = 0; j < l_out; ++j) {
-          const float g = grow[j];
-          if (g == 0.0f) continue;
-          for (std::size_t t = 0; t < k_; ++t) {
-            const std::ptrdiff_t src =
-                static_cast<std::ptrdiff_t>(j) + base + static_cast<std::ptrdiff_t>(t);
-            if (src >= 0 && src < static_cast<std::ptrdiff_t>(l_in)) {
-              gwrow[t] += g * xrow[src];
-              gxrow[src] += g * wrow[t];
-            }
-          }
-        }
-      }
-    }
-  }
+  Tensor grad_in({s.n, in_ch_, s.l_in});
+  kernels::conv1d_backward(s, last_input_.data(), w_.data(), grad_out.data(),
+                           grad_in.data(), gw_.data(), gb_.data());
   return grad_in;
 }
 

@@ -3,8 +3,16 @@
 // Matches the paper's two padding modes: `kSame` (zero-pad so L_out == L_in,
 // used by Conv 1 and Conv 3) and `kValid` (no padding, L_out = L_in - k + 1,
 // used by Conv 2 and Conv 4).
+//
+// All math is lowered onto kernels::gemm via im2col (kernels/conv.hpp):
+// forward, batched infer, and both backward GEMMs share one tiled,
+// vectorized path whose per-element accumulation is k-ordered — so
+// per-sample forward and batched infer stay bitwise identical by
+// construction, and the whole layer is ULP-bounded against the preserved
+// seed loops (kernels/reference.hpp).
 #pragma once
 
+#include "kernels/conv.hpp"
 #include "ml/layer.hpp"
 
 namespace gea::ml {
@@ -18,10 +26,8 @@ class Conv1D : public Layer {
 
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
-  /// Batched inference fast path: no input cache, and the kernel loop is
-  /// split into edge/interior regions so the interior runs without the
-  /// per-element boundary check. Same accumulation order as forward(), so
-  /// the logits are bitwise identical.
+  /// Batched inference fast path: forward() without the input cache copy.
+  /// Identical kernel path, so the logits are bitwise identical.
   Tensor infer(const Tensor& x) override;
   std::vector<Param> params() override;
   std::string describe() const override;
@@ -31,6 +37,8 @@ class Conv1D : public Layer {
   std::size_t output_length(std::size_t input_length) const;
 
  private:
+  kernels::Conv1DShape shape_for(const Tensor& x) const;
+
   std::size_t in_ch_;
   std::size_t out_ch_;
   std::size_t k_;

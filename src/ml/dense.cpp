@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "kernels/conv.hpp"
+
 namespace gea::ml {
 
 Dense::Dense(std::size_t in_features, std::size_t out_features)
@@ -30,16 +32,8 @@ Tensor Dense::forward(const Tensor& x, bool /*training*/) {
   last_input_ = x;
   const std::size_t n = x.dim(0);
   Tensor y({n, out_});
-  for (std::size_t i = 0; i < n; ++i) {
-    const float* xi = x.data() + i * in_;
-    float* yi = y.data() + i * out_;
-    for (std::size_t o = 0; o < out_; ++o) {
-      const float* wrow = w_.data() + o * in_;
-      float acc = b_[o];
-      for (std::size_t k = 0; k < in_; ++k) acc += wrow[k] * xi[k];
-      yi[o] = acc;
-    }
-  }
+  kernels::dense_forward(n, in_, out_, x.data(), w_.data(), b_.data(),
+                         y.data());
   return y;
 }
 
@@ -51,40 +45,8 @@ Tensor Dense::infer(const Tensor& x) {
   }
   const std::size_t n = x.dim(0);
   Tensor y({n, out_});
-  if (n == 1) {
-    const float* xi = x.data();
-    float* yi = y.data();
-    for (std::size_t o = 0; o < out_; ++o) {
-      const float* wrow = w_.data() + o * in_;
-      float acc = b_[o];
-      for (std::size_t k = 0; k < in_; ++k) acc += wrow[k] * xi[k];
-      yi[o] = acc;
-    }
-    return y;
-  }
-  // Batched: transpose the input so the batch index is contiguous, then
-  // run every sample's accumulation chain in lockstep. Per (i, o) the FP
-  // op sequence is identical to the row-major loop above (acc = b; then
-  // += w_k * x_k in k order) — the chains are independent, so interleaving
-  // them across i is bitwise-free and lets the compiler vectorize the
-  // innermost loop over the batch.
-  std::vector<float> xt(in_ * n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const float* xi = x.data() + i * in_;
-    for (std::size_t k = 0; k < in_; ++k) xt[k * n + i] = xi[k];
-  }
-  std::vector<float> acc(n);
-  for (std::size_t o = 0; o < out_; ++o) {
-    const float* wrow = w_.data() + o * in_;
-    const float bo = b_[o];
-    for (std::size_t i = 0; i < n; ++i) acc[i] = bo;
-    for (std::size_t k = 0; k < in_; ++k) {
-      const float wk = wrow[k];
-      const float* xk = xt.data() + k * n;
-      for (std::size_t i = 0; i < n; ++i) acc[i] += wk * xk[i];
-    }
-    for (std::size_t i = 0; i < n; ++i) y.data()[i * out_ + o] = acc[i];
-  }
+  kernels::dense_forward(n, in_, out_, x.data(), w_.data(), b_.data(),
+                         y.data());
   return y;
 }
 
@@ -96,22 +58,9 @@ Tensor Dense::backward(const Tensor& grad_out) {
   }
   const std::size_t n = grad_out.dim(0);
   Tensor grad_in({n, in_});
-  for (std::size_t i = 0; i < n; ++i) {
-    const float* gi = grad_out.data() + i * out_;
-    const float* xi = last_input_.data() + i * in_;
-    float* gx = grad_in.data() + i * in_;
-    for (std::size_t o = 0; o < out_; ++o) {
-      const float g = gi[o];
-      if (g == 0.0f) continue;
-      gb_[o] += g;
-      float* gwrow = gw_.data() + o * in_;
-      const float* wrow = w_.data() + o * in_;
-      for (std::size_t k = 0; k < in_; ++k) {
-        gwrow[k] += g * xi[k];
-        gx[k] += g * wrow[k];
-      }
-    }
-  }
+  kernels::dense_backward(n, in_, out_, last_input_.data(), w_.data(),
+                          grad_out.data(), grad_in.data(), gw_.data(),
+                          gb_.data());
   return grad_in;
 }
 

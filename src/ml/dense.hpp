@@ -1,4 +1,9 @@
 // Fully connected layer: y = W x + b over (N, in) batches.
+//
+// Lowered onto kernels::gemm: forward/infer map to one batch-wide GEMM
+// (x * W^T + b), backward to two accumulating GEMMs. The per-element
+// k-ordered chain keeps per-sample and batched results bitwise identical
+// and matches the seed loop order exactly (kernels/reference.hpp).
 #pragma once
 
 #include "ml/layer.hpp"

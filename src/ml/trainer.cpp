@@ -3,6 +3,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "kernels/config.hpp"
 #include "ml/loss.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -189,6 +190,9 @@ TrainStats train(Model& model, const LabeledData& data, const TrainConfig& cfg) 
   if (data.rows.size() != data.labels.size()) {
     throw std::invalid_argument("train: label count mismatch");
   }
+  // Name the dense-math config this run trains on, so throughput numbers in
+  // logs are attributable to the kernel layer (tuned vs default vs scalar).
+  util::log_info("train: kernels [", kernels::active_config_summary(), "]");
   if (cfg.threads != 1) {
     if (model.clonable()) return train_chunked(model, data, cfg);
     util::log_warn(

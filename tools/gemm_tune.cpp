@@ -1,0 +1,71 @@
+// Autotune the dense-math kernel layer for this machine.
+//
+// Sweeps every compiled microkernel variant (and, in full mode, a small
+// cache-block grid) over the paper CNN's batched-inference GEMM shapes,
+// prints the candidate table, and persists the winner as a small text
+// config. Point GEA_KERNEL_CONFIG at the file and every gea process
+// (trainer, gea_serve, benches) runs its conv/dense math under the tuned
+// tiling — correctness is untouched by construction (every candidate
+// produces identical results; see kernels/gemm.hpp).
+//
+//   $ ./tools/gemm_tune [--quick] [--batch N] [--out PATH]
+//
+//   --quick    microkernel sweep only, fewer reps (CI / sanity runs)
+//   --batch N  tune for serving batch N (default 16)
+//   --out PATH where to write the config (default gemm_tuned.cfg)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "kernels/config.hpp"
+#include "kernels/tune.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gea;
+
+  bool quick = false;
+  std::size_t batch = 16;
+  std::string out = "gemm_tuned.cfg";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      batch = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (batch == 0) batch = 1;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: gemm_tune [--quick] [--batch N] [--out PATH]\n");
+      return 2;
+    }
+  }
+
+  kernels::TuneOptions opts;
+  opts.quick = quick;
+  opts.reps = quick ? 2 : 5;
+  opts.shapes = kernels::paper_cnn_infer_shapes(batch);
+  std::printf("gemm_tune: %zu shapes (batch %zu), %zu microkernel variants%s\n",
+              opts.shapes.size(), batch, kernels::microkernel_variants().size(),
+              quick ? " [quick]" : " + cache-block grid");
+
+  const auto report = kernels::tune(opts);
+  std::printf("%-40s %10s\n", "config", "total ms");
+  for (const auto& c : report.candidates) {
+    std::printf("%-40s %10.3f%s\n", c.config.summary().c_str(), c.total_ms,
+                &c == &report.candidates.front() ? "  <- best" : "");
+  }
+  std::printf("%-40s %10.3f\n", "scalar fallback", report.scalar_ms);
+  if (report.best_ms > 0.0) {
+    std::printf("best vs scalar: %.2fx\n", report.scalar_ms / report.best_ms);
+  }
+
+  if (auto st = kernels::save_config(report.best, out); !st.is_ok()) {
+    std::fprintf(stderr, "gemm_tune: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  std::printf("wrote %s — export GEA_KERNEL_CONFIG=%s to use it\n",
+              out.c_str(), out.c_str());
+  return 0;
+}
