@@ -19,14 +19,28 @@
 // probabilistically; the gate is zero crashes and a bounded error rate
 // (>= 90% of requests still produce a verdict through retry/quarantine).
 //
+// The loopback/chaos stages also host the live admin plane: an AdminServer
+// wired to the DetectionServer, TransportServer and an SloMonitor, scraped
+// over real HTTP *while the load runs*. The scrape bodies are written to
+// ADMIN_*.{prom,txt} next to BENCH_serve.json, a /metrics exemplar trace id
+// is cross-checked against /tracez (the Prometheus<->trace join), and the
+// chaos stage must drive the SLO monitor degraded (readyz 503) and back to
+// healthy once the faults clear — slo_degraded_observed / slo_recovered in
+// the JSON gate that cycle.
+//
 //   $ ./bench/serve_load [--smoke] [--loopback] [--chaos] [--threads N]
+//                        [--admin-port P] [--admin-linger-ms T]
+#include <poll.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,9 +48,12 @@
 #include "features/scaler.hpp"
 #include "kernels/config.hpp"
 #include "ml/zoo.hpp"
+#include "net/socket.hpp"
+#include "serve/admin.hpp"
 #include "serve/checkpoint.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
+#include "serve/slo.hpp"
 #include "serve/transport.hpp"
 #include "util/faultinject.hpp"
 #include "util/rng.hpp"
@@ -217,25 +234,125 @@ RunResult run_open(serve::ModelRegistry& registry, std::size_t workers,
   return res;
 }
 
+/// One blocking HTTP/1.0 GET against the in-process admin plane. Returns
+/// the full response text (status line + headers + body) or nullopt on any
+/// socket error/timeout — the bench treats a failed scrape as a miss, not
+/// a crash.
+std::optional<std::string> http_get(std::uint16_t port,
+                                    const std::string& target,
+                                    int timeout_ms = 2000) {
+  auto sock = net::connect_to("127.0.0.1", port, timeout_ms);
+  if (!sock.is_ok()) return std::nullopt;
+  const std::string req = "GET " + target + " HTTP/1.0\r\n\r\n";
+  std::size_t sent = 0;
+  util::Stopwatch sw;
+  while (sent < req.size()) {
+    auto io = sock.value().write_some(
+        reinterpret_cast<const std::uint8_t*>(req.data()) + sent,
+        req.size() - sent);
+    if (!io.ok() || io.eof) return std::nullopt;
+    sent += io.bytes;
+    if (io.would_block) {
+      if (sw.elapsed_ms() > timeout_ms) return std::nullopt;
+      (void)sock.value().poll_one(POLLOUT, 10);
+    }
+  }
+  std::string out;
+  std::uint8_t buf[4096];
+  for (;;) {
+    auto io = sock.value().read_some(buf, sizeof buf);
+    if (!io.ok()) return std::nullopt;
+    if (io.bytes > 0) out.append(reinterpret_cast<char*>(buf), io.bytes);
+    if (io.eof) break;  // close-after-response: EOF delimits the body
+    if (io.would_block) {
+      if (sw.elapsed_ms() > timeout_ms) return std::nullopt;
+      (void)sock.value().poll_one(POLLIN, 10);
+    }
+  }
+  return out;
+}
+
+/// What the in-bench admin scrapes observed (merged into BENCH_serve.json).
+struct AdminReport {
+  std::uint64_t scrapes = 0;       // successful GET /metrics under load
+  double scrape_p50_ms = 0.0;      // median /metrics latency under load
+  int endpoints_ok = 0;            // of the 5 endpoints, answered 200/503
+  bool exemplar_joined = false;    // /metrics exemplar id found in /tracez
+  int slo_degraded_observed = 0;   // chaos: /readyz flipped to 503-degraded
+  int slo_recovered = 0;           // ...and back to 200 after faults cleared
+};
+
+void save_admin_body(const char* path, const std::optional<std::string>& r) {
+  if (!r) return;
+  std::ofstream out(path);
+  out << *r;
+}
+
+/// All exemplar trace ids in a Prometheus exposition
+/// ("... # {trace_id=\"<16 hex>\"} ...").
+std::vector<std::string> exemplar_ids(const std::string& metrics) {
+  std::vector<std::string> ids;
+  const std::string key = "# {trace_id=\"";
+  for (auto pos = metrics.find(key); pos != std::string::npos;
+       pos = metrics.find(key, pos + 1)) {
+    const auto start = pos + key.size();
+    const auto end = metrics.find('"', start);
+    if (end == std::string::npos) break;
+    ids.push_back(metrics.substr(start, end - start));
+  }
+  return ids;
+}
+
 /// Closed loop over the real wire: a TransportServer on loopback with one
 /// RemoteClient per client thread. With `chaos`, all five net.* fault
 /// points are armed probabilistically (deterministic seeds) on the server
 /// side; clients must recover through retry/backoff, the server through
 /// quarantine/shed/timeout — crashing or hanging is the only failure.
+/// With `admin` non-null, the run hosts the live admin plane and scrapes
+/// it over HTTP while the load is in flight.
 RunResult run_loopback(serve::ModelRegistry& registry, std::size_t workers,
                        std::size_t max_batch, std::size_t clients,
                        std::size_t per_client,
                        const std::vector<std::vector<double>>& rows,
-                       bool chaos, double* ok_fraction_out) {
+                       bool chaos, double* ok_fraction_out,
+                       AdminReport* admin = nullptr,
+                       std::uint16_t admin_port = 0,
+                       double admin_linger_ms = 0.0) {
   serve::DetectionServer server(
       registry, server_config(workers, max_batch, clients * 2));
+
+  // An SLO window tight enough for a smoke-length chaos stage to fill and
+  // trip: ~2s of traffic, a verdict after 30 requests, and — in chaos mode
+  // — an error budget well under the armed faults' quarantine rate, so the
+  // monitor must degrade while the faults run and recover once they clear.
+  serve::SloConfig scfg;
+  scfg.window_s = 2.0;
+  scfg.buckets = 8;
+  scfg.min_requests = 30;
+  if (chaos) scfg.max_error_fraction = 0.002;
+  serve::SloMonitor slo(scfg);
+
   serve::TransportConfig tcfg;
   tcfg.fault_injection = chaos;
   if (chaos) tcfg.read_timeout_ms = 250.0;  // mop up desyncs fast
+  if (admin != nullptr) tcfg.slo = &slo;
   serve::TransportServer transport(server, tcfg);
   if (auto st = transport.start(); !st.is_ok()) {
     std::fprintf(stderr, "%s\n", st.to_string().c_str());
     std::exit(1);
+  }
+
+  std::optional<serve::AdminServer> admin_server;
+  if (admin != nullptr) {
+    serve::AdminConfig acfg;
+    acfg.port = admin_port;
+    admin_server.emplace(acfg,
+                         serve::AdminHooks{&server, &transport, &slo});
+    if (auto st = admin_server->start(); !st.is_ok()) {
+      std::fprintf(stderr, "admin: %s\n", st.to_string().c_str());
+      std::exit(1);
+    }
+    std::printf("admin plane on 127.0.0.1:%u\n", admin_server->port());
   }
 
   if (chaos) {
@@ -250,6 +367,32 @@ RunResult run_loopback(serve::ModelRegistry& registry, std::size_t workers,
   util::LatencyRecorder latency;
   std::mutex latency_mu;
   std::atomic<std::uint64_t> ok{0}, failed{0}, retries{0};
+  std::atomic<bool> load_running{true};
+
+  // Scrape the admin plane over real HTTP while the load is in flight —
+  // the point is that introspection works *under* load, not after it.
+  std::thread scraper;
+  std::vector<double> scrape_ms;
+  if (admin != nullptr) {
+    scraper = std::thread([&] {
+      const std::uint16_t aport = admin_server->port();
+      while (load_running.load(std::memory_order_relaxed)) {
+        util::Stopwatch sw;
+        if (auto r = http_get(aport, "/metrics"); r) {
+          scrape_ms.push_back(sw.elapsed_ms());
+        }
+        if (chaos && admin->slo_degraded_observed == 0) {
+          if (auto r = http_get(aport, "/readyz");
+              r && r->rfind("HTTP/1.0 503", 0) == 0 &&
+              r->find("slo: degraded") != std::string::npos) {
+            admin->slo_degraded_observed = 1;
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+    });
+  }
+
   util::Stopwatch wall;
   std::vector<std::thread> pool;
   pool.reserve(clients);
@@ -280,10 +423,76 @@ RunResult run_loopback(serve::ModelRegistry& registry, std::size_t workers,
   }
   for (auto& t : pool) t.join();
   const double wall_s = wall.elapsed_ms() / 1000.0;
+  load_running.store(false);
+  if (scraper.joinable()) scraper.join();
+  if (chaos) util::FaultInjector::instance().reset();
+
+  if (admin != nullptr) {
+    const std::uint16_t aport = admin_server->port();
+    // Under-load scrape summary.
+    admin->scrapes = scrape_ms.size();
+    if (!scrape_ms.empty()) {
+      admin->scrape_p50_ms = util::median(scrape_ms);
+    }
+    if (chaos && admin->slo_degraded_observed != 0) {
+      // Faults are gone; a clean trickle must bring /readyz back to 200
+      // (the window drains and the burn rate collapses).
+      serve::ClientConfig ccfg;
+      ccfg.port = transport.port();
+      serve::RemoteClient client(ccfg);
+      util::Stopwatch recover;
+      while (recover.elapsed_ms() < 8'000.0) {
+        (void)client.detect(rows[0]);
+        if (auto r = http_get(aport, "/readyz");
+            r && r->rfind("HTTP/1.0 200", 0) == 0) {
+          admin->slo_recovered = 1;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    }
+    // Final pass over all five endpoints; bodies land next to the JSON so
+    // CI can archive exactly what the plane served.
+    const auto metrics = http_get(aport, "/metrics");
+    const auto healthz = http_get(aport, "/healthz");
+    const auto readyz = http_get(aport, "/readyz");
+    const auto tracez = http_get(aport, "/tracez");
+    const auto statusz = http_get(aport, "/statusz");
+    save_admin_body("ADMIN_metrics.prom", metrics);
+    save_admin_body("ADMIN_healthz.txt", healthz);
+    save_admin_body("ADMIN_readyz.txt", readyz);
+    save_admin_body("ADMIN_tracez.txt", tracez);
+    save_admin_body("ADMIN_statusz.txt", statusz);
+    for (const auto* r : {&metrics, &healthz, &readyz, &tracez, &statusz}) {
+      if (r->has_value() && (*r)->find("HTTP/1.0") == 0) ++admin->endpoints_ok;
+    }
+    // The Prometheus<->trace join: an exemplar trace id on a histogram
+    // bucket must name a trace /tracez can show. Join against the widest
+    // view of the ring (exemplars are slowest-wins, so the very slowest
+    // may predate the default 16-trace window).
+    if (metrics) {
+      const auto wide = http_get(aport, "/tracez?limit=4096");
+      if (wide) {
+        for (const auto& id : exemplar_ids(*metrics)) {
+          if (wide->find(id) != std::string::npos) {
+            admin->exemplar_joined = true;
+            break;
+          }
+        }
+      }
+    }
+    if (admin_linger_ms > 0.0) {
+      std::printf("admin plane lingering %.0f ms on 127.0.0.1:%u ...\n",
+                  admin_linger_ms, aport);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(admin_linger_ms));
+    }
+    admin_server->stop();
+  }
+
   transport.stop();
   const auto net = transport.stats();
   server.stop();
-  if (chaos) util::FaultInjector::instance().reset();
 
   const std::uint64_t total = ok.load() + failed.load();
   if (ok_fraction_out) {
@@ -328,7 +537,7 @@ void print_result(const RunResult& r) {
 
 void write_json(const std::vector<RunResult>& results, double speedup_8w,
                 double loopback_slowdown_8w, double chaos_ok_fraction,
-                bool smoke) {
+                bool smoke, const AdminReport& admin) {
   std::ofstream out("BENCH_serve.json");
   out << "{\n  \"benchmark\": \"serve_load\",\n"
       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
@@ -349,17 +558,31 @@ void write_json(const std::vector<RunResult>& results, double speedup_8w,
   }
   out << "  ],\n  \"batched_speedup_8w\": " << speedup_8w
       << ",\n  \"loopback_slowdown_8w\": " << loopback_slowdown_8w
-      << ",\n  \"chaos_ok_fraction\": " << chaos_ok_fraction << "\n}\n";
+      << ",\n  \"chaos_ok_fraction\": " << chaos_ok_fraction
+      << ",\n  \"admin_scrapes\": " << admin.scrapes
+      << ",\n  \"admin_scrape_p50_ms\": " << admin.scrape_p50_ms
+      << ",\n  \"admin_endpoints_ok\": " << admin.endpoints_ok
+      << ",\n  \"admin_exemplar_joined\": " << (admin.exemplar_joined ? 1 : 0)
+      << ",\n  \"slo_degraded_observed\": " << admin.slo_degraded_observed
+      << ",\n  \"slo_recovered\": " << admin.slo_recovered << "\n}\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false, loopback = false, chaos = false;
+  std::uint16_t admin_port = 0;      // 0 = ephemeral
+  double admin_linger_ms = 0.0;      // keep admin up after loopback for curl
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--loopback") == 0) loopback = true;
     if (std::strcmp(argv[i], "--chaos") == 0) chaos = true;
+    if (std::strcmp(argv[i], "--admin-port") == 0 && i + 1 < argc) {
+      admin_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    }
+    if (std::strcmp(argv[i], "--admin-linger-ms") == 0 && i + 1 < argc) {
+      admin_linger_ms = std::atof(argv[++i]);
+    }
   }
   const std::size_t clients = util::threads_from_cli(argc, argv, 48);
   const std::size_t per_client = smoke ? 12 : 120;
@@ -404,21 +627,38 @@ int main(int argc, char** argv) {
   std::printf("batched speedup at 8 workers: %.2fx\n", speedup);
 
   double loopback_slowdown = 0.0, chaos_ok_fraction = 0.0;
+  AdminReport admin;
   if (loopback) {
     auto r = run_loopback(registry, 8, 16, clients, per_client, rows,
-                          /*chaos=*/false, nullptr);
+                          /*chaos=*/false, nullptr, &admin, admin_port,
+                          chaos ? 0.0 : admin_linger_ms);
     print_result(r);
     loopback_slowdown = r.qps > 0 ? qps_8w_batched / r.qps : 0.0;
     std::printf("loopback slowdown at 8 workers: %.2fx\n", loopback_slowdown);
+    std::printf(
+        "admin: %llu scrapes under load (p50 %.2f ms), %d/5 endpoints ok, "
+        "exemplar joined to /tracez: %s\n",
+        static_cast<unsigned long long>(admin.scrapes), admin.scrape_p50_ms,
+        admin.endpoints_ok, admin.exemplar_joined ? "yes" : "NO");
     results.push_back(std::move(r));
   }
   int rc = 0;
+  if (loopback && (admin.endpoints_ok < 5 || !admin.exemplar_joined)) {
+    std::fprintf(stderr,
+                 "admin gate FAILED: endpoints_ok=%d/5 exemplar_joined=%d\n",
+                 admin.endpoints_ok, admin.exemplar_joined ? 1 : 0);
+    rc = 1;
+  }
   if (chaos) {
+    AdminReport chaos_admin;
     auto r = run_loopback(registry, 8, 16, clients, per_client, rows,
-                          /*chaos=*/true, &chaos_ok_fraction);
+                          /*chaos=*/true, &chaos_ok_fraction, &chaos_admin,
+                          admin_port, admin_linger_ms);
     print_result(r);
     std::printf("chaos ok fraction: %.3f (gate: >= 0.90, no crashes)\n",
                 chaos_ok_fraction);
+    std::printf("chaos slo: degraded observed=%d recovered=%d\n",
+                chaos_admin.slo_degraded_observed, chaos_admin.slo_recovered);
     // The whole point of the chaos stage: under all five wire faults at
     // once the system degrades but does not fall over. Reaching this line
     // proves no crash; the fraction bounds the error rate.
@@ -427,10 +667,13 @@ int main(int argc, char** argv) {
                    chaos_ok_fraction);
       rc = 1;
     }
+    admin.slo_degraded_observed = chaos_admin.slo_degraded_observed;
+    admin.slo_recovered = chaos_admin.slo_recovered;
     results.push_back(std::move(r));
   }
 
-  write_json(results, speedup, loopback_slowdown, chaos_ok_fraction, smoke);
+  write_json(results, speedup, loopback_slowdown, chaos_ok_fraction, smoke,
+             admin);
   std::printf("wrote BENCH_serve.json\n");
   std::filesystem::remove_all(dir);
   return rc;

@@ -104,9 +104,7 @@ ShapeProfile benign_profile() {
 /// behind a small dispatch, little nesting. They dominate real IoT corpora
 /// and sit close to the benign boundary, which is precisely why the
 /// paper's GEA flips most malware with a modest benign graft.
-// Unreferenced: kGafgytLike currently generates from malware_profile();
-// kept as the calibration target for a dedicated Gafgyt shape.
-[[maybe_unused]] ShapeProfile gafgyt_profile() {
+ShapeProfile gafgyt_profile() {
   return {.p_if = 0.28, .p_loop = 0.22, .p_input_loop = 0.07, .p_switch = 0.10,
           .max_depth = 3, .min_cases = 2, .max_cases = 5,
           .straight_lo = 3, .straight_hi = 9,
@@ -355,8 +353,15 @@ isa::Program generate_benign(Family f, util::Rng& rng, int target_nodes) {
       });
 }
 
-isa::Program generate_malicious(Family f, util::Rng& rng, int target_nodes) {
-  const ShapeProfile prof = malware_profile();
+/// `masquerade` marks a benign-origin sample emitted in a malicious shape
+/// (see generate_program); those keep the generic malware profile so that
+/// wiring the dedicated Gafgyt shape below never perturbs the benign
+/// families' bitstreams.
+isa::Program generate_malicious(Family f, util::Rng& rng, int target_nodes,
+                                bool masquerade = false) {
+  const ShapeProfile prof = (f == Family::kGafgytLike && !masquerade)
+                                ? gafgyt_profile()
+                                : malware_profile();
   // Botnet code is function-rich: one helper per attack primitive.
   static const char* kAttackNames[] = {
       "attack_udp_flood", "attack_tcp_syn", "attack_tcp_ack", "attack_http",
@@ -522,7 +527,7 @@ isa::Program generate_program(Family f, util::Rng& rng, const GenOptions& opts) 
     isa::Program p =
         emit_malicious_shape
             ? generate_malicious(is_malicious(f) ? f : Family::kGafgytLike, rng,
-                                 budget)
+                                 budget, /*masquerade=*/!is_malicious(f))
             : generate_benign(
                   is_malicious(f) ? Family::kBenignUtility : f, rng, budget);
     const int actual = count_basic_blocks(p);

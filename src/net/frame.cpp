@@ -34,6 +34,14 @@ bool known_type(std::uint16_t t) {
          t == static_cast<std::uint16_t>(FrameType::kDetectResponse);
 }
 
+// v2 trace word: sampled flag in the top bit, parent span id below it.
+constexpr std::uint64_t kSampledBit = 1ull << 63;
+constexpr std::uint64_t kSpanMask = kSampledBit - 1;
+
+std::uint64_t pack_trace_word(const obs::TraceContext& ctx) {
+  return (ctx.span_id & kSpanMask) | (ctx.sampled ? kSampledBit : 0ull);
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> encode_frame(const Frame& frame, bool inject_fault) {
@@ -47,6 +55,8 @@ std::vector<std::uint8_t> encode_frame(const Frame& frame, bool inject_fault) {
   w.put_u64(frame.deadline_budget_us);
   w.put_u32(static_cast<std::uint32_t>(frame.payload.size()));
   w.put_u32(checksum32(frame.payload));
+  w.put_u64(frame.trace.trace_id);
+  w.put_u64(frame.trace.trace_id != 0 ? pack_trace_word(frame.trace) : 0ull);
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
   if (inject_fault && !frame.payload.empty() &&
       util::fault(util::faults::kNetFrameCorrupt)) {
@@ -58,7 +68,7 @@ std::vector<std::uint8_t> encode_frame(const Frame& frame, bool inject_fault) {
 DecodeResult decode_frame(std::span<const std::uint8_t> data,
                           std::size_t max_payload, bool inject_fault) {
   DecodeResult res;
-  if (data.size() < kHeaderBytes) return res;  // kNeedMore
+  if (data.size() < kHeaderPrefixBytes) return res;  // kNeedMore
 
   wire::Reader r(data);
   const std::uint32_t magic = r.get_u32();
@@ -88,7 +98,14 @@ DecodeResult decode_frame(std::span<const std::uint8_t> data,
     res.consumed = data.size();
     return res;
   }
-  const std::size_t total = kHeaderBytes + payload_len;
+  // Header size is version-dependent: v1 puts the payload at the prefix
+  // end, v2 inserts the trace-context block. An unknown version is assumed
+  // current-version-shaped for extent purposes — the most likely resync
+  // guess, since unknown versions usually come from a newer same-family
+  // peer (or one flipped byte in a current-version frame).
+  const std::size_t header_size =
+      version == 1 ? kHeaderPrefixBytes : kHeaderBytes;
+  const std::size_t total = header_size + payload_len;
   if (data.size() < total) return res;  // kNeedMore
 
   // The frame's extent is known from here on, so every further failure is
@@ -99,7 +116,7 @@ DecodeResult decode_frame(std::span<const std::uint8_t> data,
   res.consumed = total;
   res.frame.request_id = request_id;
   res.frame.deadline_budget_us = budget_us;
-  if (version != kProtocolVersion) {
+  if (version != 1 && version != kProtocolVersion) {
     res.kind = DecodeResult::Kind::kError;
     res.status = Status::error(ErrorCode::kInvalidArgument,
                                "unsupported protocol version " +
@@ -115,7 +132,25 @@ DecodeResult decode_frame(std::span<const std::uint8_t> data,
     return res;
   }
 
-  std::vector<std::uint8_t> payload(data.begin() + kHeaderBytes,
+  obs::TraceContext trace;
+  if (version == kProtocolVersion) {
+    const std::uint64_t trace_id = r.get_u64();
+    const std::uint64_t word = r.get_u64();
+    if (trace_id == 0 && word != 0) {
+      // An untraced frame must have an all-zero context; a nonzero word
+      // under trace id 0 means the peer (or the wire) scrambled the block.
+      res.kind = DecodeResult::Kind::kError;
+      res.status = Status::error(ErrorCode::kInvalidArgument,
+                                 "malformed trace context");
+      res.recoverable = true;
+      return res;
+    }
+    trace.trace_id = trace_id;
+    trace.span_id = word & kSpanMask;
+    trace.sampled = (word & kSampledBit) != 0;
+  }
+
+  std::vector<std::uint8_t> payload(data.begin() + header_size,
                                     data.begin() + total);
   if (inject_fault && !payload.empty() &&
       util::fault(util::faults::kNetFrameCorrupt)) {
@@ -133,6 +168,7 @@ DecodeResult decode_frame(std::span<const std::uint8_t> data,
   res.frame.type = static_cast<FrameType>(type);
   res.frame.request_id = request_id;
   res.frame.deadline_budget_us = budget_us;
+  res.frame.trace = trace;
   res.frame.payload = std::move(payload);
   return res;
 }

@@ -1,16 +1,29 @@
 // Length-prefixed binary frame protocol for the remote serving transport.
 //
-// Every message on a connection is one frame:
+// Every message on a connection is one frame. The 32-byte prefix is shared
+// by all versions:
 //
 //   offset  size  field
 //        0     4  magic               0x31414547 ("GEA1", LE)
-//        4     2  version             kProtocolVersion (1)
+//        4     2  version             1 or 2 (kProtocolVersion encodes 2)
 //        6     2  type                FrameType
 //        8     8  request id          client-chosen correlation id
 //       16     8  deadline budget µs  remaining end-to-end budget (0 = none)
 //       24     4  payload length      bytes following the header
 //       28     4  payload checksum    FNV-1a 32 over the payload bytes
-//   [32 .. 32+len)  payload
+//
+// Version 2 appends a 16-byte distributed-trace context between the prefix
+// and the payload; version 1 frames put the payload straight at offset 32
+// and still decode (with an empty trace context):
+//
+//       32     8  trace id            0 = untraced request
+//       40     8  trace word          bit 63: sampled flag
+//                                     bits 62..0: parent span id
+//   [48 .. 48+len)  payload            (v1: [32 .. 32+len))
+//
+// A v2 frame whose trace context is internally inconsistent (trace id 0
+// with a nonzero trace word) is quarantined as a recoverable decode error:
+// the extent is known, the stream resyncs, the connection survives.
 //
 // The decoder is incremental (feed it a growing receive buffer; it answers
 // "need more", "here is a frame", or an error) and *strict*: it validates
@@ -37,13 +50,20 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/status.hpp"
 
 namespace gea::net {
 
 inline constexpr std::uint32_t kMagic = 0x31414547u;  // "GEA1" little-endian
-inline constexpr std::uint16_t kProtocolVersion = 1;
-inline constexpr std::size_t kHeaderBytes = 32;
+inline constexpr std::uint16_t kProtocolVersion = 2;
+/// Version-independent prefix (magic .. payload checksum).
+inline constexpr std::size_t kHeaderPrefixBytes = 32;
+/// v2 trace-context block appended to the prefix.
+inline constexpr std::size_t kTraceContextBytes = 16;
+/// Full v2 header; also the payload offset of every encoded frame.
+inline constexpr std::size_t kHeaderBytes =
+    kHeaderPrefixBytes + kTraceContextBytes;
 /// Ceiling on payload length a peer may declare. A 23- or 41-feature
 /// request is ~350 bytes; 1 MiB leaves headroom for future payloads while
 /// refusing length-field attacks outright.
@@ -58,6 +78,9 @@ struct Frame {
   FrameType type = FrameType::kDetectRequest;
   std::uint64_t request_id = 0;
   std::uint64_t deadline_budget_us = 0;  // 0 = no deadline
+  /// Distributed-trace context riding the v2 header. Default (trace_id 0)
+  /// means untraced — v1 peers always decode to this.
+  obs::TraceContext trace;
   std::vector<std::uint8_t> payload;
 };
 

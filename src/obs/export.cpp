@@ -4,26 +4,13 @@
 #include <cctype>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <vector>
 
 namespace gea::obs {
 
 namespace {
-
-std::string sanitize(const std::string& name) {
-  std::string out = name;
-  for (char& c : out) {
-    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
-          c == ':')) {
-      c = '_';
-    }
-  }
-  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0]))) {
-    out.insert(out.begin(), '_');
-  }
-  return out;
-}
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -48,28 +35,109 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// HELP text is the raw (unsanitized) metric name — it preserves the
+/// dotted form the rest of the repo uses. Exposition HELP escaping: only
+/// backslash and newline.
+std::string escape_help(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Emit the family preamble once; returns false (caller drops the metric)
+/// when a previous metric already claimed this sanitized family name.
+bool open_family(std::ostringstream& os, std::set<std::string>& emitted,
+                 const std::string& family, const std::string& raw_name,
+                 const char* type) {
+  if (!emitted.insert(family).second) return false;
+  os << "# HELP " << family << " " << escape_help(raw_name) << "\n";
+  os << "# TYPE " << family << " " << type << "\n";
+  return true;
+}
+
 }  // namespace
+
+std::string prometheus_sanitize_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == ':')) {
+      c = '_';
+    }
+  }
+  if (out.empty()) return "_";
+  if (std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string prometheus_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string trace_id_hex(std::uint64_t trace_id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return std::string(buf);
+}
 
 std::string to_prometheus(const MetricsSnapshot& snapshot) {
   std::ostringstream os;
+  std::set<std::string> emitted;
   for (const auto& [name, value] : snapshot.counters) {
-    const std::string n = sanitize(name);
-    os << "# TYPE " << n << " counter\n" << n << " " << value << "\n";
+    const std::string n = prometheus_sanitize_name(name);
+    if (!open_family(os, emitted, n, name, "counter")) continue;
+    os << n << " " << value << "\n";
   }
   for (const auto& [name, value] : snapshot.gauges) {
-    const std::string n = sanitize(name);
-    os << "# TYPE " << n << " gauge\n" << n << " " << value << "\n";
+    const std::string n = prometheus_sanitize_name(name);
+    if (!open_family(os, emitted, n, name, "gauge")) continue;
+    os << n << " " << value << "\n";
   }
   for (const auto& [name, h] : snapshot.histograms) {
-    const std::string n = sanitize(name);
-    os << "# TYPE " << n << " histogram\n";
+    const std::string n = prometheus_sanitize_name(name);
+    if (!open_family(os, emitted, n, name, "histogram")) continue;
     std::uint64_t cumulative = 0;
-    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
-      cumulative += h.buckets[i];
-      os << n << "_bucket{le=\"" << h.bounds[i] << "\"} " << cumulative
-         << "\n";
+    for (std::size_t i = 0; i <= h.bounds.size(); ++i) {
+      const bool overflow = i == h.bounds.size();
+      if (overflow) {
+        cumulative = h.count;
+        os << n << "_bucket{le=\"+Inf\"} " << cumulative;
+      } else {
+        cumulative += h.buckets[i];
+        std::ostringstream le;
+        le << h.bounds[i];
+        os << n << "_bucket{le=\"" << prometheus_escape_label(le.str())
+           << "\"} " << cumulative;
+      }
+      // OpenMetrics exemplar: the slowest traced observation that landed
+      // in this (non-cumulative) bucket, keyed by the trace id /tracez
+      // uses, so a slow bucket line points straight at its trace.
+      if (i < h.exemplars.size() && h.exemplars[i].trace_id != 0) {
+        os << " # {trace_id=\"" << trace_id_hex(h.exemplars[i].trace_id)
+           << "\"} " << h.exemplars[i].value;
+      }
+      os << "\n";
     }
-    os << n << "_bucket{le=\"+Inf\"} " << h.count << "\n";
     os << n << "_sum " << h.sum << "\n";
     os << n << "_count " << h.count << "\n";
   }
@@ -113,6 +181,37 @@ std::string span_summary(const TraceRecorder& recorder) {
   return os.str();
 }
 
+std::string tracez_text(const TraceRecorder& recorder, std::size_t limit) {
+  const auto ids = recorder.recent_traces(limit);
+  std::ostringstream os;
+  os << "tracez: " << ids.size() << " recent traces (ring holds "
+     << recorder.events().size() << " spans, " << recorder.dropped()
+     << " dropped)\n";
+  for (const auto id : ids) {
+    const auto spans = recorder.trace(id);
+    double total_us = 0.0;
+    bool sampled = false;
+    for (const auto& ev : spans) {
+      total_us = std::max(total_us, ev.start_us + ev.dur_us);
+      sampled = sampled || ev.sampled;
+    }
+    const double origin_us = spans.empty() ? 0.0 : spans.front().start_us;
+    os << "\ntrace_id=" << trace_id_hex(id) << " spans=" << spans.size()
+       << " span_ms=" << (total_us - origin_us) / 1000.0
+       << (sampled ? " sampled" : "") << "\n";
+    for (const auto& ev : spans) {
+      os << "  +" << (ev.start_us - origin_us) / 1000.0 << "ms " << ev.name
+         << " dur=" << ev.dur_us / 1000.0 << "ms tid=" << ev.tid << " span="
+         << trace_id_hex(ev.span_id)
+         << (ev.parent_span_id != 0
+                 ? " parent=" + trace_id_hex(ev.parent_span_id)
+                 : std::string())
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
 std::string chrome_trace_json(const TraceRecorder& recorder) {
   std::ostringstream os;
   os << "{\"traceEvents\":[";
@@ -123,7 +222,14 @@ std::string chrome_trace_json(const TraceRecorder& recorder) {
     os << "\n{\"name\":\"" << json_escape(ev.name)
        << "\",\"cat\":\"gea\",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid
        << ",\"ts\":" << ev.start_us << ",\"dur\":" << ev.dur_us
-       << ",\"args\":{\"depth\":" << ev.depth << "}}";
+       << ",\"args\":{\"depth\":" << ev.depth;
+    if (ev.trace_id != 0) {
+      os << ",\"trace_id\":\"" << trace_id_hex(ev.trace_id)
+         << "\",\"span_id\":\"" << trace_id_hex(ev.span_id)
+         << "\",\"parent_span_id\":\"" << trace_id_hex(ev.parent_span_id)
+         << "\",\"sampled\":" << (ev.sampled ? "true" : "false");
+    }
+    os << "}}";
   }
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";
   return os.str();

@@ -10,6 +10,7 @@
 //    ("X" complete events), loadable in chrome://tracing or Perfetto.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "obs/metrics.hpp"
@@ -17,8 +18,22 @@
 
 namespace gea::obs {
 
-/// Prometheus text exposition. Metric names are sanitized ('.', '-' and
-/// other non-[a-zA-Z0-9_] characters become '_').
+/// Exposition-format name sanitizer: non-[a-zA-Z0-9_:] characters become
+/// '_', and a leading digit gets a '_' prefix. Deterministic, collision-
+/// tolerant (to_prometheus dedups families after sanitization).
+std::string prometheus_sanitize_name(const std::string& name);
+
+/// Label-value escaping per the exposition format: backslash, double-quote
+/// and newline become \\, \" and \n.
+std::string prometheus_escape_label(const std::string& value);
+
+/// Prometheus text exposition. Metric names are sanitized via
+/// prometheus_sanitize_name; each family gets exactly one # HELP and one
+/// # TYPE line (later metrics whose sanitized name collides with an
+/// already-emitted family are dropped rather than emitted twice).
+/// Histogram bucket lines carry OpenMetrics-style exemplars
+/// (`# {trace_id="..."} value`) for buckets whose slowest observation was
+/// traced.
 std::string to_prometheus(const MetricsSnapshot& snapshot);
 
 /// One-paragraph human rendering: counters, gauges, then histograms with
@@ -27,6 +42,18 @@ std::string summary(const MetricsSnapshot& snapshot);
 
 /// Per-span aggregate table (count, total/mean/min/max ms), widest first.
 std::string span_summary(const TraceRecorder& recorder);
+
+/// Canonical text form of a trace id: 16 lowercase hex digits. This is the
+/// string that appears both in exemplar labels and in /tracez, so the two
+/// can be joined by grep.
+std::string trace_id_hex(std::uint64_t trace_id);
+
+/// Human-readable rendering of the recorder's most recent traces (newest
+/// first, up to `limit`): one block per trace id listing its spans in start
+/// order with offsets/durations, thread index and parentage. The admin
+/// plane's /tracez body.
+std::string tracez_text(const TraceRecorder& recorder,
+                        std::size_t limit = 16);
 
 /// Serialize the recorder's ring to `path` as a Chrome trace_event JSON
 /// document. Returns false when the file cannot be written.

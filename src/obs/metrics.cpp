@@ -66,6 +66,19 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   for (auto& shard : shards_) {
     shard = std::make_unique<Shard>(bounds_.size() + 1);
   }
+  exemplars_.assign(bounds_.size() + 1, {});
+}
+
+void Histogram::record_exemplar(double v, std::uint64_t trace_id) {
+  const std::size_t b = bucket_for(v);
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  auto& slot = exemplars_[b];
+  // Slowest traced observation wins its bucket, so the export names the
+  // worst trace each latency decade has seen since the last reset.
+  if (slot.trace_id == 0 || v >= slot.value) {
+    slot.value = v;
+    slot.trace_id = trace_id;
+  }
 }
 
 std::size_t Histogram::bucket_for(double v) const {
@@ -85,6 +98,10 @@ HistogramSnapshot Histogram::snapshot() const {
     snap.count += shard->count.load(std::memory_order_relaxed);
     snap.sum += shard->sum.load(std::memory_order_relaxed);
   }
+  {
+    std::lock_guard<std::mutex> lock(exemplar_mu_);
+    snap.exemplars = exemplars_;
+  }
   return snap;
 }
 
@@ -94,6 +111,9 @@ void Histogram::reset() {
     shard->count.store(0, std::memory_order_relaxed);
     shard->sum.store(0.0, std::memory_order_relaxed);
   }
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  std::fill(exemplars_.begin(), exemplars_.end(),
+            HistogramSnapshot::Exemplar{});
 }
 
 const std::vector<double>& default_latency_buckets_ms() {

@@ -124,8 +124,20 @@ class Gauge {
 /// value <= bounds[i]; the final slot (buckets.size() == bounds.size() + 1)
 /// is the +Inf overflow bucket. Counts are per-bucket, not cumulative.
 struct HistogramSnapshot {
+  /// One traced observation pinned to a bucket — the Prometheus exemplar
+  /// (OpenMetrics `# {trace_id="..."} value` suffix on the bucket line).
+  /// trace_id == 0 means the bucket has none.
+  struct Exemplar {
+    double value = 0.0;
+    std::uint64_t trace_id = 0;
+  };
+
   std::vector<double> bounds;
   std::vector<std::uint64_t> buckets;
+  /// Parallel to `buckets` (may be empty when no observation ever carried
+  /// a trace id). Within a bucket the slowest traced observation wins, so
+  /// the +Inf/topmost exemplars name the worst traces seen.
+  std::vector<Exemplar> exemplars;
   std::uint64_t count = 0;
   double sum = 0.0;
 
@@ -154,6 +166,19 @@ class Histogram {
 #endif
   }
 
+  /// observe() plus an exemplar: when `trace_id` is nonzero the observation
+  /// competes (under a mutex — only sampled requests pay it) to become its
+  /// bucket's exported exemplar. Untraced calls are exactly observe().
+  void observe(double v, std::uint64_t trace_id) {
+#if !defined(GEA_OBS_NOOP)
+    observe(v);
+    if (trace_id != 0 && detail::enabled()) record_exemplar(v, trace_id);
+#else
+    (void)v;
+    (void)trace_id;
+#endif
+  }
+
   const std::vector<double>& bounds() const { return bounds_; }
   HistogramSnapshot snapshot() const;
 
@@ -162,6 +187,7 @@ class Histogram {
   explicit Histogram(std::vector<double> bounds);
   void reset();
   std::size_t bucket_for(double v) const;
+  void record_exemplar(double v, std::uint64_t trace_id);
 
   struct Shard {
     explicit Shard(std::size_t n) : buckets(n) {}
@@ -172,6 +198,11 @@ class Histogram {
 
   std::vector<double> bounds_;  // ascending upper bounds
   std::unique_ptr<Shard> shards_[detail::kShards];
+
+  // Exemplar slots, parallel to the bucket layout. Off the wait-free path:
+  // only observations carrying a trace id (the sampled minority) lock.
+  mutable std::mutex exemplar_mu_;
+  std::vector<HistogramSnapshot::Exemplar> exemplars_;
 };
 
 /// Default latency buckets (milliseconds): ~1-2-5 decades from 10µs to 10s.

@@ -67,7 +67,7 @@ DetectionServer::resolve_deadline(double deadline_ms) const {
 }
 
 std::future<util::Result<Verdict>> DetectionServer::submit(
-    std::vector<double> features, double deadline_ms) {
+    std::vector<double> features, double deadline_ms, obs::TraceContext ctx) {
   stats_.on_submitted();
   if (registry_.active() == nullptr) {
     stats_.on_rejected_no_model();
@@ -78,6 +78,7 @@ std::future<util::Result<Verdict>> DetectionServer::submit(
   req.features = std::move(features);
   req.enqueued = Clock::now();
   req.deadline = resolve_deadline(deadline_ms);
+  req.ctx = ctx;
   auto future = req.promise.get_future();
   if (!queue_.try_push(req)) {
     stats_.on_rejected_full();
@@ -296,7 +297,20 @@ void DetectionServer::process_batch(std::vector<Request>& batch) {
     v.total_ms = std::chrono::duration<double, std::milli>(Clock::now() -
                                                            req.enqueued)
                      .count();
-    stats_.on_completed(v.queue_ms, v.infer_ms, v.total_ms);
+    if (req.ctx.valid()) {
+      // Attribute this request's server-side phases to its distributed
+      // trace. The intervals are reconstructed backward from the recorder
+      // clock (queue-wait ended at dequeue; inference just ended), so the
+      // spans land on the same timeline the client's spans use.
+      auto& rec = obs::TraceRecorder::global();
+      const double now = rec.now_us();
+      rec.record_interval("serve.queue_wait", req.ctx,
+                          now - v.total_ms * 1000.0, v.queue_ms * 1000.0);
+      rec.record_interval("serve.infer", req.ctx, now - v.infer_ms * 1000.0,
+                          v.infer_ms * 1000.0);
+    }
+    stats_.on_completed(v.queue_ms, v.infer_ms, v.total_ms,
+                        req.ctx.trace_id);
     req.promise.set_value(util::Result<Verdict>(std::move(v)));
   }
 }

@@ -32,6 +32,7 @@
 
 #include "features/engine.hpp"
 #include "isa/program.hpp"
+#include "obs/trace.hpp"
 #include "serve/queue.hpp"
 #include "serve/registry.hpp"
 #include "serve/stats.hpp"
@@ -87,9 +88,12 @@ class DetectionServer {
   /// checkpoint's scaler, when present, is applied server-side). The future
   /// is ready immediately on admission failure. deadline_ms: <0 = config
   /// default, 0 = none, >0 = fail with kDeadlineExceeded if still queued
-  /// after that many milliseconds.
+  /// after that many milliseconds. `ctx` (when valid) attributes the
+  /// request's queue-wait and inference spans to a distributed trace — the
+  /// transport passes the context it decoded from the frame header.
   std::future<util::Result<Verdict>> submit(std::vector<double> features,
-                                            double deadline_ms = -1.0);
+                                            double deadline_ms = -1.0,
+                                            obs::TraceContext ctx = {});
 
   /// Extract the CFG (entry function, the paper's convention) and featurize
   /// on the caller's thread, then enqueue. The feature width follows the
@@ -128,6 +132,7 @@ class DetectionServer {
     std::promise<util::Result<Verdict>> promise;
     Clock::time_point enqueued;
     std::optional<Clock::time_point> deadline;
+    obs::TraceContext ctx;  // invalid = untraced
   };
 
   std::future<util::Result<Verdict>> reject(util::Status status);

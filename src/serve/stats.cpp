@@ -95,11 +95,11 @@ void ServerStats::on_batch(std::size_t batch_size) {
 }
 
 void ServerStats::on_completed(double queue_ms, double infer_ms,
-                               double total_ms) {
+                               double total_ms, std::uint64_t trace_id) {
   reg_.completed->inc();
-  reg_.queue_ms->observe(queue_ms);
-  reg_.infer_ms->observe(infer_ms);
-  reg_.total_ms->observe(total_ms);
+  reg_.queue_ms->observe(queue_ms, trace_id);
+  reg_.infer_ms->observe(infer_ms, trace_id);
+  reg_.total_ms->observe(total_ms, trace_id);
   std::lock_guard<std::mutex> lock(mu_);
   ++counts_.completed;
   queue_ms_.record(queue_ms);

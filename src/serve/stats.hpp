@@ -78,7 +78,11 @@ class ServerStats {
   void on_rejected_no_model();
   void on_expired();
   void on_batch(std::size_t batch_size);
-  void on_completed(double queue_ms, double infer_ms, double total_ms);
+  /// `trace_id` (when nonzero) becomes an exemplar candidate on the
+  /// serve.queue_ms/infer_ms/total_ms registry histograms, linking the
+  /// Prometheus export back to the request's /tracez entry.
+  void on_completed(double queue_ms, double infer_ms, double total_ms,
+                    std::uint64_t trace_id = 0);
 
   StatsSnapshot snapshot(std::size_t queue_depth = 0) const;
 

@@ -12,6 +12,8 @@
 
 #include "net/wire.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/slo.hpp"
 #include "util/log.hpp"
 #include "util/threadpool.hpp"
 #include "util/timer.hpp"
@@ -111,6 +113,7 @@ struct Conn {
     std::uint64_t id = 0;
     std::future<util::Result<Verdict>> fut;
     util::Stopwatch since;  // request receipt -> response enqueued
+    obs::TraceContext ctx;  // decoded from the frame header; invalid = none
   };
   std::deque<Pending> inflight;
 
@@ -133,6 +136,7 @@ struct TransportServer::Impl {
   std::atomic<bool> started{false};
   std::atomic<bool> stop_requested{false};
   std::atomic<bool> loop_running{false};
+  std::atomic<bool> drain_active{false};
 
   struct Counters {
     std::atomic<std::uint64_t> accepted{0}, closed{0}, accept_failures{0},
@@ -227,6 +231,9 @@ struct TransportServer::Impl {
   void shed(Conn& conn, std::uint64_t id, const char* why) {
     c.shed.fetch_add(1, std::memory_order_relaxed);
     m_shed->inc();
+    // A shed request never reached the queue; it still consumed error
+    // budget from the client's point of view.
+    if (config.slo != nullptr) config.slo->record(0.0, /*ok=*/false);
     respond_error(conn, id, Status::error(ErrorCode::kUnavailable, why));
   }
 
@@ -237,6 +244,7 @@ struct TransportServer::Impl {
                   bool recoverable) {
     c.quarantined.fetch_add(1, std::memory_order_relaxed);
     m_quarantined->inc();
+    if (config.slo != nullptr) config.slo->record(0.0, /*ok=*/false);
     util::log_warn("net: quarantined frame: ", status.to_string());
     if (!recoverable || config.strict) {
       close_conn(conn);
@@ -283,7 +291,12 @@ struct TransportServer::Impl {
             : -1.0;
     Conn::Pending p;
     p.id = frame.request_id;
-    p.fut = server.submit(std::move(features).value(), deadline_ms);
+    p.ctx = frame.trace;
+    // The decoded trace context flows into the queue with the request, so
+    // the batch worker's queue-wait/inference spans land under the same
+    // trace as the client's send span.
+    p.fut = server.submit(std::move(features).value(), deadline_ms,
+                          frame.trace);
     conn.inflight.push_back(std::move(p));
   }
 
@@ -348,7 +361,16 @@ struct TransportServer::Impl {
         continue;
       }
       auto result = it->fut.get();
-      m_request_ms->observe(it->since.elapsed_ms());
+      const double ms = it->since.elapsed_ms();
+      m_request_ms->observe(ms, it->ctx.trace_id);
+      if (it->ctx.valid()) {
+        // Server-side wall time for the request (receipt -> response
+        // enqueued), parented under the client's send span.
+        auto& rec = obs::TraceRecorder::global();
+        rec.record_interval("net.server_request", it->ctx,
+                            rec.now_us() - ms * 1000.0, ms * 1000.0);
+      }
+      if (config.slo != nullptr) config.slo->record(ms, result.is_ok());
       respond(conn, it->id, result);
       it = conn.inflight.erase(it);
     }
@@ -444,6 +466,7 @@ struct TransportServer::Impl {
         // Graceful drain: stop accepting first; in-flight requests finish
         // and flush below, then connections close.
         draining = true;
+        drain_active.store(true, std::memory_order_release);
         drain_sw.reset();
         listener.close();
       }
@@ -573,6 +596,11 @@ bool TransportServer::running() const {
   return impl_->loop_running.load(std::memory_order_acquire);
 }
 
+bool TransportServer::draining() const {
+  return impl_->drain_active.load(std::memory_order_acquire) &&
+         impl_->loop_running.load(std::memory_order_acquire);
+}
+
 std::uint16_t TransportServer::port() const { return impl_->listener.port(); }
 
 const TransportConfig& TransportServer::config() const {
@@ -620,9 +648,14 @@ util::Status RemoteClient::ensure_connected(double budget_ms) {
 
 RemoteClient::Attempt RemoteClient::attempt_once(
     const std::vector<double>& features, std::uint64_t request_id,
-    double budget_ms, bool has_deadline) {
+    double budget_ms, bool has_deadline, const obs::TraceContext& ctx) {
   ++stats_.attempts;
   client_counter("net.client.attempts_total").inc();
+
+  // One send span per wire attempt (retries each get their own), parented
+  // under the request's root span. Its context rides the frame header, so
+  // every server-side span for this attempt nests under it.
+  obs::TraceSpan send_span("client.send", ctx);
 
   const auto transport_fail = [this](Status st) {
     disconnect();
@@ -641,6 +674,7 @@ RemoteClient::Attempt RemoteClient::attempt_once(
   f.deadline_budget_us = has_deadline
                              ? static_cast<std::uint64_t>(budget_ms * 1000.0)
                              : 0;
+  f.trace = ctx.valid() ? send_span.context() : obs::TraceContext{};
   f.payload = encode_detect_request_payload(features);
   const auto bytes = net::encode_frame(f, /*inject_fault=*/false);
 
@@ -726,6 +760,20 @@ util::Result<Verdict> RemoteClient::detect(const std::vector<double>& features,
   util::Stopwatch overall;
   Status last = Status::error(ErrorCode::kUnavailable, "no attempt made");
 
+  // Sampling decision for this request: every trace_sample_every-th call
+  // roots a distributed trace that the send spans (and, over the wire, the
+  // server spans) parent under.
+  const bool traced =
+      config_.trace_sample_every > 0 &&
+      (stats_.requests - 1) % config_.trace_sample_every == 0;
+  std::optional<obs::TraceSpan> root;
+  obs::TraceContext root_ctx;
+  if (traced) {
+    root.emplace("client.detect", obs::start_trace(/*sampled=*/true));
+    root_ctx = root->context();
+  }
+  stats_.last_trace_id = root_ctx.trace_id;
+
   for (std::size_t attempt = 0;; ++attempt) {
     double budget = has_deadline ? deadline_ms - overall.elapsed_ms()
                                  : config_.request_timeout_ms;
@@ -749,7 +797,8 @@ util::Result<Verdict> RemoteClient::detect(const std::vector<double>& features,
       }
       // A fresh id per attempt: a late response to an abandoned attempt can
       // then never be mistaken for the current one.
-      return attempt_once(features, next_id_++, budget, has_deadline);
+      return attempt_once(features, next_id_++, budget, has_deadline,
+                          root_ctx);
     }();
 
     if (a.result.is_ok()) return a.result;
@@ -781,7 +830,13 @@ util::Result<Verdict> RemoteClient::detect(const std::vector<double>& features,
             .with_context("RemoteClient::detect");
       }
     }
-    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(backoff));
+    {
+      // The backoff gap shows up in the trace as its own span, so a slow
+      // traced request is attributable to retries rather than the server.
+      obs::TraceSpan backoff_span("client.backoff", root_ctx);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff));
+    }
     ++stats_.retries;
     client_counter("net.client.retries_total").inc();
   }

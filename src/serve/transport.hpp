@@ -50,6 +50,8 @@
 
 namespace gea::serve {
 
+class SloMonitor;
+
 struct TransportConfig {
   std::string host = "127.0.0.1";
   /// 0 = ephemeral; the bound port is readable via port() after start().
@@ -83,6 +85,10 @@ struct TransportConfig {
   /// Route this server's sockets/codecs through the net.* fault points
   /// (clients in the same process stay clean either way).
   bool fault_injection = true;
+  /// Optional SLO monitor fed one sample per response written (latency +
+  /// ok/error); transport-level sheds and quarantines count as errors.
+  /// Must outlive the server. nullptr = no SLO tracking.
+  SloMonitor* slo = nullptr;
 };
 
 /// Point-in-time copy of the transport counters (all monotonic except
@@ -126,6 +132,10 @@ class TransportServer {
   void stop();
 
   bool running() const;
+  /// True while stop() has been requested and the event loop is flushing
+  /// in-flight responses. The admin plane reports this as "draining" on
+  /// /readyz (not ready, but deliberately so).
+  bool draining() const;
   /// The bound port (valid after a successful start()).
   std::uint16_t port() const;
   const TransportConfig& config() const;
@@ -172,6 +182,11 @@ struct ClientConfig {
   /// deterministic stream seeded with jitter_seed.
   double backoff_jitter = 0.25;
   std::uint64_t jitter_seed = 0x6a17;
+  /// Start a distributed trace on every Nth detect() call (1 = every call,
+  /// 0 = never). The trace context rides the v2 frame header, so the
+  /// server's queue/inference spans join the client's send/retry spans
+  /// under one trace id.
+  std::size_t trace_sample_every = 1;
 };
 
 /// Client-side counters (single instance = single thread; read after use).
@@ -181,6 +196,7 @@ struct ClientStats {
   std::uint64_t retries = 0;     // attempts beyond the first per request
   std::uint64_t reconnects = 0;  // sockets re-established
   std::uint64_t transport_errors = 0;  // attempt failures below the app layer
+  std::uint64_t last_trace_id = 0;     // 0 = last detect() was untraced
 };
 
 /// Synchronous framed client with retry/backoff. Not thread-safe: one
@@ -218,7 +234,7 @@ class RemoteClient {
   util::Status ensure_connected(double budget_ms);
   Attempt attempt_once(const std::vector<double>& features,
                        std::uint64_t request_id, double budget_ms,
-                       bool has_deadline);
+                       bool has_deadline, const obs::TraceContext& ctx);
 
   ClientConfig config_;
   net::Socket sock_;

@@ -61,6 +61,16 @@ inline constexpr const char* kNetWriteStall = "net.write.stall";
 /// The connection is torn down mid-request as if the peer reset it.
 inline constexpr const char* kNetConnDrop = "net.conn.drop";
 
+// Admin-plane fault points (src/serve/admin). The introspection endpoints
+// must degrade exactly like the data plane: counted, contained, never
+// fatal, and never able to stall the serving path they observe.
+/// The admin listener's accept() synthesizes a transient failure; the
+/// pending scrape is retried on the next poll round.
+inline constexpr const char* kAdminAcceptFail = "admin.accept.fail";
+/// An admin client stops draining its response (slow scraper); the
+/// bounded write path must time the connection out, not buffer forever.
+inline constexpr const char* kAdminSlowClient = "admin.slow_client";
+
 // Sharded-corpus fault points (src/dataset/shard+stream, src/features/
 // disk_cache). Each synthesizes the on-disk damage a real million-sample
 // corpus accumulates — torn writes, bit rot, manifests that drifted from

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <span>
+#include <sstream>
 #include <vector>
 
 #include "bingen/codegen.hpp"
@@ -8,6 +11,8 @@
 #include "cfg/cfg.hpp"
 #include "graph/algorithms.hpp"
 #include "isa/interpreter.hpp"
+#include "isa/serialize.hpp"
+#include "net/frame.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -83,6 +88,48 @@ INSTANTIATE_TEST_SUITE_P(
                           Family::kBenignNetTool, Family::kMiraiLike,
                           Family::kGafgytLike, Family::kTsunamiLike),
         ::testing::Range(0, 8)));
+
+// Pinned per-family generation digests (FNV-1a 32 over the serialized
+// program). These freeze the generator's bitstream: a change to shared
+// emission machinery (emit_body, CodeGen, the size envelopes) shows up
+// here for every family, while a deliberate per-family recalibration —
+// like wiring the dedicated Gafgyt shape profile — must move only its own
+// rows. The non-Gafgyt values predate gafgyt_profile() being wired into
+// kGafgytLike generation, proving the other families' corpora stayed
+// bitwise-stable across that change.
+TEST(Families, GenerationDigestsPinned) {
+  struct Pin {
+    Family family;
+    std::uint32_t digests[4];  // seeds 0..3
+  };
+  const Pin pins[] = {
+      {Family::kBenignUtility,
+       {0xf994facfu, 0xc8fbb503u, 0x8adb6ca5u, 0x88a60d0bu}},
+      {Family::kBenignDaemon,
+       {0xc7523bdau, 0xbf062ac2u, 0x60b03dacu, 0x476537f7u}},
+      {Family::kBenignNetTool,
+       {0x80d961a4u, 0xb9766edeu, 0xdc134cb9u, 0xcaec8f14u}},
+      {Family::kMiraiLike,
+       {0x5bc084ddu, 0xd4a106c3u, 0x4835bb76u, 0x60dd8e20u}},
+      {Family::kGafgytLike,
+       {0xa507b306u, 0x9e9ed138u, 0xe091da0fu, 0xc3dd683bu}},
+      {Family::kTsunamiLike,
+       {0xb8c9fdfeu, 0xac77618fu, 0xa1e2e374u, 0x52980b19u}},
+  };
+  for (const auto& pin : pins) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      Rng rng(seed);
+      const auto p = bingen::generate_program(pin.family, rng);
+      std::ostringstream os;
+      isa::save_program(p, os);
+      const std::string bytes = os.str();
+      const std::uint32_t d = net::checksum32(std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()));
+      EXPECT_EQ(d, pin.digests[seed])
+          << bingen::family_name(pin.family) << " seed=" << seed;
+    }
+  }
+}
 
 TEST(Families, PackedStubIsSingleBlock) {
   Rng rng(1);

@@ -106,6 +106,157 @@ TEST(FrameCodec, BackToBackFramesDecodeInOrder) {
   EXPECT_EQ(rest.frame.payload, b.payload);
 }
 
+// --- Trace-context header (protocol v2) ------------------------------------
+
+TEST(FrameCodec, TraceContextRoundTripsInV2Header) {
+  Frame f;
+  f.type = FrameType::kDetectRequest;
+  f.request_id = 11;
+  f.trace.trace_id = 0x1122334455667788ull;
+  f.trace.span_id = 0x0abcdef012345678ull;
+  f.trace.sampled = true;
+  f.payload = {1, 2, 3};
+  const auto bytes = net::encode_frame(f);
+  const auto res = net::decode_frame(as_span(bytes));
+  ASSERT_EQ(res.kind, DecodeResult::Kind::kFrame);
+  EXPECT_EQ(res.frame.trace.trace_id, f.trace.trace_id);
+  EXPECT_EQ(res.frame.trace.span_id, f.trace.span_id);
+  EXPECT_TRUE(res.frame.trace.sampled);
+  EXPECT_EQ(res.frame.payload, f.payload);
+
+  // The sampled flag rides bit 63 of the trace word, independent of span id.
+  f.trace.sampled = false;
+  const auto unsampled = net::decode_frame(as_span(net::encode_frame(f)));
+  ASSERT_EQ(unsampled.kind, DecodeResult::Kind::kFrame);
+  EXPECT_EQ(unsampled.frame.trace.span_id, f.trace.span_id);
+  EXPECT_FALSE(unsampled.frame.trace.sampled);
+}
+
+TEST(FrameCodec, UntracedFrameCarriesAllZeroTraceBlock) {
+  Frame f;
+  f.payload = {7};
+  const auto bytes = net::encode_frame(f);
+  ASSERT_EQ(bytes.size(), net::kHeaderBytes + 1);
+  for (std::size_t i = net::kHeaderPrefixBytes; i < net::kHeaderBytes; ++i) {
+    EXPECT_EQ(bytes[i], 0u) << "trace byte " << i;
+  }
+  const auto res = net::decode_frame(as_span(bytes));
+  ASSERT_EQ(res.kind, DecodeResult::Kind::kFrame);
+  EXPECT_FALSE(res.frame.trace.valid());
+  EXPECT_EQ(res.frame.trace.span_id, 0u);
+  EXPECT_FALSE(res.frame.trace.sampled);
+}
+
+TEST(FrameCodec, V1FrameDecodesWithEmptyTraceContext) {
+  // Hand-build a version-1 frame: 32-byte prefix, payload at offset 32, no
+  // trace block. A current decoder must accept it and report an untraced
+  // context — the backward-compatibility contract for old peers.
+  const std::vector<std::uint8_t> payload = {0xca, 0xfe, 0xba, 0xbe};
+  std::vector<std::uint8_t> bytes;
+  net::wire::Writer w(bytes);
+  w.put_u32(net::kMagic);
+  w.put_u16(1);  // protocol version 1
+  w.put_u16(static_cast<std::uint16_t>(FrameType::kDetectRequest));
+  w.put_u64(0x5151u);           // request id
+  w.put_u64(250'000u);          // deadline budget
+  w.put_u32(static_cast<std::uint32_t>(payload.size()));
+  w.put_u32(net::checksum32(as_span(payload)));
+  ASSERT_EQ(bytes.size(), net::kHeaderPrefixBytes);
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+
+  const auto res = net::decode_frame(as_span(bytes));
+  ASSERT_EQ(res.kind, DecodeResult::Kind::kFrame);
+  EXPECT_EQ(res.consumed, net::kHeaderPrefixBytes + payload.size());
+  EXPECT_EQ(res.frame.request_id, 0x5151u);
+  EXPECT_EQ(res.frame.deadline_budget_us, 250'000u);
+  EXPECT_EQ(res.frame.payload, payload);
+  EXPECT_FALSE(res.frame.trace.valid());
+  EXPECT_EQ(res.frame.trace.span_id, 0u);
+  EXPECT_FALSE(res.frame.trace.sampled);
+}
+
+TEST(FrameCodec, V1AndV2FramesInterleaveOnOneStream) {
+  // A v1 frame followed by a v2 frame on the same buffer: consumed offsets
+  // differ (32- vs 48-byte headers) and both must resync cleanly.
+  std::vector<std::uint8_t> bytes;
+  net::wire::Writer w(bytes);
+  w.put_u32(net::kMagic);
+  w.put_u16(1);
+  w.put_u16(static_cast<std::uint16_t>(FrameType::kDetectResponse));
+  w.put_u64(1u);
+  w.put_u64(0u);
+  w.put_u32(0u);
+  w.put_u32(net::checksum32({}));
+
+  Frame v2;
+  v2.request_id = 2;
+  v2.trace.trace_id = 42;
+  v2.trace.sampled = true;
+  v2.payload = {5, 6};
+  const auto second = net::encode_frame(v2);
+  bytes.insert(bytes.end(), second.begin(), second.end());
+
+  const auto first = net::decode_frame(as_span(bytes));
+  ASSERT_EQ(first.kind, DecodeResult::Kind::kFrame);
+  EXPECT_EQ(first.consumed, net::kHeaderPrefixBytes);
+  EXPECT_EQ(first.frame.request_id, 1u);
+  EXPECT_FALSE(first.frame.trace.valid());
+
+  const auto rest = net::decode_frame(std::span<const std::uint8_t>(
+      bytes.data() + first.consumed, bytes.size() - first.consumed));
+  ASSERT_EQ(rest.kind, DecodeResult::Kind::kFrame);
+  EXPECT_EQ(rest.frame.request_id, 2u);
+  EXPECT_EQ(rest.frame.trace.trace_id, 42u);
+  EXPECT_TRUE(rest.frame.trace.sampled);
+}
+
+TEST(FrameCodec, MalformedTraceContextIsRecoverable) {
+  // trace id 0 with a nonzero trace word is internally inconsistent: the
+  // frame is quarantined (recoverable, full extent consumed), never served.
+  Frame f;
+  f.request_id = 77;
+  f.payload = {1, 2, 3, 4};
+  auto bytes = net::encode_frame(f);
+  for (std::size_t i = net::kHeaderPrefixBytes; i < net::kHeaderPrefixBytes + 8;
+       ++i) {
+    bytes[i] = 0;  // trace id = 0
+  }
+  bytes[net::kHeaderPrefixBytes + 8] = 0x01;  // trace word != 0
+  const auto res = net::decode_frame(as_span(bytes));
+  ASSERT_EQ(res.kind, DecodeResult::Kind::kError);
+  EXPECT_TRUE(res.recoverable);
+  EXPECT_EQ(res.status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(res.status.message().find("malformed trace context"),
+            std::string::npos);
+  EXPECT_EQ(res.consumed, bytes.size());  // stream resyncs at the next frame
+  EXPECT_EQ(res.frame.request_id, 77u);   // id surfaced for the error echo
+}
+
+TEST(FrameCodec, CorruptedTraceBytesNeverCrashDecoder) {
+  // Single-byte mutations confined to the trace block land in exactly two
+  // outcomes: a decoded frame with a different context, or the recoverable
+  // malformed-context quarantine. Never a crash, never unrecoverable.
+  util::Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    Frame f;
+    f.trace.trace_id = rng.next_u64() | 1;  // nonzero
+    f.trace.span_id = rng.next_u64() >> 1;
+    f.trace.sampled = rng.chance(0.5);
+    f.payload = {static_cast<std::uint8_t>(i)};
+    auto bytes = net::encode_frame(f);
+    const auto pos = net::kHeaderPrefixBytes +
+                     static_cast<std::size_t>(rng.uniform_int(0, 15));
+    bytes[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform_int(0, 254));
+    const auto res = net::decode_frame(as_span(bytes));
+    if (res.kind == DecodeResult::Kind::kError) {
+      EXPECT_TRUE(res.recoverable) << "iteration " << i;
+      EXPECT_EQ(res.status.code(), ErrorCode::kInvalidArgument);
+    } else {
+      ASSERT_EQ(res.kind, DecodeResult::Kind::kFrame);
+    }
+  }
+}
+
 // --- Malformed-input corpus ------------------------------------------------
 
 TEST(FrameCodec, BadMagicIsUnrecoverable) {

@@ -348,5 +348,217 @@ TEST(Export, SpanSummaryListsNamesWithCounts) {
   EXPECT_NE(text.find("beta"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Prometheus format conformance
+
+std::size_t count_occurrences(const std::string& text, const std::string& pat) {
+  std::size_t n = 0;
+  for (auto pos = text.find(pat); pos != std::string::npos;
+       pos = text.find(pat, pos + pat.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(Export, PrometheusNameSanitization) {
+  EXPECT_EQ(prometheus_sanitize_name("serve.queue_ms"), "serve_queue_ms");
+  EXPECT_EQ(prometheus_sanitize_name("train.last-loss"), "train_last_loss");
+  EXPECT_EQ(prometheus_sanitize_name("a:b"), "a:b");  // colons are legal
+  EXPECT_EQ(prometheus_sanitize_name("9lives"), "_9lives");  // no leading digit
+  EXPECT_EQ(prometheus_sanitize_name(""), "_");
+  EXPECT_EQ(prometheus_sanitize_name("sp ace/slash"), "sp_ace_slash");
+}
+
+TEST(Export, PrometheusLabelEscaping) {
+  // The exposition format's three escapes in label values: backslash,
+  // double quote, line feed.
+  EXPECT_EQ(prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_escape_label("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prometheus_escape_label("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(prometheus_escape_label("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(Export, PrometheusHelpAndTypeExactlyOncePerFamily) {
+  SKIP_IF_NOOP();
+  MetricsRegistry reg;
+  reg.counter("requests.total").inc();
+  reg.gauge("queue.depth").set(3.0);
+  reg.histogram("latency.ms", {1.0}).observe(0.5);
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_EQ(count_occurrences(text, "# TYPE requests_total "), 1u);
+  EXPECT_EQ(count_occurrences(text, "# HELP requests_total "), 1u);
+  EXPECT_EQ(count_occurrences(text, "# TYPE queue_depth "), 1u);
+  EXPECT_EQ(count_occurrences(text, "# TYPE latency_ms "), 1u);
+  EXPECT_EQ(count_occurrences(text, "# HELP latency_ms "), 1u);
+}
+
+TEST(Export, PrometheusCollidingFamiliesEmitOnlyOnce) {
+  SKIP_IF_NOOP();
+  // "serve.queue" and "serve/queue" both sanitize to serve_queue: the
+  // exporter must not emit two # TYPE lines for one family — the first
+  // registrant wins, the collider is dropped.
+  MetricsRegistry reg;
+  reg.counter("serve.queue").inc(1);
+  reg.counter("serve/queue").inc(5);
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_EQ(count_occurrences(text, "# TYPE serve_queue "), 1u);
+  EXPECT_EQ(count_occurrences(text, "\nserve_queue "), 1u);
+}
+
+TEST(Export, PrometheusHelpEscapesMetricOriginalName) {
+  SKIP_IF_NOOP();
+  // The HELP text carries the unsanitized name; backslashes and newlines
+  // in it must be escaped per the exposition format.
+  MetricsRegistry reg;
+  reg.counter("weird\\name").inc();
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("weird\\\\name"), std::string::npos);
+  EXPECT_EQ(text.find("weird\\name\n"), std::string::npos);
+}
+
+TEST(Export, TraceIdHexIsFixedWidth) {
+  EXPECT_EQ(trace_id_hex(0), "0000000000000000");
+  EXPECT_EQ(trace_id_hex(0xabcULL), "0000000000000abc");
+  EXPECT_EQ(trace_id_hex(0xDEADBEEFDEADBEEFULL), "deadbeefdeadbeef");
+}
+
+TEST(Export, HistogramExemplarRendersWithTraceId) {
+  SKIP_IF_NOOP();
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("req.ms", {1.0, 10.0});
+  h.observe(0.5, /*trace_id=*/0x1234);
+  h.observe(5.0, /*trace_id=*/0x5678);
+  h.observe(7.0, /*trace_id=*/0x9abc);  // slower: wins bucket le=10
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("req_ms_bucket{le=\"1\"} 1 # {trace_id=\"" +
+                      trace_id_hex(0x1234) + "\"} 0.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("req_ms_bucket{le=\"10\"} 3 # {trace_id=\"" +
+                      trace_id_hex(0x9abc) + "\"} 7"),
+            std::string::npos);
+}
+
+TEST(Metrics, ExemplarKeepsSlowestPerBucketAndSurvivesSnapshot) {
+  SKIP_IF_NOOP();
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", {10.0});
+  h.observe(5.0, 111);
+  h.observe(2.0, 222);  // faster: must not displace 111
+  h.observe(9.0, 333);  // slower: replaces 111
+  h.observe(1.0);       // untraced: never recorded as exemplar
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.exemplars.size(), 2u);
+  EXPECT_EQ(snap.exemplars[0].trace_id, 333u);
+  EXPECT_DOUBLE_EQ(snap.exemplars[0].value, 9.0);
+  EXPECT_EQ(snap.exemplars[1].trace_id, 0u);  // overflow bucket untouched
+}
+
+// ---------------------------------------------------------------------------
+// Distributed tracing: explicit contexts, per-trace assembly, /tracez
+
+TEST(Trace, StartTraceYieldsDistinctValidContexts) {
+  const TraceContext a = start_trace();
+  const TraceContext b = start_trace();
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_NE(a.trace_id, b.trace_id);
+  EXPECT_EQ(a.span_id, 0u);  // root: no parent
+  EXPECT_FALSE(TraceContext{}.valid());
+}
+
+TEST(Trace, ExplicitContextSpanCarriesTraceIdentity) {
+  SKIP_IF_NOOP();
+  TraceRecorder rec(16);
+  const TraceContext root = start_trace(/*sampled=*/true);
+  std::uint64_t child_span = 0;
+  {
+    TraceSpan span("client.send", root, rec);
+    child_span = span.context().span_id;
+    EXPECT_EQ(span.context().trace_id, root.trace_id);
+    EXPECT_NE(child_span, 0u);
+  }
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, root.trace_id);
+  EXPECT_EQ(events[0].span_id, child_span);
+  EXPECT_EQ(events[0].parent_span_id, root.span_id);
+  EXPECT_TRUE(events[0].sampled);
+}
+
+TEST(Trace, ExplicitContextSpanSkipsThreadLocalStack) {
+  SKIP_IF_NOOP();
+  TraceRecorder rec(16);
+  // Baseline depth first: earlier tests may have deliberately left a stale
+  // entry on this thread's span stack (the cross-thread close case).
+  std::uint32_t base_depth = 0;
+  { TraceSpan probe("probe", rec); base_depth = probe.depth(); }
+  const TraceContext root = start_trace();
+  TraceSpan ctx_span("detached", root, rec);
+  // A plain span opened while the explicit-context span is live must not
+  // nest under it — the context span never touched this thread's stack.
+  TraceSpan plain("plain", rec);
+  EXPECT_EQ(plain.depth(), base_depth);
+}
+
+TEST(Trace, RecordIntervalAndPerTraceAssembly) {
+  SKIP_IF_NOOP();
+  TraceRecorder rec(32);
+  const TraceContext t1 = start_trace();
+  const TraceContext t2 = start_trace();
+  const double now = rec.now_us();
+  rec.record_interval("queue_wait", t1, now - 500.0, 200.0);
+  rec.record_interval("infer", t1, now - 300.0, 300.0);
+  rec.record_interval("other", t2, now - 100.0, 50.0);
+  const auto spans = rec.trace(t1.trace_id);
+  ASSERT_EQ(spans.size(), 2u);
+  // Ordered by start time, all belonging to t1.
+  EXPECT_EQ(spans[0].name, "queue_wait");
+  EXPECT_EQ(spans[1].name, "infer");
+  for (const auto& ev : spans) EXPECT_EQ(ev.trace_id, t1.trace_id);
+  EXPECT_TRUE(rec.trace(0xdead).empty());
+}
+
+TEST(Trace, RecentTracesNewestFirstAndDeduplicated) {
+  SKIP_IF_NOOP();
+  TraceRecorder rec(32);
+  const TraceContext a = start_trace();
+  const TraceContext b = start_trace();
+  const double now = rec.now_us();
+  rec.record_interval("s1", a, now - 400.0, 10.0);
+  rec.record_interval("s2", b, now - 200.0, 10.0);
+  rec.record_interval("s3", a, now - 100.0, 10.0);  // a finishes last
+  const auto recent = rec.recent_traces(8);
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0], a.trace_id);
+  EXPECT_EQ(recent[1], b.trace_id);
+  EXPECT_EQ(rec.recent_traces(1).size(), 1u);
+}
+
+TEST(Export, TracezTextRendersTraceAndSpans) {
+  SKIP_IF_NOOP();
+  TraceRecorder rec(32);
+  const TraceContext root = start_trace(/*sampled=*/true);
+  const double now = rec.now_us();
+  rec.record_interval("serve.queue_wait", root, now - 900.0, 400.0);
+  rec.record_interval("serve.infer", root, now - 500.0, 500.0);
+  const std::string text = tracez_text(rec, 8);
+  EXPECT_NE(text.find(trace_id_hex(root.trace_id)), std::string::npos);
+  EXPECT_NE(text.find("serve.queue_wait"), std::string::npos);
+  EXPECT_NE(text.find("serve.infer"), std::string::npos);
+  EXPECT_NE(text.find("sampled"), std::string::npos);
+}
+
+TEST(Export, ChromeTraceJsonCarriesTraceIds) {
+  SKIP_IF_NOOP();
+  TraceRecorder rec(16);
+  const TraceContext root = start_trace();
+  { TraceSpan span("traced", root, rec); }
+  const std::string json = chrome_trace_json(rec);
+  EXPECT_NE(json.find("\"trace_id\":\"" + trace_id_hex(root.trace_id) + "\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"parent_span_id\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace gea::obs

@@ -621,4 +621,88 @@ TEST(Transport, CountersMirrorIntoMetricsRegistry) {
   EXPECT_GE(after.histograms.at("net.request_ms").count, 1u);
 }
 
+// --- Distributed trace propagation -----------------------------------------
+
+TEST(Transport, SingleTraceIdLinksClientAndServerSpans) {
+  Rig rig;
+  serve::ClientConfig ccfg = rig.client_config();
+  ccfg.trace_sample_every = 1;  // root a trace on every request
+  serve::RemoteClient client(ccfg);
+  Rng rng(101);
+  auto r = client.detect(synthetic_row(rng));
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+
+  const std::uint64_t tid = client.stats().last_trace_id;
+  ASSERT_NE(tid, 0u);
+
+  // The server-side spans land on the transport loop / batch worker threads
+  // a beat after the response frame, so poll the recorder.
+  const auto have = [&](const char* name) {
+    for (const auto& ev : obs::TraceRecorder::global().trace(tid)) {
+      if (ev.name == name) return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(spin_until([&] {
+    return have("client.detect") && have("client.send") &&
+           have("net.server_request") && have("serve.queue_wait") &&
+           have("serve.infer");
+  })) << "trace " << tid << " is missing spans";
+
+  // One trace id stitches both processes' views together: every span in the
+  // assembled trace carries the client's root id.
+  for (const auto& ev : obs::TraceRecorder::global().trace(tid)) {
+    EXPECT_EQ(ev.trace_id, tid) << ev.name;
+  }
+}
+
+TEST(Transport, UntracedClientLeavesNoTraceBehind) {
+  Rig rig;
+  serve::ClientConfig ccfg = rig.client_config();
+  ccfg.trace_sample_every = 0;  // tracing off
+  serve::RemoteClient client(ccfg);
+  Rng rng(103);
+  auto r = client.detect(synthetic_row(rng));
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(client.stats().last_trace_id, 0u);
+}
+
+TEST(Transport, MalformedTraceContextOverWireIsQuarantined) {
+  Rig rig;
+  net::Socket sock = raw_connect(rig.transport->port());
+  Rng rng(107);
+  const auto row = synthetic_row(rng);
+
+  // Scramble the trace block: id 0 under a nonzero word. Lenient mode
+  // quarantines the frame, echoes the request id in an error frame, and
+  // keeps the connection.
+  auto corrupted = make_request_bytes(21, row);
+  for (std::size_t i = net::kHeaderPrefixBytes;
+       i < net::kHeaderPrefixBytes + 8; ++i) {
+    corrupted[i] = 0;
+  }
+  corrupted[net::kHeaderPrefixBytes + 8] = 0x01;
+  send_all(sock, corrupted);
+
+  std::vector<std::uint8_t> buf;
+  auto frame = read_frame(sock, buf);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->request_id, 21u);
+  auto verdict = serve::decode_detect_response_payload(
+      {frame->payload.data(), frame->payload.size()});
+  ASSERT_FALSE(verdict.is_ok());
+  EXPECT_EQ(verdict.status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_GE(rig.transport->stats().quarantined, 1u);
+
+  // The connection survives the quarantine: a clean traced frame on the
+  // same socket is served.
+  send_all(sock, make_request_bytes(22, row));
+  auto good = read_frame(sock, buf);
+  ASSERT_TRUE(good.has_value());
+  EXPECT_EQ(good->request_id, 22u);
+  auto v = serve::decode_detect_response_payload(
+      {good->payload.data(), good->payload.size()});
+  EXPECT_TRUE(v.is_ok()) << v.status().to_string();
+}
+
 }  // namespace
