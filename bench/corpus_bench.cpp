@@ -45,6 +45,14 @@ namespace {
 using namespace gea;
 namespace fs = std::filesystem;
 
+// -Wextra flags designated initializers that omit trailing fields
+// (ShardWriterOptions grew a schema member); spell the options out.
+dataset::ShardWriterOptions shard_opts(std::size_t records_per_shard) {
+  dataset::ShardWriterOptions o;
+  o.records_per_shard = records_per_shard;
+  return o;
+}
+
 struct Options {
   std::size_t samples = 1'000'000;
   std::size_t crosscheck = 10'000;
@@ -149,7 +157,7 @@ int main(int argc, char** argv) {
   dataset::SyntheticWriteReport wrep;
   util::Stopwatch write_sw;
   if (auto st = dataset::write_synthetic_corpus(
-          opt.dir, cfg, {.records_per_shard = opt.shard}, &wrep);
+          opt.dir, cfg, shard_opts(opt.shard), &wrep);
       !st.is_ok()) {
     std::fprintf(stderr, "corpus_bench: write failed: %s\n",
                  st.to_string().c_str());
@@ -232,7 +240,7 @@ int main(int argc, char** argv) {
   std::size_t crosschecked = 0;
   {
     if (auto st = dataset::write_synthetic_corpus(
-            xdir, xcfg, {.records_per_shard = opt.shard});
+            xdir, xcfg, shard_opts(opt.shard));
         !st.is_ok()) {
       std::fprintf(stderr, "corpus_bench: crosscheck write failed: %s\n",
                    st.to_string().c_str());

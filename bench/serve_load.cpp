@@ -28,8 +28,14 @@
 // healthy once the faults clear — slo_degraded_observed / slo_recovered in
 // the JSON gate that cycle.
 //
-//   $ ./bench/serve_load [--smoke] [--loopback] [--chaos] [--threads N]
-//                        [--admin-port P] [--admin-linger-ms T]
+// With --family the binary instead runs the continuous-learning family-
+// classification scenario (train the K-class family CNN, prove chunked-
+// retrain determinism, run targeted GEA over the schema, and hot-swap a
+// retrained schema-tagged checkpoint under live traffic with zero dropped
+// requests), written to BENCH_family.json.
+//
+//   $ ./bench/serve_load [--smoke] [--loopback] [--chaos] [--family]
+//                        [--threads N] [--admin-port P] [--admin-linger-ms T]
 #include <poll.h>
 
 #include <atomic>
@@ -45,8 +51,13 @@
 #include <thread>
 #include <vector>
 
+#include "dataset/corpus.hpp"
+#include "dataset/labels.hpp"
 #include "features/scaler.hpp"
+#include "gea/harness.hpp"
 #include "kernels/config.hpp"
+#include "ml/metrics.hpp"
+#include "ml/trainer.hpp"
 #include "ml/zoo.hpp"
 #include "net/socket.hpp"
 #include "serve/admin.hpp"
@@ -567,16 +578,338 @@ void write_json(const std::vector<RunResult>& results, double speedup_8w,
       << ",\n  \"slo_recovered\": " << admin.slo_recovered << "\n}\n";
 }
 
+// ---------------------------------------------------------------------------
+// --family: continuous-learning family-classification scenario, written to
+// BENCH_family.json.
+//
+// 1. Synthesize a corpus, relabel it under the K-class family schema, and
+//    train the family CNN; report held-out accuracy / macro-F1 and check
+//    >= 3 malicious families are present.
+// 2. Retrain determinism: the same init trained with the chunked trainer at
+//    2 vs 4 threads must produce bitwise-identical held-out predictions and
+//    final loss (the property the live hot-swap below relies on).
+// 3. Targeted GEA: the source->predicted misclassification matrix over the
+//    schema (gea::aug::GeaHarness::family_evasion_matrix).
+// 4. Continuous learning: serve checkpoint v1 under live closed-loop
+//    traffic while new family variants stream in, retrain in the
+//    background, write a schema-tagged checkpoint v2, and hot-swap it via
+//    ModelRegistry. The gate is zero dropped requests and verdicts observed
+//    from both versions.
+// ---------------------------------------------------------------------------
+
+/// Rows scaled with `scaler` + schema-class labels, ready for the trainer.
+ml::LabeledData scaled_data(const dataset::Corpus& corpus,
+                            const features::FeatureScaler& scaler) {
+  ml::LabeledData data;
+  data.rows.reserve(corpus.size());
+  for (const auto& s : corpus.samples()) {
+    const auto t = scaler.transform(s.features);
+    data.rows.emplace_back(t.begin(), t.end());
+    data.labels.push_back(s.label);
+  }
+  return data;
+}
+
+/// Every 5th sample held out for evaluation.
+void split_data(const ml::LabeledData& all, ml::LabeledData& train,
+                ml::LabeledData& test) {
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    auto& dst = (i % 5 == 0) ? test : train;
+    dst.rows.push_back(all.rows[i]);
+    dst.labels.push_back(all.labels[i]);
+  }
+}
+
+struct FamilyReport {
+  std::size_t num_classes = 0;
+  std::size_t families_present = 0;  // malicious families with samples
+  std::size_t train_rows = 0, test_rows = 0;
+  double test_accuracy = 0.0;
+  double macro_f1 = 0.0;
+  ml::MultiConfusion test_matrix;
+  int retrain_deterministic = 0;
+  std::size_t gea_samples = 0;
+  std::size_t gea_quarantined = 0;
+  double gea_targeted_rate = 0.0;
+  double gea_evasion_rate = 0.0;
+  ml::MultiConfusion gea_matrix;
+  std::uint64_t hotswap_requests = 0;
+  std::uint64_t hotswap_dropped = 0;
+  std::uint64_t verdicts_v1 = 0, verdicts_v2 = 0;
+  int schema_digest_match = 0;
+  double retrain_s = 0.0;
+};
+
+void write_matrix(std::ofstream& out, const ml::MultiConfusion& m) {
+  out << "[";
+  for (std::size_t r = 0; r < m.k; ++r) {
+    out << (r ? ", [" : "[");
+    for (std::size_t c = 0; c < m.k; ++c) {
+      out << (c ? ", " : "") << m.at(r, c);
+    }
+    out << "]";
+  }
+  out << "]";
+}
+
+void write_family_json(const FamilyReport& rep, bool smoke) {
+  std::ofstream out("BENCH_family.json");
+  out << "{\n  \"benchmark\": \"family\",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"num_classes\": " << rep.num_classes << ",\n"
+      << "  \"families_present\": " << rep.families_present << ",\n"
+      << "  \"train_rows\": " << rep.train_rows << ",\n"
+      << "  \"test_rows\": " << rep.test_rows << ",\n"
+      << "  \"test_accuracy\": " << rep.test_accuracy << ",\n"
+      << "  \"macro_f1\": " << rep.macro_f1 << ",\n  \"test_matrix\": ";
+  write_matrix(out, rep.test_matrix);
+  out << ",\n  \"retrain_deterministic\": " << rep.retrain_deterministic
+      << ",\n  \"gea_samples\": " << rep.gea_samples
+      << ",\n  \"gea_quarantined\": " << rep.gea_quarantined
+      << ",\n  \"gea_targeted_rate\": " << rep.gea_targeted_rate
+      << ",\n  \"gea_evasion_rate\": " << rep.gea_evasion_rate
+      << ",\n  \"gea_matrix\": ";
+  write_matrix(out, rep.gea_matrix);
+  out << ",\n  \"hotswap_requests\": " << rep.hotswap_requests
+      << ",\n  \"hotswap_dropped\": " << rep.hotswap_dropped
+      << ",\n  \"verdicts_v1\": " << rep.verdicts_v1
+      << ",\n  \"verdicts_v2\": " << rep.verdicts_v2
+      << ",\n  \"schema_digest_match\": " << rep.schema_digest_match
+      << ",\n  \"retrain_s\": " << rep.retrain_s << "\n}\n";
+}
+
+int run_family(bool smoke) {
+  const auto schema = dataset::family_label_schema();
+  FamilyReport rep;
+  rep.num_classes = schema.num_classes();
+  rep.test_matrix = ml::MultiConfusion(schema.num_classes());
+  rep.gea_matrix = ml::MultiConfusion(schema.num_classes());
+
+  // -- Corpus, relabeled to family classes -------------------------------
+  dataset::CorpusConfig ccfg;
+  ccfg.num_malicious = smoke ? 90 : 400;
+  ccfg.num_benign = smoke ? 45 : 150;
+  auto corpus = dataset::Corpus::generate(ccfg);
+  if (auto st = dataset::relabel_corpus(corpus, schema); !st.is_ok()) {
+    std::fprintf(stderr, "%s\n", st.to_string().c_str());
+    return 1;
+  }
+  for (const auto& [family, n] : corpus.family_histogram()) {
+    if (bingen::is_malicious(family) && n > 0) ++rep.families_present;
+  }
+  std::printf("family: %zu samples, %zu malicious families, K=%zu\n",
+              corpus.size(), rep.families_present, schema.num_classes());
+
+  features::FeatureScaler scaler;
+  scaler.fit(corpus.feature_rows());
+  const auto all = scaled_data(corpus, scaler);
+  ml::LabeledData train, test;
+  split_data(all, train, test);
+  rep.train_rows = train.size();
+  rep.test_rows = test.size();
+
+  // -- Train the family CNN; determinism pair at 2 vs 4 threads ----------
+  ml::TrainConfig tcfg;
+  tcfg.epochs = smoke ? 25 : 60;
+  tcfg.threads = 2;
+  util::Stopwatch train_sw;
+  util::Rng dropout_rng(11), weight_rng(12);
+  auto model = ml::make_family_cnn(kDim, schema, dropout_rng);
+  model.init(weight_rng);
+  auto stats = ml::train(model, train, tcfg);
+  rep.retrain_s = train_sw.elapsed_ms() / 1000.0;
+  const auto test_pred = ml::predict_all(model, test);
+  rep.test_matrix = ml::confusion_k(schema.num_classes(), test_pred,
+                                    test.labels);
+  rep.test_accuracy = rep.test_matrix.accuracy();
+  rep.macro_f1 = rep.test_matrix.macro_f1();
+  std::printf("family: test accuracy %.3f macro-F1 %.3f (final loss %.4f)\n",
+              rep.test_accuracy, rep.macro_f1, stats.final_loss);
+  std::printf("%s\n", rep.test_matrix.to_string(schema).c_str());
+
+  {
+    ml::TrainConfig t4 = tcfg;
+    t4.threads = 4;
+    util::Rng dr(11), wr(12);
+    auto twin = ml::make_family_cnn(kDim, schema, dr);
+    twin.init(wr);
+    auto twin_stats = ml::train(twin, train, t4);
+    const auto twin_pred = ml::predict_all(twin, test);
+    rep.retrain_deterministic =
+        (twin_pred == test_pred && twin_stats.final_loss == stats.final_loss)
+            ? 1
+            : 0;
+    std::printf("family: chunked retrain 2t vs 4t bitwise-identical: %s\n",
+                rep.retrain_deterministic ? "yes" : "NO");
+  }
+
+  // -- Targeted GEA over the schema --------------------------------------
+  {
+    ml::ModelClassifier clf(model, kDim, schema.num_classes());
+    aug::GeaHarness harness(corpus, scaler, clf);
+    aug::GeaHarnessOptions gopts;
+    gopts.max_samples = smoke ? 12 : 40;
+    gopts.verify_every = 4;
+    auto evasion = harness.family_evasion_matrix(schema, gopts);
+    rep.gea_samples = evasion.samples;
+    rep.gea_quarantined = evasion.quarantined;
+    rep.gea_targeted_rate = evasion.targeted_rate();
+    rep.gea_evasion_rate = evasion.evasion_rate();
+    rep.gea_matrix = evasion.matrix;
+    std::printf(
+        "family: targeted GEA over %zu samples: targeted %.3f evaded %.3f\n",
+        evasion.samples, evasion.targeted_rate(), evasion.evasion_rate());
+    std::printf("%s\n", evasion.matrix.to_string(schema).c_str());
+  }
+
+  // -- Continuous learning: hot-swap a retrained checkpoint under load ---
+  const auto dir_v1 =
+      (std::filesystem::temp_directory_path() / "gea_family_v1").string();
+  const auto dir_v2 =
+      (std::filesystem::temp_directory_path() / "gea_family_v2").string();
+  std::filesystem::remove_all(dir_v1);
+  std::filesystem::remove_all(dir_v2);
+  if (auto st = serve::Checkpoint::write(dir_v1, model, &scaler, schema);
+      !st.is_ok()) {
+    std::fprintf(stderr, "%s\n", st.to_string().c_str());
+    return 1;
+  }
+  serve::ModelRegistry registry;
+  serve::CheckpointSpec fspec;
+  fspec.schema = schema;  // pin: a binary checkpoint must NOT serve here
+  if (auto st = registry.load("fam-v1", dir_v1, fspec); !st.is_ok()) {
+    std::fprintf(stderr, "%s\n", st.to_string().c_str());
+    return 1;
+  }
+
+  const std::size_t clients = 8;
+  serve::DetectionServer server(registry,
+                                server_config(2, 8, clients * 2));
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> requests{0}, dropped{0};
+  std::atomic<std::uint64_t> v1_seen{0}, v2_seen{0}, digest_bad{0};
+  const std::uint64_t want_digest = schema.digest();
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      std::size_t i = c;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto& fv = corpus.samples()[i % corpus.size()].features;
+        auto r = server.detect({fv.begin(), fv.end()});
+        requests.fetch_add(1);
+        if (!r.is_ok()) {
+          dropped.fetch_add(1);
+        } else {
+          if (r.value().model_version == "fam-v1") v1_seen.fetch_add(1);
+          if (r.value().model_version == "fam-v2") v2_seen.fetch_add(1);
+          if (r.value().schema_digest != want_digest) digest_bad.fetch_add(1);
+        }
+        i += clients;
+      }
+    });
+  }
+
+  // New variants stream in (a fresh synthesis seed), and the background
+  // retrain fine-tunes the serving weights on old + new data while the
+  // closed loop above keeps hammering the server.
+  dataset::CorpusConfig vcfg = ccfg;
+  vcfg.seed = ccfg.seed + 1;
+  vcfg.num_malicious = smoke ? 45 : 200;
+  vcfg.num_benign = smoke ? 20 : 75;
+  auto variants = dataset::Corpus::generate(vcfg);
+  int rc = 0;
+  if (auto st = dataset::relabel_corpus(variants, schema); !st.is_ok()) {
+    std::fprintf(stderr, "%s\n", st.to_string().c_str());
+    rc = 1;
+  } else {
+    ml::LabeledData grown = train;
+    for (const auto& s : variants.samples()) {
+      const auto t = scaler.transform(s.features);
+      grown.rows.emplace_back(t.begin(), t.end());
+      grown.labels.push_back(s.label);
+    }
+    ml::TrainConfig rcfg = tcfg;
+    rcfg.epochs = smoke ? 8 : 20;
+    util::Stopwatch retrain_sw;
+    auto retrain_stats = ml::train(model, grown, rcfg);  // fine-tune in place
+    std::printf("family: retrained on %zu rows in %.2fs (loss %.4f)\n",
+                grown.size(), retrain_sw.elapsed_ms() / 1000.0,
+                retrain_stats.final_loss);
+    if (auto st2 = serve::Checkpoint::write(dir_v2, model, &scaler, schema);
+        !st2.is_ok()) {
+      std::fprintf(stderr, "%s\n", st2.to_string().c_str());
+      rc = 1;
+    } else if (auto st3 = registry.load("fam-v2", dir_v2, fspec);
+               !st3.is_ok()) {
+      std::fprintf(stderr, "%s\n", st3.to_string().c_str());
+      rc = 1;
+    }
+  }
+
+  // Let post-swap traffic accumulate, then drain.
+  const util::Stopwatch linger;
+  while (linger.elapsed_ms() < (smoke ? 150.0 : 500.0)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true);
+  for (auto& t : pool) t.join();
+  server.stop();
+
+  rep.hotswap_requests = requests.load();
+  rep.hotswap_dropped = dropped.load();
+  rep.verdicts_v1 = v1_seen.load();
+  rep.verdicts_v2 = v2_seen.load();
+  rep.schema_digest_match = digest_bad.load() == 0 ? 1 : 0;
+  std::printf(
+      "family: hot-swap under load: %llu requests, %llu dropped, "
+      "v1=%llu v2=%llu, digest match: %s\n",
+      static_cast<unsigned long long>(rep.hotswap_requests),
+      static_cast<unsigned long long>(rep.hotswap_dropped),
+      static_cast<unsigned long long>(rep.verdicts_v1),
+      static_cast<unsigned long long>(rep.verdicts_v2),
+      rep.schema_digest_match ? "yes" : "NO");
+
+  // Gates: >= 3 families, deterministic retrain, zero dropped requests,
+  // traffic observed from both checkpoint versions, digests intact.
+  if (rep.families_present < 3) {
+    std::fprintf(stderr, "family gate FAILED: %zu families < 3\n",
+                 rep.families_present);
+    rc = 1;
+  }
+  if (rep.retrain_deterministic != 1) {
+    std::fprintf(stderr, "family gate FAILED: retrain not deterministic\n");
+    rc = 1;
+  }
+  if (rep.hotswap_dropped != 0 || rep.verdicts_v1 == 0 ||
+      rep.verdicts_v2 == 0 || rep.schema_digest_match != 1) {
+    std::fprintf(stderr,
+                 "family gate FAILED: dropped=%llu v1=%llu v2=%llu digest=%d\n",
+                 static_cast<unsigned long long>(rep.hotswap_dropped),
+                 static_cast<unsigned long long>(rep.verdicts_v1),
+                 static_cast<unsigned long long>(rep.verdicts_v2),
+                 rep.schema_digest_match);
+    rc = 1;
+  }
+
+  write_family_json(rep, smoke);
+  std::printf("wrote BENCH_family.json\n");
+  std::filesystem::remove_all(dir_v1);
+  std::filesystem::remove_all(dir_v2);
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false, loopback = false, chaos = false;
+  bool smoke = false, loopback = false, chaos = false, family = false;
   std::uint16_t admin_port = 0;      // 0 = ephemeral
   double admin_linger_ms = 0.0;      // keep admin up after loopback for curl
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--loopback") == 0) loopback = true;
     if (std::strcmp(argv[i], "--chaos") == 0) chaos = true;
+    if (std::strcmp(argv[i], "--family") == 0) family = true;
     if (std::strcmp(argv[i], "--admin-port") == 0 && i + 1 < argc) {
       admin_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
     }
@@ -584,6 +917,7 @@ int main(int argc, char** argv) {
       admin_linger_ms = std::atof(argv[++i]);
     }
   }
+  if (family) return run_family(smoke);
   const std::size_t clients = util::threads_from_cli(argc, argv, 48);
   const std::size_t per_client = smoke ? 12 : 120;
 

@@ -55,6 +55,14 @@ std::vector<Family> malicious_families() {
   return {Family::kMiraiLike, Family::kGafgytLike, Family::kTsunamiLike};
 }
 
+std::vector<Family> all_families() {
+  return {Family::kBenignUtility, Family::kBenignDaemon,
+          Family::kBenignNetTool, Family::kMiraiLike,
+          Family::kGafgytLike,    Family::kTsunamiLike};
+}
+
+std::size_t family_count() { return all_families().size(); }
+
 namespace {
 
 /// Size envelope per family: lognormal around `median` clamped to

@@ -52,6 +52,10 @@ const char* family_name(Family f);
 std::optional<Family> family_from_name(std::string_view name);
 std::vector<Family> benign_families();
 std::vector<Family> malicious_families();
+/// Every family, in enum order. The authoritative count for validation
+/// (shard records, label schemas) is all_families().size() == family_count().
+std::vector<Family> all_families();
+std::size_t family_count();
 
 struct GenOptions {
   /// Multiplies the family's target CFG size (1.0 = calibrated default).

@@ -94,8 +94,10 @@ Status DetectionPipeline::assemble_corpus(const PipelineConfig& cfg) {
 
   if (!cfg.features_csv.empty()) {
     StageSpan stage(report_, "csv");
-    auto loaded = dataset::read_features_csv_checked(cfg.features_csv,
-                                                     {.strict = strict});
+    dataset::CsvReadOptions csv_opts;
+    csv_opts.strict = strict;
+    auto loaded =
+        dataset::read_features_csv_checked(cfg.features_csv, csv_opts);
     if (!loaded.is_ok()) {
       return Status(loaded.status()).with_context("pipeline");
     }
@@ -217,9 +219,11 @@ util::Result<std::unique_ptr<DetectionPipeline>> DetectionPipeline::run_checked(
   p->validator_ = std::make_unique<features::DistortionValidator>(p->scaler_);
 
   p->dropout_rng_ = std::make_unique<util::Rng>(cfg.weight_seed + 1);
+  // The paper pipeline is the binary special case of the label schema.
+  const std::size_t k = ml::LabelSchema::binary().num_classes();
   p->model_ = cfg.detector == DetectorKind::kPaperCnn
-                  ? ml::make_paper_cnn(features::kNumFeatures, 2, *p->dropout_rng_)
-                  : ml::make_mlp_baseline(features::kNumFeatures, 2);
+                  ? ml::make_paper_cnn(features::kNumFeatures, k, *p->dropout_rng_)
+                  : ml::make_mlp_baseline(features::kNumFeatures, k);
   util::Rng weight_rng(cfg.weight_seed);
   p->model_.init(weight_rng);
 

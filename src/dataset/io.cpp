@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "dataset/labels.hpp"
 #include "util/csv.hpp"
 #include "util/faultinject.hpp"
 #include "util/log.hpp"
@@ -14,7 +15,8 @@ namespace gea::dataset {
 using util::ErrorCode;
 using util::Status;
 
-void write_features_csv(const Corpus& corpus, const std::string& path) {
+void write_features_csv(const Corpus& corpus, const std::string& path,
+                        const ml::LabelSchema& schema) {
   util::CsvWriter w(path);
   std::vector<std::string> header = {"id", "family", "label"};
   for (std::size_t i = 0; i < features::kNumFeatures; ++i) {
@@ -22,9 +24,14 @@ void write_features_csv(const Corpus& corpus, const std::string& path) {
   }
   w.write_row(header);
   for (const auto& s : corpus.samples()) {
+    auto cls = class_for_family(schema, s.family);
+    if (!cls.is_ok()) {
+      throw std::runtime_error("write_features_csv: " +
+                               cls.status().to_string());
+    }
     std::vector<std::string> row = {std::to_string(s.id),
                                     bingen::family_name(s.family),
-                                    std::to_string(static_cast<int>(s.label))};
+                                    std::to_string(static_cast<int>(cls.value()))};
     for (double f : s.features) row.push_back(std::to_string(f));
     w.write_row(row);
   }
@@ -44,19 +51,34 @@ bool parse_double(const std::string& cell, double& out) {
   return true;
 }
 
+/// Strict integer label parse: bare decimal digits only. The old path went
+/// through parse_double, which silently coerced "1.0", "0e0", "+1", and
+/// " 1" — all of those now quarantine with a diagnostic naming the rule.
+bool parse_label(const std::string& cell, std::uint64_t& out) {
+  if (cell.empty() || cell.size() > 3) return false;
+  std::uint64_t v = 0;
+  for (char c : cell) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
 /// Per-row parse; returns a diagnostic on failure.
 std::optional<std::string> parse_row(const std::vector<std::string>& row,
                                      std::size_t expected_cols,
+                                     const ml::LabelSchema& schema,
                                      features::FeatureVector& fv,
                                      std::uint8_t& label) {
   if (row.size() != expected_cols) {
     return "wrong column count (" + std::to_string(row.size()) + " vs " +
            std::to_string(expected_cols) + ")";
   }
-  double raw_label = 0.0;
-  if (!parse_double(row[2], raw_label) ||
-      (raw_label != 0.0 && raw_label != 1.0)) {
-    return "bad label '" + row[2] + "'";
+  std::uint64_t raw_label = 0;
+  if (!parse_label(row[2], raw_label) || !schema.valid_label(raw_label)) {
+    return "bad label '" + row[2] + "' (want a bare integer class in [0, " +
+           std::to_string(schema.num_classes()) + "))";
   }
   label = static_cast<std::uint8_t>(raw_label);
   for (std::size_t i = 0; i < features::kNumFeatures; ++i) {
@@ -133,7 +155,7 @@ util::Result<LoadedFeatures> read_features_csv_checked(
 
     features::FeatureVector fv{};
     std::uint8_t label = 0;
-    if (auto problem = parse_row(row, expected_cols, fv, label)) {
+    if (auto problem = parse_row(row, expected_cols, opts.schema, fv, label)) {
       const std::string diag = "row " + std::to_string(r) + ": " + *problem;
       if (opts.strict) {
         return Status::error(ErrorCode::kCorruptData, diag)
@@ -155,7 +177,9 @@ util::Result<LoadedFeatures> read_features_csv_checked(
 }
 
 LoadedFeatures read_features_csv(const std::string& path) {
-  auto res = read_features_csv_checked(path, {.strict = true});
+  CsvReadOptions opts;
+  opts.strict = true;
+  auto res = read_features_csv_checked(path, opts);
   if (!res.is_ok()) throw std::runtime_error(res.status().to_string());
   return std::move(res).value();
 }

@@ -11,12 +11,17 @@
 #include <string>
 
 #include "dataset/corpus.hpp"
+#include "ml/label_schema.hpp"
 #include "util/status.hpp"
 
 namespace gea::dataset {
 
-/// Write id, family, label and the 23 features per sample.
-void write_features_csv(const Corpus& corpus, const std::string& path);
+/// Write id, family, label and the 23 features per sample. The label
+/// column is the sample's class under `schema`: the binary default writes
+/// the paper's 0/1 labels (byte-identical to the pre-schema writer), a
+/// family schema writes family classes via class_for_family().
+void write_features_csv(const Corpus& corpus, const std::string& path,
+                        const ml::LabelSchema& schema = {});
 
 struct CsvReadOptions {
   /// Strict: first malformed row aborts the read with an error Status.
@@ -24,6 +29,9 @@ struct CsvReadOptions {
   bool strict = false;
   /// Cap on retained per-row diagnostics (counts are always exact).
   std::size_t max_diagnostics = 8;
+  /// Schema the label column is validated against: a label must be a bare
+  /// decimal integer in [0, schema.num_classes()). Defaults to binary.
+  ml::LabelSchema schema;
 };
 
 /// Quarantine accounting for one read.

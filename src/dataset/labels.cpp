@@ -1,0 +1,61 @@
+#include "dataset/labels.hpp"
+
+#include <stdexcept>
+
+namespace gea::dataset {
+
+using util::ErrorCode;
+using util::Status;
+
+ml::LabelSchema binary_label_schema() { return ml::LabelSchema::binary(); }
+
+ml::LabelSchema family_label_schema() {
+  std::vector<std::string> names;
+  names.emplace_back("benign");
+  for (bingen::Family f : bingen::malicious_families()) {
+    names.emplace_back(bingen::family_name(f));
+  }
+  auto schema = ml::LabelSchema::make(std::move(names), /*benign_class=*/0);
+  // The taxonomy's names are compile-time constants that satisfy the
+  // schema's naming rules; failure here is a programming error.
+  if (!schema.is_ok()) {
+    throw std::logic_error("family_label_schema: " +
+                           schema.status().to_string());
+  }
+  return schema.value();
+}
+
+util::Result<std::uint8_t> class_for_family(const ml::LabelSchema& schema,
+                                            bingen::Family family) {
+  if (!bingen::is_malicious(family)) {
+    return static_cast<std::uint8_t>(schema.benign_class());
+  }
+  // Binary schemas collapse all malicious families onto one class.
+  if (schema.is_binary()) return std::uint8_t{1};
+  const auto k = schema.class_from_name(bingen::family_name(family));
+  if (!k.has_value()) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         std::string("label schema has no class for family '") +
+                             bingen::family_name(family) + "'");
+  }
+  return static_cast<std::uint8_t>(*k);
+}
+
+util::Status relabel_corpus(Corpus& corpus, const ml::LabelSchema& schema) {
+  std::vector<std::uint8_t> labels;
+  labels.reserve(corpus.size());
+  for (const auto& s : corpus.samples()) {
+    auto cls = class_for_family(schema, s.family);
+    if (!cls.is_ok()) {
+      util::Status st = cls.status();
+      return st.with_context("relabel_corpus");
+    }
+    labels.push_back(cls.value());
+  }
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    corpus.samples()[i].label = labels[i];
+  }
+  return Status::ok();
+}
+
+}  // namespace gea::dataset

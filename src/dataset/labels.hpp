@@ -1,0 +1,46 @@
+// Label-schema factories for the synthetic corpus.
+//
+// ml::LabelSchema is the layer-neutral authority on class counts and names;
+// this header binds it to the bingen family taxonomy. Two schemas matter:
+//
+//   binary_label_schema()  — the paper's benign/malicious convention
+//                            (identical to a default-constructed schema);
+//   family_label_schema()  — detect-then-classify target: one benign class
+//                            plus one class per malicious family
+//                            {benign, mirai-like, gafgyt-like, tsunami-like}.
+//
+// class_for_family() maps a bingen family onto a schema class so corpus
+// relabeling can never desync from the taxonomy: names are matched, not
+// positions, and every malicious family must resolve (adding a family to
+// bingen without extending the schema is a loud error, not a silent 2).
+#pragma once
+
+#include <cstdint>
+
+#include "bingen/families.hpp"
+#include "dataset/corpus.hpp"
+#include "ml/label_schema.hpp"
+#include "util/status.hpp"
+
+namespace gea::dataset {
+
+/// The paper's binary schema: {"benign", "malicious"}, benign = 0.
+ml::LabelSchema binary_label_schema();
+
+/// One benign class + one class per bingen malicious family, in
+/// malicious_families() order: {benign, mirai-like, gafgyt-like,
+/// tsunami-like}. K = 4 today; grows automatically with the taxonomy.
+ml::LabelSchema family_label_schema();
+
+/// Schema class for a family. Benign families collapse onto the schema's
+/// benign class; malicious families match by family_name(). Errors if the
+/// schema has no class for a malicious family (taxonomy/schema desync).
+util::Result<std::uint8_t> class_for_family(const ml::LabelSchema& schema,
+                                            bingen::Family family);
+
+/// Rewrite every sample's label to its class under `schema` (via
+/// class_for_family). All-or-nothing: on error the corpus is untouched.
+/// Relabeling to the binary schema reproduces the original 0/1 labels.
+util::Status relabel_corpus(Corpus& corpus, const ml::LabelSchema& schema);
+
+}  // namespace gea::dataset

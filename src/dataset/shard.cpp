@@ -19,8 +19,6 @@ namespace {
 
 // The last Opcode enumerator; anything above is a corrupt record.
 constexpr std::uint8_t kMaxOpcode = static_cast<std::uint8_t>(isa::Opcode::kHalt);
-constexpr std::uint8_t kMaxFamily =
-    static_cast<std::uint8_t>(bingen::Family::kTsunamiLike);
 
 util::Result<std::vector<std::uint8_t>> read_file_bytes(
     const std::string& path) {
@@ -72,9 +70,12 @@ void put_header(net::wire::Writer& w, std::uint32_t magic,
   w.put_u64(count);
 }
 
-/// Shared magic/version check for shard and manifest headers.
+/// Shared magic/version check for shard and manifest headers. Accepts any
+/// version in [kShardFormatVersionMin, kShardFormatVersion] and reports
+/// which one the file carries (v1 files imply the binary label schema).
 Status check_header(net::wire::Reader& r, std::uint32_t magic,
-                    const char* what, std::uint64_t& count) {
+                    const char* what, std::uint64_t& count,
+                    std::uint16_t* version_out = nullptr) {
   const std::uint32_t got_magic = r.get_u32();
   const std::uint16_t version = r.get_u16();
   r.get_u16();  // reserved
@@ -87,11 +88,12 @@ Status check_header(net::wire::Reader& r, std::uint32_t magic,
     return Status::error(ErrorCode::kParseError,
                          std::string("bad ") + what + " magic");
   }
-  if (version != kShardFormatVersion) {
+  if (version < kShardFormatVersionMin || version > kShardFormatVersion) {
     return Status::error(ErrorCode::kParseError,
                          std::string(what) + " version " +
                              std::to_string(version) + " unsupported");
   }
+  if (version_out != nullptr) *version_out = version;
   return Status::ok();
 }
 
@@ -121,22 +123,27 @@ void encode_record(const ShardRecord& rec, std::vector<std::uint8_t>& out) {
 }
 
 util::Status decode_record(std::span<const std::uint8_t> payload,
-                           ShardRecord& out) {
+                           ShardRecord& out, const ml::LabelSchema& schema) {
   net::wire::Reader r(payload);
   out.id = r.get_u32();
   const std::uint8_t family = r.get_u8();
   out.label = r.get_u8();
   if (!r.ok()) return r.parse_error("record header");
-  if (family > kMaxFamily) {
+  // Both bounds come from their single authorities — the bingen taxonomy
+  // and the manifest's label schema — never a local constant that could
+  // drift when a family is added.
+  if (family >= bingen::family_count()) {
     return Status::error(ErrorCode::kCorruptData,
                          "record family " + std::to_string(family) +
                              " out of range");
   }
   out.family = static_cast<bingen::Family>(family);
-  if (out.label > 1) {
+  if (!schema.valid_label(out.label)) {
     return Status::error(ErrorCode::kCorruptData,
                          "record label " + std::to_string(out.label) +
-                             " out of range");
+                             " outside schema (" +
+                             std::to_string(schema.num_classes()) +
+                             " classes)");
   }
 
   constexpr std::size_t kInstructionBytes = 15;  // op+rd+rs+imm+target
@@ -195,6 +202,7 @@ util::Status write_manifest(const std::string& dir, const Manifest& m) {
     w.put_u64(s.bytes);
     w.put_u32(s.checksum);
   }
+  w.put_string(m.schema.serialize());  // v2 field
   w.put_u32(net::checksum32(bytes));
   return write_file_atomic((fs::path(dir) / kManifestFileName).string(), bytes)
       .with_context("write_manifest");
@@ -224,7 +232,9 @@ util::Result<Manifest> read_manifest(const std::string& dir) {
   net::wire::Reader r(body);
   Manifest m;
   std::uint64_t count = 0;
-  if (auto st = check_header(r, kManifestMagic, "manifest", m.total_records);
+  std::uint16_t version = kShardFormatVersion;
+  if (auto st = check_header(r, kManifestMagic, "manifest", m.total_records,
+                             &version);
       !st.is_ok()) {
     return st.with_context("read_manifest " + path);
   }
@@ -243,6 +253,18 @@ util::Result<Manifest> read_manifest(const std::string& dir) {
     }
     m.shards.push_back(std::move(info));
   }
+  if (version >= 2) {
+    const std::string schema_text = r.get_string();
+    if (!r.ok()) {
+      return Status::error(ErrorCode::kParseError, "manifest schema truncated")
+          .with_context("read_manifest " + path);
+    }
+    auto schema = ml::LabelSchema::deserialize(schema_text);
+    if (!schema.is_ok()) {
+      return Status(schema.status()).with_context("read_manifest " + path);
+    }
+    m.schema = std::move(schema).value();
+  }  // v1: m.schema keeps its binary default
   if (!r.ok() || r.remaining() != 0) {
     return Status::error(ErrorCode::kParseError, "manifest truncated")
         .with_context("read_manifest " + path);
@@ -252,7 +274,7 @@ util::Result<Manifest> read_manifest(const std::string& dir) {
 
 util::Status read_shard(const std::string& path, const ShardInfo* expect,
                         std::vector<ShardRecord>& out, ShardReadReport& report,
-                        bool strict) {
+                        bool strict, const ml::LabelSchema& schema) {
   auto bytes = read_file_bytes(path);
   if (!bytes.is_ok()) return Status(bytes.status()).with_context("read_shard");
   const auto& data = bytes.value();
@@ -329,7 +351,7 @@ util::Status read_shard(const std::string& path, const ShardInfo* expect,
                          "record " + std::to_string(seen - 1) +
                              " checksum mismatch");
     } else {
-      st = decode_record(payload, rec)
+      st = decode_record(payload, rec, schema)
                .with_context("record " + std::to_string(seen - 1));
     }
     if (st.is_ok()) {
@@ -396,6 +418,24 @@ util::Status ShardedCorpusWriter::append(const ShardRecord& rec) {
                          "append after finish")
         .with_context("ShardedCorpusWriter::append");
   }
+  // Producer-side validation mirrors decode_record's, against the same
+  // authorities, so a bad label can never reach disk under a manifest that
+  // disowns it.
+  if (static_cast<std::size_t>(rec.family) >= bingen::family_count()) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "record family " +
+                             std::to_string(static_cast<int>(rec.family)) +
+                             " out of range")
+        .with_context("ShardedCorpusWriter::append");
+  }
+  if (!opts_.schema.valid_label(rec.label)) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "record label " + std::to_string(rec.label) +
+                             " outside schema (" +
+                             std::to_string(opts_.schema.num_classes()) +
+                             " classes)")
+        .with_context("ShardedCorpusWriter::append");
+  }
   payload_.clear();
   encode_record(rec, payload_);
   const std::uint32_t crc = net::checksum32(payload_);
@@ -454,6 +494,7 @@ util::Status ShardedCorpusWriter::seal_chunk() {
 util::Status ShardedCorpusWriter::finish() {
   if (finished_) return Status::ok();
   if (auto st = seal_chunk(); !st.is_ok()) return st;
+  manifest_.schema = opts_.schema;
   if (auto st = write_manifest(dir_, manifest_); !st.is_ok()) return st;
   finished_ = true;
   return Status::ok();

@@ -13,7 +13,7 @@
 //
 //   offset  size  field
 //        0     4  magic               0x53414547 ("GEAS", LE)
-//        4     2  version             kShardFormatVersion (1)
+//        4     2  version             kShardFormatVersion (2; 1 accepted)
 //        6     2  reserved            0
 //        8     8  record count
 //   then, per record:
@@ -30,8 +30,11 @@
 //
 // Manifest layout: magic 0x4d414547 ("GEAM") | u16 version | u16 reserved
 // | u64 total records | u32 shard count | per shard (string file name, u64
-// records, u64 bytes, u32 file checksum) | u32 manifest checksum (FNV-1a
-// over every preceding byte).
+// records, u64 bytes, u32 file checksum) | [v2+: string label schema,
+// ml::LabelSchema::serialize() form] | u32 manifest checksum (FNV-1a over
+// every preceding byte). v1 manifests carry no schema and imply the
+// paper's binary convention; readers accept both, writers emit v2 — the
+// same newest-writer/both-reader discipline as the serve frame codecs.
 //
 // The reader follows the net/wire bounds-checked Reader discipline and the
 // repository-wide lenient/strict quarantine taxonomy (ROBUSTNESS.md):
@@ -49,13 +52,16 @@
 
 #include "bingen/families.hpp"
 #include "isa/program.hpp"
+#include "ml/label_schema.hpp"
 #include "util/status.hpp"
 
 namespace gea::dataset {
 
 inline constexpr std::uint32_t kShardMagic = 0x53414547u;     // "GEAS" LE
 inline constexpr std::uint32_t kManifestMagic = 0x4d414547u;  // "GEAM" LE
-inline constexpr std::uint16_t kShardFormatVersion = 1;
+inline constexpr std::uint16_t kShardFormatVersion = 2;
+/// Oldest version readers still accept (v1: no schema, binary labels).
+inline constexpr std::uint16_t kShardFormatVersionMin = 1;
 inline constexpr std::size_t kShardHeaderBytes = 16;
 /// Ceiling on one record's declared payload length: a corrupt or hostile
 /// length field must not trigger an absurd allocation (same rule as
@@ -74,11 +80,13 @@ struct ShardRecord {
 /// Append the record payload (no framing) to `out`.
 void encode_record(const ShardRecord& rec, std::vector<std::uint8_t>& out);
 
-/// Decode one record payload. Rejects truncated input, out-of-range family
-/// or label, and programs failing Program::validate() — a record that
-/// passes its CRC can still be hostile.
+/// Decode one record payload. Rejects truncated input, a family outside
+/// bingen::family_count(), a label outside `schema` (the manifest's schema
+/// — v1 corpora imply the binary default), and programs failing
+/// Program::validate() — a record that passes its CRC can still be hostile.
 util::Status decode_record(std::span<const std::uint8_t> payload,
-                           ShardRecord& out);
+                           ShardRecord& out,
+                           const ml::LabelSchema& schema = {});
 
 /// Manifest entry for one chunk file.
 struct ShardInfo {
@@ -91,6 +99,10 @@ struct ShardInfo {
 struct Manifest {
   std::uint64_t total_records = 0;
   std::vector<ShardInfo> shards;
+  /// Label schema every record in the corpus was validated against.
+  /// Defaults to the paper's binary convention, which is also what a v1
+  /// manifest (predating the field) deserializes to.
+  ml::LabelSchema schema;
 };
 
 /// Atomically (temp + rename) write `dir`/manifest.gsm.
@@ -118,7 +130,8 @@ struct ShardReadReport {
 /// lenient diagnostic.
 util::Status read_shard(const std::string& path, const ShardInfo* expect,
                         std::vector<ShardRecord>& out, ShardReadReport& report,
-                        bool strict = false);
+                        bool strict = false,
+                        const ml::LabelSchema& schema = {});
 
 struct ShardWriterOptions {
   /// Records per chunk file. Bounds the streaming reader's resident set:
@@ -126,6 +139,10 @@ struct ShardWriterOptions {
   std::size_t records_per_shard = 4096;
   /// Chunk file name prefix ("shard" -> shard-00000.gsd).
   std::string prefix = "shard";
+  /// Schema recorded in the manifest; append() validates every record's
+  /// label against it, so writer and reader can never disagree on what a
+  /// label means.
+  ml::LabelSchema schema;
 };
 
 /// Streaming shard writer: records are buffered into the current chunk and

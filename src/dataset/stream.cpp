@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "dataset/labels.hpp"
 #include "features/disk_cache.hpp"
 #include "util/faultinject.hpp"
 #include "util/log.hpp"
@@ -80,7 +81,8 @@ util::Status ShardedCorpus::featurize(
     std::vector<ShardRecord> records;
     ShardReadReport srep;
     srep.max_diagnostics = opts.max_diagnostics;
-    if (auto st = read_shard(path, &info, records, srep, opts.strict);
+    if (auto st = read_shard(path, &info, records, srep, opts.strict,
+                             manifest_.schema);
         !st.is_ok()) {
       if (opts.strict) return st.with_context("ShardedCorpus::featurize");
       ++rep.shards_quarantined;
@@ -251,7 +253,13 @@ util::Status write_synthetic_corpus(const std::string& dir,
     }
     rec.id = s.id;
     rec.family = s.family;
-    rec.label = s.label;
+    // Relabel through the writer's schema: identical to s.label for the
+    // binary default, the family class otherwise.
+    auto cls = class_for_family(shard_opts.schema, s.family);
+    if (!cls.is_ok()) {
+      return Status(cls.status()).with_context("write_synthetic_corpus");
+    }
+    rec.label = cls.value();
     rec.program = std::move(s.program);
     if (Status st = writer.append(rec); !st.is_ok()) {
       return st.with_context("write_synthetic_corpus");

@@ -173,6 +173,184 @@ GeaRow GeaHarness::attack_with_target(std::uint8_t source_label,
   return row;
 }
 
+FamilyEvasionReport GeaHarness::family_attack(
+    std::size_t target_index, const ml::LabelSchema& schema,
+    const GeaHarnessOptions& opts) const {
+  const auto& samples = corpus_->samples();
+  if (target_index >= samples.size()) {
+    throw std::invalid_argument("family_attack: bad target index");
+  }
+  if (clf_->num_classes() != schema.num_classes()) {
+    throw std::invalid_argument(
+        "family_attack: classifier head width " +
+        std::to_string(clf_->num_classes()) + " != schema classes " +
+        std::to_string(schema.num_classes()));
+  }
+  const dataset::Sample& target = samples[target_index];
+  if (!schema.valid_label(target.label)) {
+    throw std::invalid_argument("family_attack: target label outside schema");
+  }
+  const std::uint8_t target_class = target.label;
+
+  FamilyEvasionReport rep;
+  rep.matrix = ml::MultiConfusion(schema.num_classes());
+
+  obs::TraceSpan run_span("gea.family_attack");
+  auto& registry = obs::MetricsRegistry::global();
+  obs::Histogram& craft_ms_hist = registry.histogram("gea.craft_ms");
+  obs::Counter& crafted_total = registry.counter("gea.crafted_total");
+  obs::Counter& targeted_total = registry.counter("gea.family_targeted_total");
+  obs::Counter& evaded_total = registry.counter("gea.family_evaded_total");
+  obs::Counter& quarantined_total = registry.counter("gea.quarantined_total");
+
+  double total_ms = 0.0;
+
+  struct Slot {
+    features::FeatureVector fv{};
+    double ms = 0.0;
+    std::exception_ptr error;
+  };
+
+  // Same wave discipline as attack_with_target: serial scan for eligible
+  // sources, parallel craft, serial merge — bitwise identical at any
+  // thread count.
+  std::size_t pos = 0;
+  while (pos < samples.size() &&
+         (opts.max_samples == 0 || rep.samples < opts.max_samples)) {
+    const std::size_t need =
+        opts.max_samples == 0 ? samples.size() : opts.max_samples - rep.samples;
+
+    std::vector<std::size_t> wave;
+    while (pos < samples.size() && wave.size() < need) {
+      const std::size_t i = pos++;
+      const dataset::Sample& s = samples[i];
+      if (s.label == target_class || i == target_index) continue;
+      if (!schema.valid_label(s.label)) {
+        throw std::invalid_argument(
+            "family_attack: sample " + std::to_string(s.id) +
+            " label outside schema (relabel the corpus first)");
+      }
+      if (opts.skip_already_misclassified) {
+        const auto t = scaler_->transform(s.features);
+        const std::vector<double> scaled_orig(t.begin(), t.end());
+        if (clf_->predict(scaled_orig) != s.label) continue;
+      }
+      wave.push_back(i);
+    }
+    if (wave.empty()) break;
+
+    std::vector<Slot> slots(wave.size());
+    const auto status = util::parallel_for(
+        wave.size(),
+        [&](std::size_t w) {
+          const dataset::Sample& s = samples[wave[w]];
+          util::Stopwatch sw;
+          try {
+            EmbedResult crafted =
+                embed_with_cfg(s.program, target.program, opts.embed);
+            slots[w].fv = features::FeatureEngine::local().extract(
+                crafted.cfg.graph, feature_cache_.get());
+            if (!features::all_finite(slots[w].fv)) {
+              throw std::runtime_error(
+                  "non-finite feature " +
+                  features::feature_name(
+                      features::first_non_finite(slots[w].fv)));
+            }
+          } catch (...) {
+            slots[w].error = std::current_exception();
+          }
+          slots[w].ms = sw.elapsed_ms();
+          return util::Status::ok();
+        },
+        {.threads = opts.threads, .label = "gea family"});
+    if (!status.is_ok()) {
+      throw std::runtime_error(status.to_string());
+    }
+
+    for (std::size_t w = 0; w < wave.size(); ++w) {
+      const dataset::Sample& s = samples[wave[w]];
+      Slot& slot = slots[w];
+      if (slot.error) {
+        if (opts.strict) std::rethrow_exception(slot.error);
+        std::string diag = "sample " + std::to_string(s.id) + ": ";
+        try {
+          std::rethrow_exception(slot.error);
+        } catch (const std::exception& e) {
+          diag += e.what();
+        } catch (...) {
+          diag += "non-standard exception";
+        }
+        ++rep.quarantined;
+        quarantined_total.inc();
+        if (rep.diagnostics.size() < opts.max_diagnostics) {
+          rep.diagnostics.push_back(diag);
+        }
+        util::log_warn("gea family: quarantined ", diag);
+        continue;
+      }
+      total_ms += slot.ms;
+      craft_ms_hist.observe(slot.ms);
+      crafted_total.inc();
+
+      const auto scaled = scaler_->transform(slot.fv);
+      const std::vector<double> x(scaled.begin(), scaled.end());
+      const std::uint8_t pred = clf_->predict(x);
+      ++rep.samples;
+      rep.matrix.at(s.label, pred) += 1;
+      if (pred == target_class) {
+        ++rep.targeted_hits;
+        targeted_total.inc();
+      }
+      if (pred != s.label) {
+        ++rep.evaded;
+        evaded_total.inc();
+      }
+    }
+  }
+
+  if (rep.samples > 0) {
+    rep.craft_ms_per_sample = total_ms / static_cast<double>(rep.samples);
+  }
+  return rep;
+}
+
+FamilyEvasionReport GeaHarness::family_evasion_matrix(
+    const ml::LabelSchema& schema, const GeaHarnessOptions& opts) const {
+  FamilyEvasionReport out;
+  out.matrix = ml::MultiConfusion(schema.num_classes());
+  double weighted_ms = 0.0;
+  auto confidence_for = [&](std::uint8_t cls) {
+    return [this, cls](const dataset::Sample& s) {
+      const auto scaled = scaler_->transform(s.features);
+      return clf_->probabilities({scaled.begin(), scaled.end()})[cls];
+    };
+  };
+  for (std::size_t c = 0; c < schema.num_classes(); ++c) {
+    const auto cls = static_cast<std::uint8_t>(c);
+    if (corpus_->count_label(cls) == 0) continue;
+    const std::size_t donor = select_by_size_confident(
+        *corpus_, cls, SizeRank::kMedian, confidence_for(cls));
+    FamilyEvasionReport rep = family_attack(donor, schema, opts);
+    out.samples += rep.samples;
+    out.targeted_hits += rep.targeted_hits;
+    out.evaded += rep.evaded;
+    out.quarantined += rep.quarantined;
+    weighted_ms += rep.craft_ms_per_sample * static_cast<double>(rep.samples);
+    for (std::size_t i = 0; i < rep.matrix.counts.size(); ++i) {
+      out.matrix.counts[i] += rep.matrix.counts[i];
+    }
+    for (auto& d : rep.diagnostics) {
+      if (out.diagnostics.size() < opts.max_diagnostics) {
+        out.diagnostics.push_back(std::move(d));
+      }
+    }
+  }
+  if (out.samples > 0) {
+    out.craft_ms_per_sample = weighted_ms / static_cast<double>(out.samples);
+  }
+  return out;
+}
+
 std::vector<GeaRow> GeaHarness::size_sweep(std::uint8_t source_label,
                                            const GeaHarnessOptions& opts) const {
   const std::uint8_t target_label =

@@ -20,6 +20,8 @@
 #include "features/scaler.hpp"
 #include "gea/embed.hpp"
 #include "gea/selection.hpp"
+#include "ml/label_schema.hpp"
+#include "ml/metrics.hpp"
 #include "ml/model.hpp"
 
 namespace gea::aug {
@@ -43,6 +45,33 @@ struct GeaRow {
   /// features); the sweep finishes on the rest. First few diagnostics kept.
   std::size_t quarantined = 0;
   std::vector<std::string> diagnostics;
+};
+
+/// Targeted family-evasion result (beyond the paper's binary tables): a
+/// K×K source→predicted matrix over the schema's classes, where row r,
+/// column c counts attacked samples of true class r that the K-class
+/// classifier placed in class c after the graft.
+struct FamilyEvasionReport {
+  ml::MultiConfusion matrix;
+  std::size_t samples = 0;
+  /// Attacked samples landing exactly in the attack's target class.
+  std::size_t targeted_hits = 0;
+  /// Attacked samples landing anywhere away from their true class.
+  std::size_t evaded = 0;
+  std::size_t quarantined = 0;
+  double craft_ms_per_sample = 0.0;
+  std::vector<std::string> diagnostics;
+
+  double targeted_rate() const {
+    return samples == 0 ? 0.0
+                        : static_cast<double>(targeted_hits) /
+                              static_cast<double>(samples);
+  }
+  double evasion_rate() const {
+    return samples == 0
+               ? 0.0
+               : static_cast<double>(evaded) / static_cast<double>(samples);
+  }
 };
 
 struct GeaHarnessOptions {
@@ -87,6 +116,26 @@ class GeaHarness {
   /// `target_index` (a corpus index of the opposite class).
   GeaRow attack_with_target(std::uint8_t source_label, std::size_t target_index,
                             const GeaHarnessOptions& opts = {}) const;
+
+  /// Targeted family evasion: graft target sample `target_index` into
+  /// every sample of every *other* class under `schema` (corpus labels must
+  /// be schema classes — see dataset::relabel_corpus) and record where the
+  /// K-class classifier lands each crafted sample. The attack's target
+  /// class is the donor sample's own class; a crafted sample predicted as
+  /// that class is a targeted hit, one predicted as anything other than its
+  /// true class has evaded attribution. Same wave-loop / serial-merge
+  /// discipline as attack_with_target, so the matrix is bitwise identical
+  /// at any thread count. Throws std::invalid_argument on a bad target
+  /// index or a classifier/schema head-width mismatch.
+  FamilyEvasionReport family_attack(std::size_t target_index,
+                                    const ml::LabelSchema& schema,
+                                    const GeaHarnessOptions& opts = {}) const;
+
+  /// Full source→target sweep: one family_attack per target class (donor =
+  /// median-size sample the classifier rates most confidently as that
+  /// class), reports summed. Classes with no corpus samples are skipped.
+  FamilyEvasionReport family_evasion_matrix(
+      const ml::LabelSchema& schema, const GeaHarnessOptions& opts = {}) const;
 
   /// Tables IV (source=malicious) / V (source=benign): the three
   /// min/median/max-size targets of the opposite class.

@@ -1,0 +1,148 @@
+#include "ml/label_schema.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace gea::ml {
+
+using util::ErrorCode;
+using util::Status;
+
+namespace {
+
+constexpr std::string_view kSchemaTag = "gea-schema-v1";
+
+bool valid_name(const std::string& name) {
+  if (name.empty()) return false;
+  return std::all_of(name.begin(), name.end(), [](unsigned char c) {
+    return c >= 0x20 && c != ',' && c != '|';
+  });
+}
+
+}  // namespace
+
+LabelSchema::LabelSchema() : names_{"benign", "malicious"}, benign_(0) {}
+
+util::Result<LabelSchema> LabelSchema::make(std::vector<std::string> names,
+                                            std::size_t benign_class) {
+  if (names.size() < 2) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "label schema needs at least two classes, got " +
+                             std::to_string(names.size()));
+  }
+  if (benign_class >= names.size()) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "benign class " + std::to_string(benign_class) +
+                             " out of range for " +
+                             std::to_string(names.size()) + " classes");
+  }
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (!valid_name(names[i])) {
+      return Status::error(ErrorCode::kInvalidArgument,
+                           "class " + std::to_string(i) +
+                               " has an empty or undelimitable name");
+    }
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      if (names[i] == names[j]) {
+        return Status::error(ErrorCode::kInvalidArgument,
+                             "duplicate class name '" + names[i] + "'");
+      }
+    }
+  }
+  return LabelSchema(std::move(names), benign_class);
+}
+
+bool LabelSchema::is_binary() const {
+  return names_.size() == 2 && benign_ == 0 && names_[0] == "benign" &&
+         names_[1] == "malicious";
+}
+
+std::optional<std::size_t> LabelSchema::class_from_name(
+    std::string_view name) const {
+  for (std::size_t k = 0; k < names_.size(); ++k) {
+    if (names_[k] == name) return k;
+  }
+  return std::nullopt;
+}
+
+std::size_t LabelSchema::malicious_class(std::size_t i) const {
+  // Skip the benign slot: with benign_=0 this is simply i+1.
+  return i < benign_ ? i : i + 1;
+}
+
+std::size_t LabelSchema::malicious_index(std::size_t k) const {
+  return k < benign_ ? k : k - 1;
+}
+
+std::string LabelSchema::serialize() const {
+  std::string out(kSchemaTag);
+  out += "|benign=" + std::to_string(benign_) + "|";
+  for (std::size_t k = 0; k < names_.size(); ++k) {
+    if (k > 0) out += ',';
+    out += names_[k];
+  }
+  return out;
+}
+
+util::Result<LabelSchema> LabelSchema::deserialize(std::string_view text) {
+  const auto bar1 = text.find('|');
+  if (bar1 == std::string_view::npos || text.substr(0, bar1) != kSchemaTag) {
+    return Status::error(ErrorCode::kParseError,
+                         "label schema: missing '" + std::string(kSchemaTag) +
+                             "' tag");
+  }
+  const auto bar2 = text.find('|', bar1 + 1);
+  if (bar2 == std::string_view::npos) {
+    return Status::error(ErrorCode::kParseError,
+                         "label schema: missing class list");
+  }
+  const std::string_view benign_field = text.substr(bar1 + 1, bar2 - bar1 - 1);
+  constexpr std::string_view kBenignKey = "benign=";
+  if (benign_field.substr(0, kBenignKey.size()) != kBenignKey) {
+    return Status::error(ErrorCode::kParseError,
+                         "label schema: missing benign class");
+  }
+  const std::string_view digits = benign_field.substr(kBenignKey.size());
+  if (digits.empty() ||
+      !std::all_of(digits.begin(), digits.end(),
+                   [](unsigned char c) { return std::isdigit(c) != 0; })) {
+    return Status::error(ErrorCode::kParseError,
+                         "label schema: malformed benign class '" +
+                             std::string(digits) + "'");
+  }
+  std::size_t benign = 0;
+  for (char c : digits) {
+    benign = benign * 10 + static_cast<std::size_t>(c - '0');
+    if (benign > 4096) {
+      return Status::error(ErrorCode::kParseError,
+                           "label schema: absurd benign class");
+    }
+  }
+
+  std::vector<std::string> names;
+  std::string_view rest = text.substr(bar2 + 1);
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    names.emplace_back(rest.substr(0, comma));
+    if (comma == std::string_view::npos) break;
+    rest = rest.substr(comma + 1);
+  }
+  auto made = make(std::move(names), benign);
+  if (!made.is_ok()) {
+    return Status(made.status()).with_context("LabelSchema::deserialize");
+  }
+  return made;
+}
+
+std::uint64_t LabelSchema::digest() const {
+  // FNV-1a 64 over the canonical serialized form.
+  const std::string text = serialize();
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace gea::ml

@@ -1,0 +1,96 @@
+// Label schema: the single authority on how many classes a classifier
+// head has, what each class is called, and which class means "benign".
+//
+// The paper's pipeline stops at benign/malicious; the follow-up line
+// (arXiv:1902.03955, arXiv:2005.07145) classifies the same CFG features
+// into malware *families*. Every layer that used to hard-code two classes
+// — shard record validation, CSV label parsing, the CNN head width,
+// metrics, checkpoints, serve verdicts, the GEA harness — now consumes one
+// LabelSchema instead, so adding a family is a one-line schema change that
+// cannot silently desync producers and consumers:
+//
+//   - a schema serializes to one canonical line and back (manifest v2,
+//     checkpoint schema file, tests), and
+//   - a 64-bit FNV-1a digest over that line pins it across process and
+//     wire boundaries (v2 detect payloads, BENCH_family.json).
+//
+// The default-constructed schema IS the paper's binary convention
+// (class 0 = benign, class 1 = malicious), which is what keeps every
+// pre-refactor K=2 result bitwise identical: binary callers see the same
+// labels, the same head width, and the same serialized artifacts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace gea::ml {
+
+class LabelSchema {
+ public:
+  /// The paper's binary convention: {"benign", "malicious"}, benign = 0.
+  LabelSchema();
+
+  /// Validated construction: at least two classes, unique non-empty names
+  /// (no ',', '|', or control characters — they delimit the serialized
+  /// form), benign_class in range.
+  static util::Result<LabelSchema> make(std::vector<std::string> names,
+                                        std::size_t benign_class);
+
+  static LabelSchema binary() { return LabelSchema(); }
+
+  std::size_t num_classes() const { return names_.size(); }
+  const std::string& name(std::size_t k) const { return names_[k]; }
+  const std::vector<std::string>& names() const { return names_; }
+  std::size_t benign_class() const { return benign_; }
+  bool is_benign(std::size_t k) const { return k == benign_; }
+
+  /// True for the default two-class benign/malicious schema.
+  bool is_binary() const;
+
+  /// Class id for a name; nullopt for unknown names (hostile input).
+  std::optional<std::size_t> class_from_name(std::string_view name) const;
+
+  /// Does an integer label fit this schema?
+  bool valid_label(std::uint64_t label) const {
+    return label < names_.size();
+  }
+
+  /// Collapse a schema class to the paper's binary label convention
+  /// (0 = benign, 1 = malicious) — the K=2 compatibility shim used by
+  /// hierarchical detect-then-classify and binary metric reporting.
+  std::uint8_t to_binary(std::size_t k) const { return is_benign(k) ? 0 : 1; }
+
+  /// The i-th non-benign class (i in [0, num_classes()-2]), and its
+  /// inverse. The hierarchical detect-then-classify head indexes its
+  /// stage-2 output this way.
+  std::size_t malicious_class(std::size_t i) const;
+  std::size_t malicious_index(std::size_t k) const;
+
+  /// Canonical one-line form: "gea-schema-v1|benign=<idx>|<n0>,<n1>,...".
+  std::string serialize() const;
+  static util::Result<LabelSchema> deserialize(std::string_view text);
+
+  /// FNV-1a 64 over serialize(): the pin carried by manifests, checkpoint
+  /// schema files, and v2 detect payloads. Any change to the class list,
+  /// order, names, or benign class changes the digest.
+  std::uint64_t digest() const;
+
+  bool operator==(const LabelSchema& other) const {
+    return benign_ == other.benign_ && names_ == other.names_;
+  }
+  bool operator!=(const LabelSchema& other) const { return !(*this == other); }
+
+ private:
+  LabelSchema(std::vector<std::string> names, std::size_t benign)
+      : names_(std::move(names)), benign_(benign) {}
+
+  std::vector<std::string> names_;
+  std::size_t benign_ = 0;
+};
+
+}  // namespace gea::ml

@@ -1,11 +1,21 @@
-// Binary-classification metrics matching the paper's reporting
-// (accuracy rate, false-negative rate, false-positive rate), with the
-// paper's label convention: 1 = malicious (positive), 0 = benign.
+// Classification metrics matching the paper's reporting.
+//
+// Two layers:
+//  - ConfusionMatrix: the paper's binary metrics (accuracy rate,
+//    false-negative rate, false-positive rate) with the paper's label
+//    convention: 1 = malicious (positive), 0 = benign.
+//  - MultiConfusion: the K×K generalization for family classification.
+//    Per-class precision/recall/F1 and macro-F1 use the same double
+//    divisions as the binary struct, so the K=2 view (via binary(), with
+//    class 1 = positive) is bitwise-equal to ConfusionMatrix — the
+//    K=2 compatibility shim the refactor's acceptance criteria pin.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "ml/label_schema.hpp"
 
 namespace gea::ml {
 
@@ -30,5 +40,55 @@ struct ConfusionMatrix {
 
 ConfusionMatrix confusion(const std::vector<std::uint8_t>& predicted,
                           const std::vector<std::uint8_t>& actual);
+
+/// K×K confusion matrix. counts[actual * k + predicted]; rows are truth,
+/// columns are predictions, so row sums are per-class support and column
+/// sums are per-class prediction volume.
+struct MultiConfusion {
+  std::size_t k = 0;
+  std::vector<std::size_t> counts;  // k*k, row-major [actual][predicted]
+
+  explicit MultiConfusion(std::size_t num_classes = 0)
+      : k(num_classes), counts(num_classes * num_classes, 0) {}
+
+  std::size_t at(std::size_t actual, std::size_t predicted) const {
+    return counts[actual * k + predicted];
+  }
+  std::size_t& at(std::size_t actual, std::size_t predicted) {
+    return counts[actual * k + predicted];
+  }
+
+  std::size_t total() const;
+  std::size_t row_sum(std::size_t actual) const;     // class support
+  std::size_t col_sum(std::size_t predicted) const;  // prediction volume
+  std::size_t diagonal() const;                      // correct predictions
+
+  double accuracy() const;
+  /// Precision/recall/F1 for one class (one-vs-rest), 0.0 on empty
+  /// denominators — identical arithmetic to the binary struct.
+  double precision(std::size_t cls) const;
+  double recall(std::size_t cls) const;
+  double f1(std::size_t cls) const;
+  /// Unweighted mean of per-class F1 — the family-classification headline.
+  double macro_f1() const;
+
+  /// Collapse onto the paper's binary matrix treating `positive_class` as
+  /// malicious and everything else as benign. For k=2 with
+  /// positive_class=1 this reproduces ConfusionMatrix bitwise (the counts
+  /// are the same integers, and each derived rate runs the same single
+  /// double division).
+  ConfusionMatrix binary(std::size_t positive_class = 1) const;
+
+  std::string to_string() const;
+  /// to_string with schema class names as row/column headers.
+  std::string to_string(const LabelSchema& schema) const;
+};
+
+/// Tally a K×K matrix. Throws std::invalid_argument on size mismatch or a
+/// label outside [0, k) — out-of-schema labels are a producer bug, never
+/// silently folded into a class.
+MultiConfusion confusion_k(std::size_t num_classes,
+                           const std::vector<std::uint8_t>& predicted,
+                           const std::vector<std::uint8_t>& actual);
 
 }  // namespace gea::ml

@@ -1,6 +1,8 @@
 #include "ml/zoo.hpp"
 
+#include <cmath>
 #include <memory>
+#include <stdexcept>
 
 #include "ml/activations.hpp"
 #include "ml/conv1d.hpp"
@@ -52,6 +54,87 @@ Model make_mlp_baseline(std::size_t input_dim, std::size_t num_classes) {
       .add(std::make_unique<ReLU>())
       .add(std::make_unique<Dense>(32, num_classes));
   return m;
+}
+
+Model make_family_cnn(std::size_t input_dim, const LabelSchema& schema,
+                      util::Rng& dropout_rng) {
+  return make_paper_cnn(input_dim, schema.num_classes(), dropout_rng);
+}
+
+namespace {
+
+/// d log softmax_c / dx = g_c - sum_j p_j g_j, where g_j are logit
+/// gradients. One grad_logit + one grad_weighted call per invocation.
+std::vector<double> log_prob_grad(DifferentiableClassifier& clf,
+                                  const std::vector<double>& x,
+                                  std::size_t c) {
+  std::vector<double> grad = clf.grad_logit(x, c);
+  const std::vector<double> probs = clf.probabilities(x);
+  const std::vector<double> mix = clf.grad_weighted(x, probs);
+  for (std::size_t i = 0; i < grad.size(); ++i) grad[i] -= mix[i];
+  return grad;
+}
+
+}  // namespace
+
+HierarchicalClassifier::HierarchicalClassifier(
+    std::unique_ptr<DifferentiableClassifier> detector,
+    std::unique_ptr<DifferentiableClassifier> family, LabelSchema schema)
+    : detector_(std::move(detector)),
+      family_(std::move(family)),
+      schema_(std::move(schema)) {
+  if (!detector_ || detector_->num_classes() != 2) {
+    throw std::invalid_argument(
+        "HierarchicalClassifier: detector must be binary");
+  }
+  if (!family_ || family_->num_classes() != schema_.num_classes() - 1) {
+    throw std::invalid_argument(
+        "HierarchicalClassifier: family head width must be K-1");
+  }
+  if (detector_->input_dim() != family_->input_dim()) {
+    throw std::invalid_argument(
+        "HierarchicalClassifier: stage input dims differ");
+  }
+}
+
+std::size_t HierarchicalClassifier::input_dim() const {
+  return detector_->input_dim();
+}
+
+std::vector<double> HierarchicalClassifier::logits(
+    const std::vector<double>& x) {
+  const std::vector<double> det = detector_->probabilities(x);
+  const std::vector<double> fam = family_->probabilities(x);
+  // Log of the product distribution; the floor keeps log() finite when a
+  // stage saturates (softmax over doubles can underflow to exactly 0).
+  constexpr double kFloor = 1e-300;
+  std::vector<double> out(schema_.num_classes());
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    const double p =
+        schema_.is_benign(k) ? det[0] : det[1] * fam[schema_.malicious_index(k)];
+    out[k] = std::log(std::max(p, kFloor));
+  }
+  return out;
+}
+
+std::vector<double> HierarchicalClassifier::grad_logit(
+    const std::vector<double>& x, std::size_t k) {
+  if (schema_.is_benign(k)) return log_prob_grad(*detector_, x, 0);
+  // d log(det_1 * fam_i) = d log det_1 + d log fam_i.
+  std::vector<double> grad = log_prob_grad(*detector_, x, 1);
+  const std::vector<double> fam_grad =
+      log_prob_grad(*family_, x, schema_.malicious_index(k));
+  for (std::size_t i = 0; i < grad.size(); ++i) grad[i] += fam_grad[i];
+  return grad;
+}
+
+std::unique_ptr<DifferentiableClassifier> HierarchicalClassifier::clone()
+    const {
+  auto det = detector_->clone();
+  auto fam = family_->clone();
+  if (!det || !fam) return nullptr;
+  return std::unique_ptr<DifferentiableClassifier>(
+      new HierarchicalClassifier(std::move(det), std::move(fam), schema_));
 }
 
 }  // namespace gea::ml

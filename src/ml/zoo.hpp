@@ -1,7 +1,11 @@
-// Model zoo: the paper's CNN (Fig. 5) and a small MLP baseline used by the
-// detector-capacity ablation.
+// Model zoo: the paper's CNN (Fig. 5), a small MLP baseline used by the
+// detector-capacity ablation, and the family-classification variants
+// (flat schema-wide CNN, hierarchical detect-then-classify).
 #pragma once
 
+#include <memory>
+
+#include "ml/label_schema.hpp"
 #include "ml/model.hpp"
 
 namespace gea::ml {
@@ -21,5 +25,48 @@ Model make_paper_cnn(std::size_t input_dim, std::size_t num_classes,
 
 /// Baseline: Flatten - Dense(64) - ReLU - Dense(32) - ReLU - Dense(K).
 Model make_mlp_baseline(std::size_t input_dim, std::size_t num_classes);
+
+/// The paper CNN with its head width taken from the schema — the flat
+/// family classifier (arXiv:1902.03955 style: same CFG features, K-way
+/// softmax). With the binary schema this is exactly make_paper_cnn(…, 2).
+Model make_family_cnn(std::size_t input_dim, const LabelSchema& schema,
+                      util::Rng& dropout_rng);
+
+/// Hierarchical detect-then-classify (arXiv:2005.07145 style): a binary
+/// detector gates a (K-1)-way family classifier over the malicious
+/// classes. Exposes the composition as one K-class DifferentiableClassifier
+/// over the full schema:
+///
+///   p(benign)    = p_det(benign)
+///   p(family_i)  = p_det(malicious) * p_fam(i)
+///
+/// logits() returns log-probabilities of that product (softmax of a
+/// log-probability vector reproduces the probabilities, so predict() and
+/// probabilities() need no special casing), and grad_logit() chains the
+/// sub-model gradients, which keeps the targeted GEA attack differentiable
+/// through the hierarchy.
+class HierarchicalClassifier : public DifferentiableClassifier {
+ public:
+  /// `detector` must have 2 classes (binary schema order: 0 = benign);
+  /// `family` must have schema.num_classes() - 1 classes indexed by
+  /// schema.malicious_index(). Throws std::invalid_argument on mismatch.
+  HierarchicalClassifier(std::unique_ptr<DifferentiableClassifier> detector,
+                         std::unique_ptr<DifferentiableClassifier> family,
+                         LabelSchema schema);
+
+  std::size_t input_dim() const override;
+  std::size_t num_classes() const override { return schema_.num_classes(); }
+  std::vector<double> logits(const std::vector<double>& x) override;
+  std::vector<double> grad_logit(const std::vector<double>& x,
+                                 std::size_t k) override;
+  std::unique_ptr<DifferentiableClassifier> clone() const override;
+
+  const LabelSchema& schema() const { return schema_; }
+
+ private:
+  std::unique_ptr<DifferentiableClassifier> detector_;
+  std::unique_ptr<DifferentiableClassifier> family_;
+  LabelSchema schema_;
+};
 
 }  // namespace gea::ml

@@ -1,6 +1,7 @@
 #include "serve/checkpoint.hpp"
 
 #include <filesystem>
+#include <fstream>
 #include <system_error>
 
 #include "ml/zoo.hpp"
@@ -17,11 +18,11 @@ util::Result<ml::Model> build_arch(const CheckpointSpec& spec,
                                    util::Rng& dropout_rng) {
   using util::ErrorCode;
   using util::Status;
-  if (spec.input_dim == 0 || spec.num_classes < 2) {
+  if (spec.input_dim == 0 || spec.num_classes() < 2) {
     return Status::error(ErrorCode::kInvalidArgument,
                          "bad checkpoint spec: input_dim=" +
                              std::to_string(spec.input_dim) + " num_classes=" +
-                             std::to_string(spec.num_classes));
+                             std::to_string(spec.num_classes()));
   }
   switch (spec.arch) {
     case DetectorArch::kPaperCnn:
@@ -32,9 +33,9 @@ util::Result<ml::Model> build_arch(const CheckpointSpec& spec,
                              "paper CNN needs input_dim >= 8, got " +
                                  std::to_string(spec.input_dim));
       }
-      return ml::make_paper_cnn(spec.input_dim, spec.num_classes, dropout_rng);
+      return ml::make_family_cnn(spec.input_dim, spec.schema, dropout_rng);
     case DetectorArch::kMlpBaseline:
-      return ml::make_mlp_baseline(spec.input_dim, spec.num_classes);
+      return ml::make_mlp_baseline(spec.input_dim, spec.num_classes());
   }
   return Status::error(ErrorCode::kInvalidArgument, "unknown detector arch");
 }
@@ -42,7 +43,8 @@ util::Result<ml::Model> build_arch(const CheckpointSpec& spec,
 }  // namespace
 
 util::Status Checkpoint::write(const std::string& dir, ml::Model& model,
-                               const features::FeatureScaler* scaler) {
+                               const features::FeatureScaler* scaler,
+                               const ml::LabelSchema& schema) {
   using util::ErrorCode;
   using util::Status;
   std::error_code ec;
@@ -58,6 +60,15 @@ util::Status Checkpoint::write(const std::string& dir, ml::Model& model,
   if (scaler != nullptr) {
     if (auto st = scaler->save_checked(join(dir, kScalerFile)); !st.is_ok()) {
       return st.with_context("Checkpoint::write");
+    }
+  }
+  {
+    const std::string path = join(dir, kSchemaFile);
+    std::ofstream out(path, std::ios::trunc);
+    out << schema.serialize() << "\n";
+    if (!out) {
+      return Status::error(ErrorCode::kUnavailable, "write failed on " + path)
+          .with_context("Checkpoint::write");
     }
   }
   return Status::ok();
@@ -80,6 +91,34 @@ util::Result<CheckpointPtr> Checkpoint::load(const std::string& dir,
 
   // shared_ptr<Checkpoint> first, const-cast into the public alias at the
   // end: the object is mutated only before publication.
+  // Schema gate before any weight I/O: the on-disk schema.txt must agree
+  // with the spec's schema (absent file = pre-schema checkpoint = binary).
+  // Checking first keeps the failure all-or-nothing and the message about
+  // the actual mismatch, not a downstream weight-size complaint.
+  {
+    std::ifstream in(join(dir, kSchemaFile));
+    ml::LabelSchema on_disk;  // binary when schema.txt is absent
+    if (in) {
+      std::string line;
+      std::getline(in, line);
+      auto parsed = ml::LabelSchema::deserialize(line);
+      if (!parsed.is_ok()) {
+        return Status(parsed.status()).with_context("Checkpoint::load " + dir);
+      }
+      on_disk = std::move(parsed).value();
+    }
+    if (on_disk != spec.schema) {
+      return Status::error(
+                 ErrorCode::kFailedPrecondition,
+                 "checkpoint schema mismatch: on disk '" +
+                     on_disk.serialize() + "' (digest " +
+                     std::to_string(on_disk.digest()) + "), spec '" +
+                     spec.schema.serialize() + "' (digest " +
+                     std::to_string(spec.schema.digest()) + ")")
+          .with_context("Checkpoint::load " + dir);
+    }
+  }
+
   std::shared_ptr<Checkpoint> ckpt(new Checkpoint());
   ckpt->dropout_rng_ = std::make_unique<util::Rng>(0);  // never drawn at inference
   auto model = build_arch(spec, *ckpt->dropout_rng_);

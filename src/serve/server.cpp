@@ -269,7 +269,7 @@ void DetectionServer::process_batch(std::vector<Request>& batch) {
     }
   }
 
-  ml::ModelClassifier clf(*t_replica.model, dim, ckpt.spec().num_classes);
+  ml::ModelClassifier clf(*t_replica.model, dim, ckpt.spec().num_classes());
   std::vector<std::vector<double>> logits;
   util::Stopwatch infer_sw;
   if (config_.max_batch == 1) {
@@ -288,6 +288,8 @@ void DetectionServer::process_batch(std::vector<Request>& batch) {
     v.logits = std::move(logits[i]);
     v.probabilities = softmax(v.logits);
     v.predicted = argmax(v.logits);
+    v.class_name = ckpt.schema().name(v.predicted);
+    v.schema_digest = ckpt.schema().digest();
     v.model_version = ckpt.version();
     v.batch_size = live.size();
     v.queue_ms = std::chrono::duration<double, std::milli>(dequeued -

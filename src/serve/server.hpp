@@ -61,9 +61,13 @@ struct ServerConfig {
   std::size_t feature_cache_capacity = 256;
 };
 
-/// One scored detection outcome.
+/// One scored detection outcome. `predicted`/`class_name` are read against
+/// the checkpoint's LabelSchema (binary default: 0 benign, 1 malicious);
+/// `probabilities` has one entry per schema class.
 struct Verdict {
-  std::size_t predicted = 0;            // argmax class (0 benign, 1 malware)
+  std::size_t predicted = 0;            // argmax class under the schema
+  std::string class_name;               // schema name of `predicted`
+  std::uint64_t schema_digest = 0;      // pin of the schema that scored it
   std::vector<double> probabilities;    // softmax, max-subtracted
   std::vector<double> logits;           // raw network outputs
   std::string model_version;            // checkpoint that produced it

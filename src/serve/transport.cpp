@@ -34,22 +34,62 @@ std::vector<std::uint8_t> encode_detect_request_payload(
   return out;
 }
 
-util::Result<std::vector<double>> decode_detect_request_payload(
+std::vector<std::uint8_t> encode_detect_request_payload(
+    const std::vector<double>& features, std::uint64_t schema_digest) {
+  std::vector<std::uint8_t> out;
+  out.reserve(16 + 4 + features.size() * 8);
+  net::wire::Writer w(out);
+  w.put_u32(kDetectPayloadSentinel);
+  w.put_u32(kDetectPayloadVersion);
+  w.put_u64(schema_digest);
+  w.put_f64_vector(features);
+  return out;
+}
+
+namespace {
+
+/// Peek the leading u32 of a payload: the v2 sentinel, or a v1 first field
+/// (a feature count / an error code — both far below the sentinel).
+bool has_v2_sentinel(std::span<const std::uint8_t> payload) {
+  if (payload.size() < 4) return false;
+  net::wire::Reader r(payload.first(4));
+  return r.get_u32() == kDetectPayloadSentinel;
+}
+
+}  // namespace
+
+util::Result<DetectRequestPayload> decode_detect_request_payload(
     std::span<const std::uint8_t> payload) {
+  DetectRequestPayload out;
   net::wire::Reader r(payload);
-  auto features = r.get_f64_vector();
+  if (has_v2_sentinel(payload)) {
+    r.get_u32();  // sentinel
+    out.version = r.get_u32();
+    if (!r.ok()) return r.parse_error("detect request payload");
+    if (out.version != kDetectPayloadVersion) {
+      return Status::error(ErrorCode::kParseError,
+                           "detect request payload version " +
+                               std::to_string(out.version) + " unsupported");
+    }
+    out.schema_digest = r.get_u64();
+  }
+  out.features = r.get_f64_vector();
   if (!r.ok()) return r.parse_error("detect request payload");
   if (r.remaining() != 0) {
     return Status::error(ErrorCode::kParseError,
                          "trailing bytes after detect request payload");
   }
-  return features;
+  return out;
 }
 
 std::vector<std::uint8_t> encode_detect_response_payload(
-    const util::Result<Verdict>& result) {
+    const util::Result<Verdict>& result, std::uint32_t payload_version) {
   std::vector<std::uint8_t> out;
   net::wire::Writer w(out);
+  if (payload_version >= 2) {
+    w.put_u32(kDetectPayloadSentinel);
+    w.put_u32(kDetectPayloadVersion);
+  }
   if (!result.is_ok()) {
     w.put_u32(static_cast<std::uint32_t>(result.status().code()));
     w.put_string(result.status().to_string());
@@ -65,12 +105,27 @@ std::vector<std::uint8_t> encode_detect_response_payload(
   w.put_f64(v.queue_ms);
   w.put_f64(v.infer_ms);
   w.put_f64(v.total_ms);
+  if (payload_version >= 2) {
+    w.put_string(v.class_name);
+    w.put_u64(v.schema_digest);
+  }
   return out;
 }
 
 util::Result<Verdict> decode_detect_response_payload(
     std::span<const std::uint8_t> payload) {
   net::wire::Reader r(payload);
+  std::uint32_t version = 1;
+  if (has_v2_sentinel(payload)) {
+    r.get_u32();  // sentinel
+    version = r.get_u32();
+    if (!r.ok()) return r.parse_error("detect response payload");
+    if (version != kDetectPayloadVersion) {
+      return Status::error(ErrorCode::kParseError,
+                           "detect response payload version " +
+                               std::to_string(version) + " unsupported");
+    }
+  }
   const std::uint32_t code = r.get_u32();
   if (!r.ok()) return r.parse_error("detect response payload");
   if (code != 0) {
@@ -92,6 +147,10 @@ util::Result<Verdict> decode_detect_response_payload(
   v.queue_ms = r.get_f64();
   v.infer_ms = r.get_f64();
   v.total_ms = r.get_f64();
+  if (version >= 2) {
+    v.class_name = r.get_string();
+    v.schema_digest = r.get_u64();
+  }
   if (!r.ok() || r.remaining() != 0) {
     return r.parse_error("detect response payload");
   }
@@ -114,6 +173,8 @@ struct Conn {
     std::future<util::Result<Verdict>> fut;
     util::Stopwatch since;  // request receipt -> response enqueued
     obs::TraceContext ctx;  // decoded from the frame header; invalid = none
+    std::uint32_t payload_version = 1;  // echoed into the response payload
+    std::uint64_t schema_digest = 0;    // client's pin; 0 = none
   };
   std::deque<Pending> inflight;
 
@@ -209,11 +270,12 @@ struct TransportServer::Impl {
   }
 
   void respond(Conn& conn, std::uint64_t id,
-               const util::Result<Verdict>& result) {
+               const util::Result<Verdict>& result,
+               std::uint32_t payload_version = 1) {
     net::Frame f;
     f.type = net::FrameType::kDetectResponse;
     f.request_id = id;
-    f.payload = encode_detect_response_payload(result);
+    f.payload = encode_detect_response_payload(result, payload_version);
     enqueue_frame(conn, f);
     if (result.is_ok()) {
       c.responses_ok.fetch_add(1, std::memory_order_relaxed);
@@ -276,10 +338,10 @@ struct TransportServer::Impl {
       return;
     }
 
-    auto features = decode_detect_request_payload(frame.payload);
-    if (!features.is_ok()) {
+    auto request = decode_detect_request_payload(frame.payload);
+    if (!request.is_ok()) {
       respond_error(conn, frame.request_id,
-                    Status(features.status()).with_context("detect request"));
+                    Status(request.status()).with_context("detect request"));
       return;
     }
 
@@ -292,10 +354,12 @@ struct TransportServer::Impl {
     Conn::Pending p;
     p.id = frame.request_id;
     p.ctx = frame.trace;
+    p.payload_version = request.value().version;
+    p.schema_digest = request.value().schema_digest;
     // The decoded trace context flows into the queue with the request, so
     // the batch worker's queue-wait/inference spans land under the same
     // trace as the client's send span.
-    p.fut = server.submit(std::move(features).value(), deadline_ms,
+    p.fut = server.submit(std::move(request.value().features), deadline_ms,
                           frame.trace);
     conn.inflight.push_back(std::move(p));
   }
@@ -361,6 +425,17 @@ struct TransportServer::Impl {
         continue;
       }
       auto result = it->fut.get();
+      if (result.is_ok() && it->schema_digest != 0 &&
+          result.value().schema_digest != it->schema_digest) {
+        // The client pinned a schema and the serving checkpoint moved on
+        // (or never matched): refuse rather than let the caller misread
+        // class ids that mean something else now.
+        result = util::Result<Verdict>(Status::error(
+            ErrorCode::kFailedPrecondition,
+            "schema digest mismatch: request pinned " +
+                std::to_string(it->schema_digest) + ", serving " +
+                std::to_string(result.value().schema_digest)));
+      }
       const double ms = it->since.elapsed_ms();
       m_request_ms->observe(ms, it->ctx.trace_id);
       if (it->ctx.valid()) {
@@ -371,7 +446,7 @@ struct TransportServer::Impl {
                             rec.now_us() - ms * 1000.0, ms * 1000.0);
       }
       if (config.slo != nullptr) config.slo->record(ms, result.is_ok());
-      respond(conn, it->id, result);
+      respond(conn, it->id, result, it->payload_version);
       it = conn.inflight.erase(it);
     }
   }
@@ -675,7 +750,10 @@ RemoteClient::Attempt RemoteClient::attempt_once(
                              ? static_cast<std::uint64_t>(budget_ms * 1000.0)
                              : 0;
   f.trace = ctx.valid() ? send_span.context() : obs::TraceContext{};
-  f.payload = encode_detect_request_payload(features);
+  f.payload = config_.payload_version >= 2
+                  ? encode_detect_request_payload(features,
+                                                  config_.schema_digest)
+                  : encode_detect_request_payload(features);
   const auto bytes = net::encode_frame(f, /*inject_fault=*/false);
 
   util::Stopwatch sw;

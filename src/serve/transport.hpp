@@ -148,17 +148,50 @@ class TransportServer {
 
 // --- Payload codecs (public so tests and alternative clients can speak the
 // protocol without a RemoteClient) -----------------------------------------
+//
+// Two payload versions, following the frame header's v1/v2 discipline
+// (encoders write the newest version, decoders accept both):
+//
+//   request  v1: f64_vector features
+//   request  v2: u32 sentinel | u32 version | u64 schema_digest |
+//                f64_vector features
+//   response v1: u32 code | verdict fields or error message
+//   response v2: u32 sentinel | u32 version | u32 code | v1 body |
+//                string class_name | u64 schema_digest   (code 0 only)
+//
+// The sentinel 0xFFFFFFFF can never open a v1 payload (a request starts
+// with a feature count, a response with an ErrorCode — both small), so one
+// u32 peek disambiguates. The server answers in the version the request
+// used: a v1 client receives byte-identical v1 responses, while a v2
+// client gets the schema-aware fields and may pin a schema digest — a
+// nonzero pin that disagrees with the serving checkpoint fails the request
+// with kFailedPrecondition instead of silently scoring under the wrong
+// class set.
 
-/// Detect request payload: the raw feature vector.
+inline constexpr std::uint32_t kDetectPayloadSentinel = 0xFFFFFFFFu;
+inline constexpr std::uint32_t kDetectPayloadVersion = 2;
+
+/// Decoded detect request: features plus the v2 schema pin (version 1
+/// requests leave the defaults).
+struct DetectRequestPayload {
+  std::vector<double> features;
+  std::uint32_t version = 1;
+  std::uint64_t schema_digest = 0;  // 0 = not pinned
+};
+
+/// v1 request bytes (legacy layout, preserved bit for bit).
 std::vector<std::uint8_t> encode_detect_request_payload(
     const std::vector<double>& features);
-util::Result<std::vector<double>> decode_detect_request_payload(
+/// v2 request bytes carrying a schema pin (0 = none).
+std::vector<std::uint8_t> encode_detect_request_payload(
+    const std::vector<double>& features, std::uint64_t schema_digest);
+util::Result<DetectRequestPayload> decode_detect_request_payload(
     std::span<const std::uint8_t> payload);
 
-/// Detect response payload: a status code, then either the verdict fields
-/// (code 0) or the error message.
+/// Response bytes in `payload_version` (1 or 2) — the server echoes the
+/// request's version here.
 std::vector<std::uint8_t> encode_detect_response_payload(
-    const util::Result<Verdict>& result);
+    const util::Result<Verdict>& result, std::uint32_t payload_version = 1);
 util::Result<Verdict> decode_detect_response_payload(
     std::span<const std::uint8_t> payload);
 
@@ -187,6 +220,12 @@ struct ClientConfig {
   /// server's queue/inference spans join the client's send/retry spans
   /// under one trace id.
   std::size_t trace_sample_every = 1;
+  /// Detect payload version to emit (encoders write the newest; 1 forces
+  /// the legacy bytes for interop testing).
+  std::uint32_t payload_version = kDetectPayloadVersion;
+  /// Nonzero (v2 payloads only): pin the serving schema — the server fails
+  /// the request if the active checkpoint's schema digest differs.
+  std::uint64_t schema_digest = 0;
 };
 
 /// Client-side counters (single instance = single thread; read after use).

@@ -373,7 +373,9 @@ TEST(PayloadCodec, DetectRequestRoundTrips) {
   const auto payload = serve::encode_detect_request_payload(features);
   auto decoded = serve::decode_detect_request_payload(as_span(payload));
   ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
-  EXPECT_EQ(decoded.value(), features);  // bitwise: doubles ride as bits
+  EXPECT_EQ(decoded.value().features, features);  // bitwise: doubles as bits
+  EXPECT_EQ(decoded.value().version, 1u);
+  EXPECT_EQ(decoded.value().schema_digest, 0u);
 }
 
 TEST(PayloadCodec, TruncatedRequestPayloadIsParseError) {

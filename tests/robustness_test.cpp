@@ -39,6 +39,14 @@
 namespace gea {
 namespace {
 
+// -Wextra flags designated initializers that omit trailing fields
+// (CsvReadOptions grew a schema member); spell the options out instead.
+dataset::CsvReadOptions csv_opts(bool strict) {
+  dataset::CsvReadOptions o;
+  o.strict = strict;
+  return o;
+}
+
 using util::ErrorCode;
 using util::FaultInjector;
 using util::ScopedFault;
@@ -212,7 +220,7 @@ TEST_F(CsvRobustnessTest, EmptyFileIsAnErrorInBothModes) {
   const std::string path = temp_path("empty.csv");
   write_text(path, "");
   for (bool strict : {false, true}) {
-    auto res = dataset::read_features_csv_checked(path, {.strict = strict});
+    auto res = dataset::read_features_csv_checked(path, csv_opts(strict));
     ASSERT_FALSE(res.is_ok());
     EXPECT_EQ(res.status().code(), ErrorCode::kParseError);
   }
@@ -232,7 +240,7 @@ TEST_F(CsvRobustnessTest, MissingHeaderIsAnErrorInBothModes) {
   const std::string path = temp_path("no_header.csv");
   write_text(path, good_text().substr(good_text().find('\n') + 1));
   for (bool strict : {false, true}) {
-    auto res = dataset::read_features_csv_checked(path, {.strict = strict});
+    auto res = dataset::read_features_csv_checked(path, csv_opts(strict));
     ASSERT_FALSE(res.is_ok());
     EXPECT_EQ(res.status().code(), ErrorCode::kParseError);
     EXPECT_NE(res.status().to_string().find("header"), std::string::npos);
@@ -250,7 +258,7 @@ TEST_F(CsvRobustnessTest, WrongColumnCountQuarantinesLenientErrorsStrict) {
   EXPECT_NE(lenient.value().report.diagnostics[0].find("column count"),
             std::string::npos);
 
-  auto strict = dataset::read_features_csv_checked(path, {.strict = true});
+  auto strict = dataset::read_features_csv_checked(path, csv_opts(true));
   ASSERT_FALSE(strict.is_ok());
   EXPECT_EQ(strict.status().code(), ErrorCode::kCorruptData);
 }
@@ -274,7 +282,7 @@ TEST_F(CsvRobustnessTest, NonNumericAndNonFiniteCellsQuarantine) {
   EXPECT_EQ(lenient.value().report.rows_quarantined, 2u);
   EXPECT_EQ(lenient.value().rows.size(), corpus_->size() - 2);
 
-  auto strict = dataset::read_features_csv_checked(path, {.strict = true});
+  auto strict = dataset::read_features_csv_checked(path, csv_opts(true));
   ASSERT_FALSE(strict.is_ok());
   EXPECT_EQ(strict.status().code(), ErrorCode::kCorruptData);
   EXPECT_NE(strict.status().to_string().find("row 1"), std::string::npos);

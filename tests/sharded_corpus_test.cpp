@@ -24,6 +24,14 @@ namespace {
 
 namespace fs = std::filesystem;
 using namespace gea;
+
+// -Wextra flags designated initializers that omit trailing fields
+// (ShardWriterOptions grew a schema member); spell the options out.
+dataset::ShardWriterOptions shard_opts(std::size_t records_per_shard) {
+  dataset::ShardWriterOptions o;
+  o.records_per_shard = records_per_shard;
+  return o;
+}
 using dataset::ShardRecord;
 using dataset::StreamRecord;
 using util::ScopedFault;
@@ -165,7 +173,7 @@ TEST_F(ShardedCorpusTest, DecodeRejectsTrailingGarbage) {
 
 TEST_F(ShardedCorpusTest, WriterShardsAndManifest) {
   const std::string dir = test_dir("writer");
-  auto w = dataset::ShardedCorpusWriter::open(dir, {.records_per_shard = 16});
+  auto w = dataset::ShardedCorpusWriter::open(dir, shard_opts(16));
   ASSERT_TRUE(w.is_ok());
   auto& writer = w.value();
   for (std::uint32_t i = 0; i < 40; ++i) {
@@ -210,7 +218,7 @@ TEST_F(ShardedCorpusTest, ManifestChecksumCatchesBitFlip) {
 
 TEST_F(ShardedCorpusTest, AbandonedWriterLeavesNoCorpus) {
   const std::string dir = test_dir("abandoned");
-  auto w = dataset::ShardedCorpusWriter::open(dir, {.records_per_shard = 4});
+  auto w = dataset::ShardedCorpusWriter::open(dir, shard_opts(4));
   ASSERT_TRUE(w.is_ok());
   ASSERT_TRUE(
       w.value().append(make_record(0, bingen::Family::kTsunamiLike)).is_ok());
@@ -252,7 +260,7 @@ TEST_F(ShardedCorpusTest, StreamedMatchesInMemoryBitwise) {
   const auto cfg = small_config();
   dataset::SyntheticWriteReport wrep;
   ASSERT_TRUE(dataset::write_synthetic_corpus(dir, cfg,
-                                              {.records_per_shard = 16}, &wrep)
+                                              shard_opts(16), &wrep)
                   .is_ok());
   EXPECT_EQ(wrep.written, cfg.num_benign + cfg.num_malicious);
 
@@ -275,7 +283,7 @@ TEST_F(ShardedCorpusTest, StreamedMatchesInMemoryBitwise) {
 TEST_F(ShardedCorpusTest, StreamingDeterministicAcrossThreadCounts) {
   const std::string dir = test_dir("threads");
   ASSERT_TRUE(dataset::write_synthetic_corpus(dir, small_config(),
-                                              {.records_per_shard = 16})
+                                              shard_opts(16))
                   .is_ok());
   auto corpus = dataset::ShardedCorpus::open(dir);
   ASSERT_TRUE(corpus.is_ok());
@@ -311,7 +319,7 @@ TEST_F(ShardedCorpusTest, TruncatedShardQuarantinesTail) {
   {
     ScopedFault fault(util::faults::kShardTruncate, 0, 1);  // first seal only
     ASSERT_TRUE(dataset::write_synthetic_corpus(dir, small_config(),
-                                                {.records_per_shard = 16})
+                                                shard_opts(16))
                     .is_ok());
     EXPECT_EQ(fault.fired(), 1u);
   }
@@ -337,7 +345,7 @@ TEST_F(ShardedCorpusTest, BitFlippedRecordQuarantinesOnlyThatRecord) {
     // Skip 2 appends, corrupt exactly one record's payload post-checksum.
     ScopedFault fault(util::faults::kShardCorruptRecord, 2, 1);
     ASSERT_TRUE(dataset::write_synthetic_corpus(dir, small_config(),
-                                                {.records_per_shard = 16})
+                                                shard_opts(16))
                     .is_ok());
     EXPECT_EQ(fault.fired(), 1u);
   }
@@ -364,7 +372,7 @@ TEST_F(ShardedCorpusTest, StaleManifestCountIsDetected) {
   {
     ScopedFault fault(util::faults::kManifestStaleCount, 0, 1);
     ASSERT_TRUE(dataset::write_synthetic_corpus(dir, small_config(),
-                                                {.records_per_shard = 16})
+                                                shard_opts(16))
                     .is_ok());
     EXPECT_EQ(fault.fired(), 1u);
   }
@@ -388,7 +396,7 @@ TEST_F(ShardedCorpusTest, CacheCorruptEntryIsRecomputedNeverServed) {
   const std::string dir = test_dir("cache_corrupt");
   const std::string cache_dir = (fs::path(dir) / "cache").string();
   ASSERT_TRUE(dataset::write_synthetic_corpus(dir, small_config(),
-                                              {.records_per_shard = 16})
+                                              shard_opts(16))
                   .is_ok());
   auto corpus = dataset::ShardedCorpus::open(dir);
   ASSERT_TRUE(corpus.is_ok());
@@ -420,7 +428,7 @@ TEST_F(ShardedCorpusTest, CacheMidFlushCrashLeavesPriorSegmentIntact) {
   const std::string dir = test_dir("cache_crash");
   const std::string cache_dir = (fs::path(dir) / "cache").string();
   ASSERT_TRUE(dataset::write_synthetic_corpus(dir, small_config(),
-                                              {.records_per_shard = 16})
+                                              shard_opts(16))
                   .is_ok());
   auto corpus = dataset::ShardedCorpus::open(dir);
   ASSERT_TRUE(corpus.is_ok());
@@ -472,7 +480,7 @@ TEST_F(ShardedCorpusTest, WarmCacheSkipsAllTraversals) {
   const std::string dir = test_dir("warm");
   const std::string cache_dir = (fs::path(dir) / "cache").string();
   ASSERT_TRUE(dataset::write_synthetic_corpus(dir, small_config(),
-                                              {.records_per_shard = 16})
+                                              shard_opts(16))
                   .is_ok());
   auto corpus = dataset::ShardedCorpus::open(dir);
   ASSERT_TRUE(corpus.is_ok());
